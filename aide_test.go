@@ -1,0 +1,312 @@
+package aide_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	aide "github.com/explore-by-example/aide"
+)
+
+// TestPublicAPIEndToEnd exercises the whole supported surface the way a
+// downstream user would: generate data, build a view, steer a session
+// against a simulated user, and inspect the predicted query.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tab := aide.GenerateSDSS(50_000, 1)
+	view, err := aide.NewView(tab, []string{"rowc", "colc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := aide.GenerateTarget(view, aide.TargetSpec{NumAreas: 1, Size: aide.Large}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := aide.NewSimulatedUser(target)
+	session, err := aide.NewSession(view, user, aide.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := aide.RunTrace(session, view, target, 0.7, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.MaxF() < 0.7 {
+		t.Fatalf("session reached F=%.3f, want >= 0.7", trace.MaxF())
+	}
+	q := session.FinalQuery()
+	if q.Table != "PhotoObjAll" {
+		t.Errorf("query table = %q", q.Table)
+	}
+	sql := q.SQL()
+	if !strings.HasPrefix(sql, "SELECT * FROM PhotoObjAll WHERE") {
+		t.Errorf("SQL = %q", sql)
+	}
+	sel, err := q.Selectivity(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel <= 0 || sel > 0.2 {
+		t.Errorf("selectivity = %v, implausible for a large target area", sel)
+	}
+}
+
+func TestPublicAPICustomTableAndOracle(t *testing.T) {
+	schema := aide.Schema{
+		{Name: "age", Min: 0, Max: 100},
+		{Name: "dosage", Min: 0, Max: 60},
+	}
+	b := aide.NewBuilder("trials", schema)
+	for age := 0.0; age < 100; age += 0.5 {
+		for dosage := 0.0; dosage < 60; dosage += 3 {
+			b.Add(age, dosage)
+		}
+	}
+	tab := b.Build()
+	view, err := aide.NewView(tab, []string{"age", "dosage"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's running example: relevant trials have
+	// 20 < age <= 40 and dosage <= 10.
+	oracle := aide.OracleFunc(func(v *aide.View, row int) bool {
+		p := v.RawPoint(row)
+		return p[0] > 20 && p[0] <= 40 && p[1] <= 10
+	})
+	session, err := aide.NewSession(view, oracle, aide.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aide.RunUntil(session, func(r *aide.IterationResult) bool {
+		return r.TotalLabeled >= 500
+	}, 50); err != nil {
+		t.Fatal(err)
+	}
+	q := session.FinalQuery()
+	if len(q.Areas) == 0 {
+		t.Fatal("no areas predicted")
+	}
+	// The predicted query should select mostly-relevant tuples.
+	rows, err := q.Execute(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("query selects nothing")
+	}
+	relevant := 0
+	for _, row := range rows {
+		if oracle(view, row) {
+			relevant++
+		}
+	}
+	if frac := float64(relevant) / float64(len(rows)); frac < 0.7 {
+		t.Errorf("precision of final query = %.2f", frac)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	tab := aide.GenerateUniform(5_000, 2, 3)
+	view, err := aide.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := aide.Target{Areas: []aide.Rect{aide.R(20, 60, 20, 60)}}
+	for _, mk := range []func() (aide.Explorer, error){
+		func() (aide.Explorer, error) {
+			return aide.NewRandom(view, aide.NewSimulatedUser(target), 20, 1)
+		},
+		func() (aide.Explorer, error) {
+			return aide.NewRandomGrid(view, aide.NewSimulatedUser(target), 20, 4, 1)
+		},
+	} {
+		e, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := aide.RunUntil(e, nil, 10); err != nil {
+			t.Fatal(err)
+		}
+		if e.LabeledCount() == 0 {
+			t.Error("baseline labeled nothing")
+		}
+	}
+}
+
+func TestPublicAPISampledDatasets(t *testing.T) {
+	tab := aide.GenerateSDSS(50_000, 4)
+	view, err := aide.NewView(tab, []string{"rowc", "colc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := view.Sampled(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.NumRows() != 5_000 {
+		t.Errorf("sampled rows = %d, want 5000", sampled.NumRows())
+	}
+	// Exploration on the sampled view, evaluation on the full view — the
+	// Section 5.2 optimization.
+	target, err := aide.GenerateTarget(view, aide.TargetSpec{NumAreas: 1, Size: aide.Large}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := aide.NewSession(sampled, aide.NewSimulatedUser(target), aide.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := aide.RunTrace(session, view, target, 0.7, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.MaxF() < 0.6 {
+		t.Errorf("sampled-dataset exploration reached only F=%.3f", trace.MaxF())
+	}
+}
+
+func TestPublicAPIEvaluator(t *testing.T) {
+	tab := aide.GenerateUniform(10_000, 2, 7)
+	view, err := aide.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetRects := []aide.Rect{aide.R(0, 30, 0, 30)}
+	ev, err := aide.NewEvaluator(view, targetRects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ev.Measure(targetRects)
+	if m.F != 1 {
+		t.Errorf("self-measure F = %v", m.F)
+	}
+}
+
+func TestPublicAPIManualSimulation(t *testing.T) {
+	tab := aide.GenerateAuction(20_000, 8)
+	view, err := aide.NewView(tab, []string{"current_price", "num_bids"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := aide.GenerateTarget(view, aide.TargetSpec{NumAreas: 1, Size: aide.Large, DenseOnly: true}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := aide.SimulateManual(view, target, aide.ManualParams{}, 10)
+	if res.ReviewedObjects == 0 || res.Queries == 0 {
+		t.Errorf("manual simulation empty: %+v", res)
+	}
+}
+
+func TestPublicAPIHelpers(t *testing.T) {
+	r := aide.R(0, 10, 20, 30)
+	if r.Dims() != 2 || r[1].Lo != 20 {
+		t.Errorf("R = %v", r)
+	}
+	full := aide.FullDomain(3)
+	if full.Dims() != 3 || full[0].Hi != 100 {
+		t.Errorf("FullDomain = %v", full)
+	}
+}
+
+func TestPublicAPISessionPersistence(t *testing.T) {
+	tab := aide.GenerateUniform(10_000, 2, 30)
+	view, err := aide.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := aide.R(20, 40, 20, 40)
+	oracle := aide.OracleFunc(func(v *aide.View, row int) bool {
+		return hidden.Contains(v.NormPoint(row))
+	})
+	session, err := aide.NewSession(view, oracle, aide.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := session.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := session.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := aide.ResumeSession(&buf, view, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.LabeledCount() != session.LabeledCount() {
+		t.Errorf("resumed labels = %d, want %d", resumed.LabeledCount(), session.LabeledCount())
+	}
+	if _, err := resumed.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIService(t *testing.T) {
+	tab := aide.GenerateUniform(5_000, 2, 31)
+	view, err := aide.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(aide.NewServiceServer(map[string]*aide.View{"u": view}))
+	defer srv.Close()
+	client := aide.NewServiceClient(srv.URL, nil)
+	ctx := context.Background()
+	id, err := client.CreateSession(ctx, aide.CreateSessionRequest{View: "u", Seed: 1, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close(ctx, id)
+	for i := 0; i < 10; i++ {
+		sample, err := client.NextSample(ctx, id)
+		if errors.Is(err, aide.ErrSessionDone) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.SubmitLabel(ctx, id, sample.Row, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := client.PredictedQuery(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "uniform" {
+		t.Errorf("table = %q", q.Table)
+	}
+}
+
+func TestPublicAPIQueryParseRoundTrip(t *testing.T) {
+	tab := aide.GenerateUniform(2_000, 2, 32)
+	view, err := aide.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := aide.Query{
+		Table:   "uniform",
+		Attrs:   []string{"a0", "a1"},
+		Areas:   []aide.Rect{aide.R(10, 20, 30, 40)},
+		Domains: aide.R(0, 100, 0, 100),
+	}
+	parsed, err := aide.ParseQuery(q.SQL(), q.Attrs, q.Domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := q.Execute(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parsed.Execute(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("round-tripped query selects %d rows, original %d", len(b), len(a))
+	}
+}

@@ -1,0 +1,212 @@
+package aide_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (Section 6). Each benchmark executes the corresponding experiment
+// runner at reduced (quick) scale — b.N experiment repetitions — and
+// reports the headline quantity of that artifact as a custom metric, so
+// `go test -bench=. -benchmem` regenerates a compact form of the whole
+// evaluation. Full-scale runs: `go run ./cmd/aidebench -run all`.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/bench"
+)
+
+// benchConfig is the reduced scale used under testing.B.
+func benchConfig() bench.Config {
+	cfg := bench.QuickConfig()
+	cfg.Rows = 20_000
+	cfg.Sessions = 2
+	return cfg
+}
+
+// runExperiment executes the experiment b.N times and reports one custom
+// metric extracted from the final report.
+func runExperiment(b *testing.B, id string, metric string, extract func(*bench.Report) float64) {
+	b.Helper()
+	var last *bench.Report
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Run(id, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	if last != nil && extract != nil {
+		b.ReportMetric(extract(last), metric)
+	}
+}
+
+// cell parses report cell (r, c) as a float, tolerating annotations such
+// as "123 (2/3)", "87%" and "-" (which yields 0).
+func cell(rep *bench.Report, r, c int) float64 {
+	if r >= len(rep.Rows) || c >= len(rep.Rows[r]) {
+		return 0
+	}
+	s := rep.Rows[r][c]
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BenchmarkFig8a regenerates Figure 8(a): accuracy vs samples per area
+// size. Metric: samples AIDE-Large needed for 70% accuracy.
+func BenchmarkFig8a(b *testing.B) {
+	runExperiment(b, "fig8a", "samples-large@70%", func(rep *bench.Report) float64 {
+		return cell(rep, 5, 1)
+	})
+}
+
+// BenchmarkFig8b regenerates Figure 8(b): accuracy vs samples per number
+// of areas. Metric: samples for 1 area at 70%.
+func BenchmarkFig8b(b *testing.B) {
+	runExperiment(b, "fig8b", "samples-1area@70%", func(rep *bench.Report) float64 {
+		return cell(rep, 5, 1)
+	})
+}
+
+// BenchmarkFig8c regenerates Figure 8(c): per-iteration wait time.
+// Metric: seconds per iteration for large areas at 70%.
+func BenchmarkFig8c(b *testing.B) {
+	runExperiment(b, "fig8c", "sec/iter-large@70%", func(rep *bench.Report) float64 {
+		return cell(rep, 5, 1)
+	})
+}
+
+// BenchmarkFig8d regenerates Figure 8(d): AIDE vs the random baselines.
+// Metric: Random-to-AIDE sample ratio on large areas (paper: ~4x).
+func BenchmarkFig8d(b *testing.B) {
+	runExperiment(b, "fig8d", "random/aide-ratio", func(rep *bench.Report) float64 {
+		aideN, randomN := cell(rep, 0, 1), cell(rep, 0, 2)
+		if aideN == 0 {
+			return 0
+		}
+		return randomN / aideN
+	})
+}
+
+// BenchmarkFig8e regenerates Figure 8(e): baselines vs number of areas.
+// Metric: AIDE samples for 7 areas.
+func BenchmarkFig8e(b *testing.B) {
+	runExperiment(b, "fig8e", "aide-samples-7areas", func(rep *bench.Report) float64 {
+		return cell(rep, 3, 1)
+	})
+}
+
+// BenchmarkFig8f regenerates Figure 8(f): the phase ablation. Metric:
+// grid-only to full-AIDE sample ratio at 60% accuracy.
+func BenchmarkFig8f(b *testing.B) {
+	runExperiment(b, "fig8f", "gridonly/full-ratio@60%", func(rep *bench.Report) float64 {
+		grid, full := cell(rep, 4, 1), cell(rep, 4, 3)
+		if full == 0 {
+			return 0
+		}
+		return grid / full
+	})
+}
+
+// BenchmarkFig9a regenerates Figure 9(a): database-size independence.
+// Metric: F at 500 samples on the largest database.
+func BenchmarkFig9a(b *testing.B) {
+	runExperiment(b, "fig9a", "F@500-100GBscale", func(rep *bench.Report) float64 {
+		return cell(rep, len(rep.Rows)-1, 3)
+	})
+}
+
+// BenchmarkFig9b regenerates Figure 9(b): sampled datasets. Metric: time
+// improvement (%) on the largest database.
+func BenchmarkFig9b(b *testing.B) {
+	runExperiment(b, "fig9b", "time-improvement-%", func(rep *bench.Report) float64 {
+		return cell(rep, len(rep.Rows)-1, 2)
+	})
+}
+
+// BenchmarkFig9c regenerates Figure 9(c): sampled-dataset speedup vs
+// query complexity. Metric: improvement (%) at 7 areas.
+func BenchmarkFig9c(b *testing.B) {
+	runExperiment(b, "fig9c", "improvement-%@7areas", func(rep *bench.Report) float64 {
+		return cell(rep, 3, 3)
+	})
+}
+
+// BenchmarkFig10a regenerates Figure 10(a): dimensionality scaling.
+// Metric: 5D-to-2D sample ratio for 1 area (paper: ~1.3x).
+func BenchmarkFig10a(b *testing.B) {
+	runExperiment(b, "fig10a", "5D/2D-sample-ratio", func(rep *bench.Report) float64 {
+		d2, d5 := cell(rep, 0, 1), cell(rep, 0, 4)
+		if d2 == 0 {
+			return 0
+		}
+		return d5 / d2
+	})
+}
+
+// BenchmarkFig10b regenerates Figure 10(b): per-iteration time across
+// dimensionalities. Metric: seconds per iteration in 5D, 7 areas.
+func BenchmarkFig10b(b *testing.B) {
+	runExperiment(b, "fig10b", "sec/iter-5D-7areas", func(rep *bench.Report) float64 {
+		return cell(rep, 3, 4)
+	})
+}
+
+// BenchmarkFig10c regenerates Figure 10(c): skewed spaces. Metric:
+// grid-to-clustering sample ratio on the Skew space (paper: ~8x).
+func BenchmarkFig10c(b *testing.B) {
+	runExperiment(b, "fig10c", "grid/clustering-skew", func(rep *bench.Report) float64 {
+		grid, cl := cell(rep, 2, 1), cell(rep, 2, 2)
+		if cl == 0 {
+			return 0
+		}
+		return grid / cl
+	})
+}
+
+// BenchmarkFig10d regenerates Figure 10(d): the distance hint. Metric:
+// no-hint to hint sample ratio for 1 area (>1 means the hint helps).
+func BenchmarkFig10d(b *testing.B) {
+	runExperiment(b, "fig10d", "nohint/hint-1area", func(rep *bench.Report) float64 {
+		nohint, hint := cell(rep, 0, 1), cell(rep, 0, 2)
+		if hint == 0 {
+			return 0
+		}
+		return nohint / hint
+	})
+}
+
+// BenchmarkFig10e regenerates Figure 10(e): clustered misclassified
+// exploitation. Metric: time improvement (%) at 7 areas (paper: ~45%).
+func BenchmarkFig10e(b *testing.B) {
+	runExperiment(b, "fig10e", "improvement-%@7areas", func(rep *bench.Report) float64 {
+		return cell(rep, 3, 3)
+	})
+}
+
+// BenchmarkFig10f regenerates Figure 10(f): adaptive boundary sampling.
+// Metric: adaptive-minus-fixed accuracy delta at 500 samples, 7 areas
+// (paper: ~+12% on average).
+func BenchmarkFig10f(b *testing.B) {
+	runExperiment(b, "fig10f", "adaptive-fixed-delta", func(rep *bench.Report) float64 {
+		return cell(rep, 3, 2) - cell(rep, 3, 1)
+	})
+}
+
+// BenchmarkTable1 regenerates Table 1: the user study. Metric: average
+// reviewing savings (%) across the seven users (paper: 66%).
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, "table1", "avg-review-savings-%", func(rep *bench.Report) float64 {
+		var sum float64
+		for r := range rep.Rows {
+			sum += cell(rep, r, 4)
+		}
+		return sum / float64(len(rep.Rows))
+	})
+}

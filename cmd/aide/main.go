@@ -1,0 +1,234 @@
+// Command aide runs an interactive explore-by-example session in the
+// terminal: the program shows you sample tuples, you answer y/n for
+// relevant/irrelevant, and AIDE steers toward a query predicting your
+// interest — the workflow of Figure 1 with you as the human in the loop.
+//
+//	aide -dataset sdss -attrs rowc,colc
+//	aide -csv items.csv -attrs price,bids -iters 20
+//
+// After every iteration the current predicted query is printed; stop any
+// time with 'q'.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	aide "github.com/explore-by-example/aide"
+	"github.com/explore-by-example/aide/internal/viz"
+)
+
+func main() {
+	var (
+		kind    = flag.String("dataset", "sdss", "built-in dataset: sdss, auction (ignored with -csv)")
+		csvPath = flag.String("csv", "", "load a CSV file (numeric columns, header row) instead")
+		attrs   = flag.String("attrs", "", "comma-separated exploration attributes (default: first two columns)")
+		rows    = flag.Int("rows", 50_000, "rows to generate for built-in datasets")
+		iters   = flag.Int("iters", 50, "maximum iterations")
+		budget  = flag.Int("budget", 10, "samples per iteration")
+		seed    = flag.Int64("seed", 1, "random seed")
+		showViz = flag.Bool("viz", false, "draw an ASCII map of samples and predicted areas each iteration (2-D only)")
+		state   = flag.String("state", "", "session state file: resumed when it exists, saved on exit")
+	)
+	flag.Parse()
+	if err := run(*kind, *csvPath, *attrs, *rows, *iters, *budget, *seed, *showViz, *state, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "aide: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, showViz bool, statePath string, stdin io.Reader, stdout io.Writer) error {
+	var tab *aide.Table
+	var err error
+	switch {
+	case csvPath != "":
+		tab, err = loadCSV(csvPath)
+		if err != nil {
+			return err
+		}
+	case kind == "sdss":
+		tab = aide.GenerateSDSS(rows, seed)
+	case kind == "auction":
+		tab = aide.GenerateAuction(rows, seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", kind)
+	}
+
+	names := tab.Schema().Names()
+	exploreAttrs := names
+	if attrCSV != "" {
+		exploreAttrs = strings.Split(attrCSV, ",")
+		for i := range exploreAttrs {
+			exploreAttrs[i] = strings.TrimSpace(exploreAttrs[i])
+		}
+	} else if len(exploreAttrs) > 2 {
+		exploreAttrs = exploreAttrs[:2]
+	}
+
+	view, err := aide.NewView(tab, exploreAttrs)
+	if err != nil {
+		return err
+	}
+
+	in := bufio.NewScanner(stdin)
+	quit := false
+	oracle := aide.OracleFunc(func(v *aide.View, row int) bool {
+		if quit {
+			return false
+		}
+		fmt.Fprintf(stdout, "\n  tuple #%d:\n", row)
+		for i, name := range names {
+			fmt.Fprintf(stdout, "    %-18s %g\n", name, tab.Value(row, i))
+		}
+		for {
+			fmt.Fprint(stdout, "  relevant? [y/n/q] ")
+			if !in.Scan() {
+				quit = true
+				return false
+			}
+			switch strings.ToLower(strings.TrimSpace(in.Text())) {
+			case "y", "yes":
+				return true
+			case "n", "no", "":
+				return false
+			case "q", "quit":
+				quit = true
+				return false
+			}
+		}
+	})
+
+	var session *aide.Session
+	if statePath != "" {
+		if f, err := os.Open(statePath); err == nil {
+			session, err = aide.ResumeSession(f, view, oracle)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("resuming %s: %w", statePath, err)
+			}
+			fmt.Fprintf(stdout, "Resumed session from %s (%d tuples already labeled).\n",
+				statePath, session.LabeledCount())
+		}
+	}
+	if session == nil {
+		opts := aide.DefaultOptions()
+		opts.Seed = seed
+		opts.SamplesPerIteration = budget
+		var err error
+		session, err = aide.NewSession(view, oracle, opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(stdout, "Exploring %s (%d rows) on attributes %v.\n",
+		tab.Name(), tab.NumRows(), exploreAttrs)
+	fmt.Fprintln(stdout, "Label each shown tuple as relevant (y) or irrelevant (n); q to stop.")
+
+	for i := 0; i < iters && !quit; i++ {
+		res, err := session.RunIteration()
+		if err != nil {
+			return err
+		}
+		if res.NewSamples == 0 && !quit {
+			fmt.Fprintln(stdout, "\nexploration space exhausted")
+			break
+		}
+		fmt.Fprintf(stdout, "\n-- iteration %d: %d samples (%d relevant), %d total labeled, %d predicted area(s), wait %s\n",
+			res.Iteration, res.NewSamples, res.NewRelevant, res.TotalLabeled,
+			res.RelevantAreas, res.Duration.Round(1e6))
+		if q := session.FinalQuery(); len(q.Areas) > 0 {
+			fmt.Fprintln(stdout, "   current prediction:", q.SQL())
+		}
+		if showViz && view.Dims() >= 2 {
+			points, labels := session.LabeledPoints()
+			if art, err := viz.Render(72, 24, 0, 1, points, labels, session.RelevantAreas()); err == nil {
+				fmt.Fprint(stdout, art)
+			}
+		}
+	}
+
+	if statePath != "" {
+		f, err := os.Create(statePath)
+		if err != nil {
+			return fmt.Errorf("saving session: %w", err)
+		}
+		if err := session.Save(f); err != nil {
+			f.Close()
+			return fmt.Errorf("saving session: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nsession saved to %s\n", statePath)
+	}
+
+	q := session.FinalQuery()
+	fmt.Fprintln(stdout, "\n=== final predicted query ===")
+	fmt.Fprintln(stdout, q.SQL())
+	if sel, err := q.Selectivity(view); err == nil {
+		fmt.Fprintf(stdout, "(selects %.2f%% of the data)\n", sel*100)
+	}
+	if len(q.Areas) > 0 {
+		fmt.Fprint(stdout, session.DiagnosticsString())
+	}
+	return nil
+}
+
+// loadCSV reads a numeric CSV with a header row into a Table. Column
+// domains come from the observed min/max.
+func loadCSV(path string) (*aide.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReader(f))
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	cols := make([][]float64, len(header))
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("row has %d fields, header has %d", len(rec), len(header))
+		}
+		for i, s := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", header[i], err)
+			}
+			cols[i] = append(cols[i], v)
+		}
+	}
+	if len(cols[0]) == 0 {
+		return nil, fmt.Errorf("%s: no data rows", path)
+	}
+	schema := make(aide.Schema, len(header))
+	for i, name := range header {
+		lo, hi := cols[i][0], cols[i][0]
+		for _, v := range cols[i] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		schema[i] = aide.Column{Name: strings.TrimSpace(name), Min: lo, Max: hi}
+	}
+	return aide.NewTable(strings.TrimSuffix(path, ".csv"), schema, cols)
+}

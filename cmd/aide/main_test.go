@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "items.csv")
+	data := "price,bids\n10.5,3\n200,17\n55,0\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := loadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 || tab.NumCols() != 2 {
+		t.Fatalf("shape = %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	s := tab.Schema()
+	if s[0].Name != "price" || s[0].Min != 10.5 || s[0].Max != 200 {
+		t.Errorf("price column = %+v", s[0])
+	}
+	if tab.Value(1, 1) != 17 {
+		t.Errorf("value = %v", tab.Value(1, 1))
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := loadCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("a,b\n1,notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCSV(bad); err == nil {
+		t.Error("non-numeric cell should error")
+	}
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, []byte("a,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCSV(empty); err == nil {
+		t.Error("header-only file should error")
+	}
+}
+
+func TestRunInteractiveSession(t *testing.T) {
+	// Feed a scripted y/n transcript and quit; the session must print a
+	// final query block without crashing.
+	input := strings.NewReader(strings.Repeat("n\n", 10) + "y\nq\n")
+	var out strings.Builder
+	err := run("sdss", "", "rowc,colc", 3000, 3, 4, 1, true, "", input, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Exploring PhotoObjAll", "relevant? [y/n/q]", "final predicted query", "SELECT * FROM PhotoObjAll"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	err := run("bogus", "", "", 10, 1, 1, 1, false, "", strings.NewReader(""), &strings.Builder{})
+	if err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestRunWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	var b strings.Builder
+	b.WriteString("x,y\n")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&b, "%d,%d\n", i%25, i/25)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	input := strings.NewReader(strings.Repeat("n\n", 5) + "q\n")
+	var out strings.Builder
+	if err := run("", path, "", 0, 2, 3, 1, false, "", input, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "final predicted query") {
+		t.Error("missing final query")
+	}
+}
+
+func TestRunSaveAndResumeState(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "session.aide")
+	// First run: label a few tuples, then quit; state is saved.
+	in := strings.NewReader("n\nn\ny\nq\n")
+	var out strings.Builder
+	if err := run("sdss", "", "rowc,colc", 2000, 2, 3, 1, false, state, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "session saved to") {
+		t.Fatalf("state not saved:\n%s", out.String())
+	}
+	// Second run resumes and reports the prior labels.
+	in = strings.NewReader("q\n")
+	out.Reset()
+	if err := run("sdss", "", "rowc,colc", 2000, 1, 3, 1, false, state, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Resumed session from") {
+		t.Fatalf("did not resume:\n%s", out.String())
+	}
+}

@@ -1,0 +1,105 @@
+// Command aidebench regenerates the tables and figures of the paper's
+// evaluation (Section 6). Each experiment id names a paper artifact:
+//
+//	aidebench -list
+//	aidebench -run fig8a
+//	aidebench -run all -rows 100000 -sessions 10
+//	aidebench -run fig8d,fig8e -quick
+//
+// Absolute numbers depend on machine and scale; the shapes (orderings,
+// rough factors, crossovers) reproduce the paper. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/explore-by-example/aide/internal/bench"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "", "experiment id(s), comma separated, or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		rows     = flag.Int("rows", 0, "dataset rows standing in for 10GB (default 100000; fig9 scales to 10x)")
+		sessions = flag.Int("sessions", 0, "sessions averaged per data point (default 10)")
+		maxIter  = flag.Int("maxiter", 0, "max iterations per session (default 250)")
+		seed     = flag.Int64("seed", 0, "base random seed")
+		quick    = flag.Bool("quick", false, "reduced scale for a fast pass")
+		verbose  = flag.Bool("v", false, "stream per-session progress")
+		csvDir   = flag.String("csvdir", "", "also write each report as <id>.csv into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "usage: aidebench -run <id>[,<id>...] | -run all | -list")
+		os.Exit(2)
+	}
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *rows > 0 {
+		cfg.Rows = *rows
+	}
+	if *sessions > 0 {
+		cfg.Sessions = *sessions
+	}
+	if *maxIter > 0 {
+		cfg.MaxIter = *maxIter
+	}
+	cfg.Seed = *seed
+	cfg.Verbose = *verbose
+	cfg.Out = os.Stderr
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		rep, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aidebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "aidebench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSV dumps one report into dir/<id>.csv.
+func writeCSV(dir string, rep *bench.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, rep.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

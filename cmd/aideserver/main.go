@@ -1,0 +1,110 @@
+// Command aideserver runs the AIDE exploration service: an HTTP+JSON API
+// through which front-ends drive explore-by-example sessions, matching
+// the middleware role AIDE plays in the paper's architecture.
+//
+//	aideserver -listen :8080 -sdss 100000 -auction 50000
+//	aideserver -listen :8080 -csv items=items.csv
+//
+// Protocol (see the service package for details):
+//
+//	POST   /v1/sessions                {"view":"sdss","seed":1}
+//	GET    /v1/sessions/{id}/sample    next tuple to label
+//	POST   /v1/sessions/{id}/label     {"row":123,"relevant":true}
+//	GET    /v1/sessions/{id}/status
+//	GET    /v1/sessions/{id}/query
+//	DELETE /v1/sessions/{id}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/service"
+)
+
+// csvFlags collects repeated -csv name=path flags.
+type csvFlags map[string]string
+
+func (c csvFlags) String() string { return fmt.Sprint(map[string]string(c)) }
+
+func (c csvFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	c[name] = path
+	return nil
+}
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":8080", "listen address")
+		sdssRows    = flag.Int("sdss", 100_000, "rows of the built-in SDSS view (0 to disable)")
+		auctionRows = flag.Int("auction", 0, "rows of the built-in AuctionMark view (0 to disable)")
+		seed        = flag.Int64("seed", 1, "dataset generation seed")
+		attrs       = flag.String("sdss-attrs", "rowc,colc", "exploration attributes of the SDSS view")
+		csvs        = csvFlags{}
+	)
+	flag.Var(csvs, "csv", "register a CSV view as name=path (repeatable; numeric columns, header row)")
+	flag.Parse()
+
+	views := map[string]*engine.View{}
+	if *sdssRows > 0 {
+		v, err := engine.NewView(dataset.GenerateSDSS(*sdssRows, *seed), splitAttrs(*attrs))
+		if err != nil {
+			log.Fatalf("aideserver: sdss view: %v", err)
+		}
+		views["sdss"] = v
+	}
+	if *auctionRows > 0 {
+		tab := dataset.GenerateAuction(*auctionRows, *seed)
+		v, err := engine.NewView(tab, []string{"current_price", "num_bids"})
+		if err != nil {
+			log.Fatalf("aideserver: auction view: %v", err)
+		}
+		views["auction"] = v
+	}
+	for name, path := range csvs {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("aideserver: %v", err)
+		}
+		tab, err := dataset.ReadCSV(f, name, nil)
+		f.Close()
+		if err != nil {
+			log.Fatalf("aideserver: reading %s: %v", path, err)
+		}
+		v, err := engine.NewView(tab, tab.Schema().Names())
+		if err != nil {
+			log.Fatalf("aideserver: csv view %s: %v", name, err)
+		}
+		views[name] = v
+	}
+	if len(views) == 0 {
+		log.Fatal("aideserver: no views configured (use -sdss, -auction or -csv)")
+	}
+
+	srv := service.NewServer(views)
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("aideserver: serving %d view(s) %v on %s", len(views), srv.Views(), *listen)
+	log.Fatal(httpSrv.ListenAndServe())
+}
+
+func splitAttrs(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

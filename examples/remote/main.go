@@ -1,0 +1,82 @@
+// Remote: explore-by-example over HTTP. The AIDE steering logic runs in
+// a server process (the middleware of the paper's architecture); this
+// program plays the front-end, fetching samples over the wire, labeling
+// them, and finally asking for the predicted query. Here the "user" is a
+// simulated one with a hidden rectangular interest.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	aide "github.com/explore-by-example/aide"
+)
+
+func main() {
+	// Server side: register a view and serve it. (A real deployment runs
+	// cmd/aideserver; the in-process test server keeps this example
+	// self-contained.)
+	table := aide.GenerateSDSS(50_000, 1)
+	view, err := aide.NewView(table, []string{"rowc", "colc"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := httptest.NewServer(aide.NewServiceServer(map[string]*aide.View{"sdss": view}))
+	defer server.Close()
+	fmt.Println("exploration service at", server.URL)
+
+	// Client side.
+	client := aide.NewServiceClient(server.URL, http.DefaultClient)
+	ctx := context.Background()
+
+	id, err := client.CreateSession(ctx, aide.CreateSessionRequest{
+		View:                "sdss",
+		Seed:                7,
+		SamplesPerIteration: 20,
+		MaxIterations:       40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("session", id)
+
+	// The hidden interest the remote user labels against.
+	hidden := aide.R(700, 830, 300, 480) // raw rowc x colc ranges
+	labeled := 0
+	for labeled < 400 {
+		sample, err := client.NextSample(ctx, id)
+		if errors.Is(err, aide.ErrSessionDone) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := aide.Point{sample.Values["rowc"], sample.Values["colc"]}
+		if err := client.SubmitLabel(ctx, id, sample.Row, hidden.Contains(p)); err != nil {
+			log.Fatal(err)
+		}
+		labeled++
+		if labeled%100 == 0 {
+			st, err := client.Status(ctx, id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  labeled %d tuples; %d predicted area(s) so far\n",
+				labeled, st.RelevantAreas)
+		}
+	}
+
+	q, err := client.PredictedQuery(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted query from the service:")
+	fmt.Println(" ", q.SQL)
+	if err := client.Close(ctx, id); err != nil {
+		log.Fatal(err)
+	}
+}

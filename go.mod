@@ -1,0 +1,3 @@
+module github.com/explore-by-example/aide
+
+go 1.22

@@ -1,0 +1,293 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 6). Each experiment has an id matching the paper
+// artifact (fig8a .. fig10f, table1); Run executes one and returns a
+// Report whose rows mirror the series the paper plots.
+//
+// Absolute numbers differ from the paper — the substrate here is an
+// in-memory engine over synthetic SDSS-like data rather than MySQL over
+// the real 10-100 GB SDSS — but each experiment's *shape* (orderings,
+// rough factors, crossovers) reproduces the published result;
+// EXPERIMENTS.md records both side by side.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/eval"
+	"github.com/explore-by-example/aide/internal/explore"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Rows is the default dataset size (the "10 GB" stand-in).
+	Rows int
+	// Sessions is how many exploration sessions are averaged per data
+	// point (the paper averages ten).
+	Sessions int
+	// MaxIter bounds each session.
+	MaxIter int
+	// Seed offsets all randomness; sessions use Seed+1..Seed+Sessions.
+	Seed int64
+	// Verbose streams per-session progress to Out.
+	Verbose bool
+	// Out receives progress output (may be nil).
+	Out io.Writer
+}
+
+// DefaultConfig returns full-scale settings: 100k rows standing in for
+// the paper's 10 GB / 3M-row dataset, ten sessions per point.
+func DefaultConfig() Config {
+	return Config{Rows: 100_000, Sessions: 10, MaxIter: 250, Seed: 0}
+}
+
+// QuickConfig returns reduced settings for smoke tests and testing.B.
+func QuickConfig() Config {
+	return Config{Rows: 20_000, Sessions: 2, MaxIter: 150, Seed: 0}
+}
+
+func (c *Config) defaults() {
+	if c.Rows <= 0 {
+		c.Rows = 100_000
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 10
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 250
+	}
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Verbose && c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+// Report is one experiment's regenerated table.
+type Report struct {
+	// ID is the experiment id (e.g. "fig8a").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data rows, already formatted.
+	Rows [][]string
+	// Notes carry caveats (e.g. sessions that never converged).
+	Notes []string
+	// Elapsed is the wall time of the experiment run.
+	Elapsed time.Duration
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	fmt.Fprintf(&b, "(elapsed %s)\n", r.Elapsed.Round(time.Millisecond))
+	return b.String()
+}
+
+// Experiment is a runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Report, error)
+}
+
+// registry holds every experiment keyed by id.
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Config) (*Report, error)) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Report, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for _, x := range All() {
+			ids = append(ids, x.ID)
+		}
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+	}
+	cfg.defaults()
+	start := time.Now()
+	rep, err := e.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.ID = e.ID
+	rep.Title = e.Title
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// --- shared helpers ----------------------------------------------------
+
+// sdssView builds (and memoizes per run) an SDSS view over the given
+// attributes.
+func sdssView(rows int, seed int64, attrs ...string) (*engine.View, error) {
+	tab := dataset.GenerateSDSS(rows, seed)
+	return engine.NewView(tab, attrs)
+}
+
+// sessionRun holds one session's outcome.
+type sessionRun struct {
+	trace eval.Trace
+	user  *eval.SimulatedUser
+	sess  *explore.Session
+}
+
+// runAIDE executes one AIDE session against a generated target.
+func runAIDE(v *engine.View, evalView *engine.View, target eval.Target, opts explore.Options, stopF float64, maxIter int) (sessionRun, error) {
+	user := eval.NewSimulatedUser(target)
+	s, err := explore.NewSession(v, user, opts)
+	if err != nil {
+		return sessionRun{}, err
+	}
+	tr, err := eval.RunTrace(s, evalView, target, stopF, maxIter)
+	if err != nil {
+		return sessionRun{}, err
+	}
+	return sessionRun{trace: tr, user: user, sess: s}, nil
+}
+
+// avgSamplesTo averages, over cfg.Sessions seeds, the samples needed to
+// reach accuracy f. It returns the average over converged sessions and
+// the converged count.
+func avgSamplesTo(cfg Config, f float64, run func(seed int64) (eval.Trace, error)) (float64, int, error) {
+	total, converged := 0, 0
+	for i := 0; i < cfg.Sessions; i++ {
+		tr, err := run(cfg.Seed + int64(i) + 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if n, ok := tr.SamplesToAccuracy(f); ok {
+			total += n
+			converged++
+		}
+	}
+	if converged == 0 {
+		return 0, 0, nil
+	}
+	return float64(total) / float64(converged), converged, nil
+}
+
+// fmtSamples renders an average sample count, or "-" for never-reached.
+func fmtSamples(avg float64, converged, sessions int) string {
+	if converged == 0 {
+		return "-"
+	}
+	s := fmt.Sprintf("%.0f", avg)
+	if converged < sessions {
+		s += fmt.Sprintf(" (%d/%d)", converged, sessions)
+	}
+	return s
+}
+
+// fmtF renders an F-measure.
+func fmtF(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// fAtSamples returns the best F the trace achieved by the time n samples
+// were labeled.
+func fAtSamples(tr eval.Trace, n int) float64 {
+	best := 0.0
+	for i := range tr.Samples {
+		if tr.Samples[i] > n {
+			break
+		}
+		if tr.F[i] > best {
+			best = tr.F[i]
+		}
+	}
+	return best
+}
+
+// accuracyLevels are the x-axis ticks of Figures 8(a)-(b) and 8(f).
+var accuracyLevels = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// mean returns the arithmetic mean (0 for empty input).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WriteCSV writes the report's table as CSV (header row first), the
+// machine-readable companion to String for plotting tools.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

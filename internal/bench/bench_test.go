@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/eval"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	return Config{Rows: 10_000, Sessions: 1, MaxIter: 120, Seed: 0}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablate-beta", "ablate-minleaf",
+		"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
+		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f",
+		"fig9a", "fig9b", "fig9c", "table1",
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q missing title or runner", e.ID)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", tinyConfig()); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig8a"); !ok {
+		t.Error("fig8a should exist")
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Error("bogus should not exist")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	s := rep.String()
+	for _, want := range []string{"== x: demo ==", "long-column", "333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.defaults()
+	if c.Rows != 100_000 || c.Sessions != 10 || c.MaxIter != 250 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if DefaultConfig().Rows != 100_000 {
+		t.Error("DefaultConfig wrong")
+	}
+	if QuickConfig().Rows != 20_000 {
+		t.Error("QuickConfig wrong")
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtSamples(0, 0, 10); got != "-" {
+		t.Errorf("fmtSamples unconverged = %q", got)
+	}
+	if got := fmtSamples(123.4, 10, 10); got != "123" {
+		t.Errorf("fmtSamples = %q", got)
+	}
+	if got := fmtSamples(100, 7, 10); got != "100 (7/10)" {
+		t.Errorf("fmtSamples partial = %q", got)
+	}
+	if got := fmtF(0.5); got != "0.500" {
+		t.Errorf("fmtF = %q", got)
+	}
+	if mean(nil) != 0 {
+		t.Error("mean(nil) != 0")
+	}
+	if mean([]float64{1, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestFAtSamples(t *testing.T) {
+	tr := eval.Trace{Samples: []int{20, 40, 60}, F: []float64{0.2, 0.8, 0.5}}
+	if got := fAtSamples(tr, 50); got != 0.8 {
+		t.Errorf("fAtSamples(50) = %v", got)
+	}
+	if got := fAtSamples(tr, 10); got != 0 {
+		t.Errorf("fAtSamples(10) = %v", got)
+	}
+	if got := fAtSamples(tr, 100); got != 0.8 {
+		t.Errorf("fAtSamples(100) = %v", got)
+	}
+}
+
+func TestIterToAccuracy(t *testing.T) {
+	tr := eval.Trace{F: []float64{0.1, 0.6, 0.9}}
+	if i, ok := iterToAccuracy(tr, 0.6); !ok || i != 1 {
+		t.Errorf("iterToAccuracy = %d,%v", i, ok)
+	}
+	if _, ok := iterToAccuracy(tr, 0.95); ok {
+		t.Error("unreached accuracy should be not-ok")
+	}
+}
+
+// Smoke tests: every experiment must run end to end at tiny scale and
+// produce a plausible report. (Shape assertions live in the individual
+// checks below where variance allows.)
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are slow")
+	}
+	cfg := tinyConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := Run(e.ID, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range rep.Rows {
+				if len(row) != len(rep.Header) {
+					t.Errorf("row %v does not match header %v", row, rep.Header)
+				}
+			}
+			t.Logf("\n%s", rep.String())
+		})
+	}
+}
+
+// Shape check: AIDE needs far fewer samples than the baselines (fig8d's
+// headline) — run at a modest scale with enough sessions to be stable.
+func TestShapeAIDEBeatsBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	cfg := Config{Rows: 30_000, Sessions: 3, MaxIter: 150, Seed: 10}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[string]float64{}
+	for _, kind := range []string{"aide", "random"} {
+		avg, conv, err := avgSamplesTo(cfg, 0.7, func(seed int64) (eval.Trace, error) {
+			target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: 1, Size: eval.Large}, seed)
+			if err != nil {
+				return eval.Trace{}, err
+			}
+			e, err := makeExplorer(kind, v, target, seed)
+			if err != nil {
+				return eval.Trace{}, err
+			}
+			maxIter := cfg.MaxIter
+			if kind != "aide" {
+				maxIter *= 4
+			}
+			return eval.RunTrace(e, v, target, 0.7, maxIter)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conv == 0 {
+			t.Fatalf("%s never converged", kind)
+		}
+		results[kind] = avg
+	}
+	if results["aide"] >= results["random"] {
+		t.Errorf("AIDE used %.0f samples, Random %.0f: expected AIDE to win",
+			results["aide"], results["random"])
+	}
+}
+
+// Shape check: accuracy at a fixed budget does not degrade with database
+// size (fig9a's conclusion).
+func TestShapeDatabaseSizeIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	cfg := Config{Rows: 20_000, Sessions: 2, MaxIter: 150, Seed: 5}
+	var fs []float64
+	for _, rows := range []int{20_000, 100_000} {
+		v, err := sdssView(rows, cfg.Seed, denseAttrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vals []float64
+		for i := 0; i < cfg.Sessions; i++ {
+			tr, err := traceForSize(cfg, v, eval.Large, 1, cfg.Seed+int64(i)+1, 1.0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals = append(vals, fAtSamples(tr, 500))
+		}
+		fs = append(fs, mean(vals))
+	}
+	if fs[1] < fs[0]-0.25 {
+		t.Errorf("accuracy dropped sharply with database size: %v", fs)
+	}
+}
+
+func TestMakeExplorerKinds(t *testing.T) {
+	v, err := sdssView(5_000, 1, "rowc", "colc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: 1, Size: eval.Large}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"aide", "random", "grid"} {
+		if _, err := makeExplorer(kind, v, target, 1); err != nil {
+			t.Errorf("makeExplorer(%q) = %v", kind, err)
+		}
+	}
+	if _, err := makeExplorer("bogus", v, target, 1); err == nil {
+		t.Error("bogus kind should error")
+	}
+}
+
+func TestTable1UsersWellFormed(t *testing.T) {
+	users := table1Users()
+	if len(users) != 7 {
+		t.Fatalf("users = %d, want 7 (as in the paper)", len(users))
+	}
+	twoAttr := 0
+	for i, u := range users {
+		if len(u.attrs) < 2 || u.reviewSeconds < 3 || u.reviewSeconds > 26 {
+			t.Errorf("user %d malformed: %+v", i, u)
+		}
+		if len(u.attrs) == 2 {
+			twoAttr++
+		}
+	}
+	if twoAttr != 5 {
+		t.Errorf("%d two-attribute users, want 5 (Section 6.5)", twoAttr)
+	}
+}
+
+func TestDBSizesScaling(t *testing.T) {
+	cfg := Config{Rows: 1000}
+	sizes := dbSizes(cfg)
+	if sizes[0].rows != 1000 || sizes[1].rows != 5000 || sizes[2].rows != 10000 {
+		t.Errorf("dbSizes = %+v", sizes)
+	}
+	for _, s := range sizes {
+		if _, err := strconv.Atoi(strings.TrimSuffix(s.label, "GB")); err != nil {
+			t.Errorf("label %q not parseable", s.label)
+		}
+	}
+}
+
+func TestReportWriteCSV(t *testing.T) {
+	rep := &Report{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}, {"2", "z"}},
+	}
+	var buf strings.Builder
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "a,b\n1,\"x,y\"\n2,z\n"
+	if got != want {
+		t.Errorf("WriteCSV = %q, want %q", got, want)
+	}
+}

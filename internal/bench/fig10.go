@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/explore-by-example/aide/internal/eval"
+	"github.com/explore-by-example/aide/internal/explore"
+)
+
+func init() {
+	register("fig10a", "samples vs exploration-space dimensionality (2D-5D, large areas, >70%)", runFig10a)
+	register("fig10b", "time vs exploration-space dimensionality (2D-5D, large areas, >70%)", runFig10b)
+	register("fig10c", "skewed exploration spaces: grid vs clustering vs sampled (>70%, 1 large area)", runFig10c)
+	register("fig10d", "distance-based hint optimization (>80%, medium areas)", runFig10d)
+	register("fig10e", "clustered vs per-object misclassified exploitation (>80%, large areas)", runFig10e)
+	register("fig10f", "adaptive vs fixed boundary sample size (accuracy at 500 samples)", runFig10f)
+}
+
+// dimAttrs lists the exploration attributes per dimensionality (2D-5D),
+// always leading with the two the targets actually constrain.
+var dimAttrs = [][]string{
+	{"rowc", "colc"},
+	{"rowc", "colc", "field"},
+	{"rowc", "colc", "field", "fieldID"},
+	{"rowc", "colc", "field", "fieldID", "dec"},
+}
+
+// multiDimRun runs one (dims, areas) cell and reports samples and
+// per-iteration time averages to >=70%.
+func multiDimRun(cfg Config, attrs []string, areas int) (samples string, seconds string, err error) {
+	v, err := sdssView(cfg.Rows, cfg.Seed, attrs...)
+	if err != nil {
+		return "", "", err
+	}
+	total, converged := 0, 0
+	var times []float64
+	for i := 0; i < cfg.Sessions; i++ {
+		seed := cfg.Seed + int64(i) + 1
+		// Targets constrain only the first two attributes; the remaining
+		// dimensions are irrelevant and must be eliminated by AIDE
+		// (Section 6.3).
+		target, err := eval.GenerateTarget(v, eval.TargetSpec{
+			NumAreas:   areas,
+			Size:       eval.Large,
+			ActiveDims: 2,
+		}, seed)
+		if err != nil {
+			return "", "", err
+		}
+		opts := explore.DefaultOptions()
+		opts.Seed = seed
+		run, err := runAIDE(v, v, target, opts, 0.7, cfg.MaxIter)
+		if err != nil {
+			return "", "", err
+		}
+		if n, ok := run.trace.SamplesToAccuracy(0.7); ok {
+			total += n
+			converged++
+			times = append(times, run.trace.AvgIterSeconds())
+		}
+	}
+	if converged == 0 {
+		return "-", "-", nil
+	}
+	return fmtSamples(float64(total)/float64(converged), converged, cfg.Sessions),
+		fmt.Sprintf("%.4f", mean(times)), nil
+}
+
+// runFig10a regenerates Figure 10(a): label effort across 2-5 dimensional
+// exploration spaces where only two attributes matter.
+func runFig10a(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"Areas", "2D", "3D", "4D", "5D"}}
+	for _, areas := range []int{1, 3, 5, 7} {
+		row := []string{fmt.Sprintf("%d", areas)}
+		for _, attrs := range dimAttrs {
+			samples, _, err := multiDimRun(cfg, attrs, areas)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, samples)
+			cfg.logf("fig10a areas=%d dims=%d done\n", areas, len(attrs))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper shape: samples grow mildly with dimensionality; irrelevant attributes are eliminated from the final query",
+	)
+	return rep, nil
+}
+
+// runFig10b regenerates Figure 10(b): per-iteration time across
+// dimensionalities.
+func runFig10b(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"Areas", "2D (s)", "3D (s)", "4D (s)", "5D (s)"}}
+	for _, areas := range []int{1, 3, 5, 7} {
+		row := []string{fmt.Sprintf("%d", areas)}
+		for _, attrs := range dimAttrs {
+			_, secs, err := multiDimRun(cfg, attrs, areas)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, secs)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper shape: each added dimension adds modest per-iteration overhead")
+	return rep, nil
+}
+
+// runFig10c regenerates Figure 10(c): skew handling. Three 2-D spaces —
+// NoSkew (rowc, colc), HalfSkew (rowc, dec), Skew (dec, ra) — explored by
+// plain grid AIDE, clustering-based AIDE, and grid AIDE over a 10%
+// sampled dataset.
+func runFig10c(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"Space", "AIDE", "AIDE-Clustering", "AIDE-Sample"}}
+	spaces := []struct {
+		label string
+		attrs []string
+		dense bool
+	}{
+		{"NoSkew", []string{"rowc", "colc"}, true},
+		{"HalfSkew", []string{"rowc", "dec"}, false},
+		{"Skew", []string{"dec", "ra"}, true},
+	}
+	for _, sp := range spaces {
+		v, err := sdssView(cfg.Rows, cfg.Seed, sp.attrs...)
+		if err != nil {
+			return nil, err
+		}
+		sampled, err := v.Sampled(0.1, cfg.Seed+99)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{sp.label}
+		for _, variant := range []string{"grid", "clustering", "sample"} {
+			avg, conv, err := avgSamplesTo(cfg, 0.7, func(seed int64) (eval.Trace, error) {
+				// Skew/NoSkew targets sit on dense regions (Section 6.4);
+				// HalfSkew targets may cover sparse areas too.
+				target, err := eval.GenerateTarget(v, eval.TargetSpec{
+					NumAreas:  1,
+					Size:      eval.Large,
+					DenseOnly: sp.dense,
+				}, seed)
+				if err != nil {
+					return eval.Trace{}, err
+				}
+				opts := explore.DefaultOptions()
+				opts.Seed = seed
+				runView := v
+				switch variant {
+				case "clustering":
+					opts.Discovery = explore.DiscoveryClustering
+				case "sample":
+					runView = sampled
+				}
+				run, err := runAIDE(runView, v, target, opts, 0.7, cfg.MaxIter)
+				if err != nil {
+					return eval.Trace{}, err
+				}
+				return run.trace, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtSamples(avg, conv, cfg.Sessions))
+			cfg.logf("fig10c %s %s done\n", sp.label, variant)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper shape: clustering wins on Skew, ties on NoSkew, loses on HalfSkew; sampled datasets track the full dataset everywhere",
+	)
+	return rep, nil
+}
+
+// runFig10d regenerates Figure 10(d): the distance-based hint. The user
+// promises medium relevant areas are at least 4 units wide, so discovery
+// starts at the exploration level guaranteed to hit them.
+func runFig10d(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"Areas", "AIDE", "AIDE+DistanceHint"}}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{1, 3, 5, 7} {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, hint := range []float64{0, 4} {
+			avg, conv, err := avgSamplesTo(cfg, 0.8, func(seed int64) (eval.Trace, error) {
+				target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: k, Size: eval.Medium}, seed)
+				if err != nil {
+					return eval.Trace{}, err
+				}
+				opts := explore.DefaultOptions()
+				opts.Seed = seed
+				opts.DistanceHint = hint
+				run, err := runAIDE(v, v, target, opts, 0.8, cfg.MaxIter*2)
+				if err != nil {
+					return eval.Trace{}, err
+				}
+				return run.trace, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtSamples(avg, conv, cfg.Sessions))
+			cfg.logf("fig10d areas=%d hint=%v done\n", k, hint)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper shape: the hint removes wasted shallow-level sampling, reducing label effort")
+	return rep, nil
+}
+
+// runFig10e regenerates Figure 10(e): exploration time with
+// clustering-based misclassified exploitation (one extraction query per
+// cluster) versus one query per misclassified object.
+func runFig10e(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"Areas", "SamplePerMisclassified (s)", "SamplePerCluster (s)", "Improvement", "Misclass queries/obj", "Misclass queries/clu"}}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{1, 3, 5, 7} {
+		times := map[explore.MisclassStrategy][]float64{}
+		queries := map[explore.MisclassStrategy][]float64{}
+		for _, strat := range []explore.MisclassStrategy{explore.MisclassPerObject, explore.MisclassClustered} {
+			for i := 0; i < cfg.Sessions; i++ {
+				seed := cfg.Seed + int64(i) + 1
+				target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: k, Size: eval.Large}, seed)
+				if err != nil {
+					return nil, err
+				}
+				opts := explore.DefaultOptions()
+				opts.Seed = seed
+				opts.Misclass = strat
+				run, err := runAIDE(v, v, target, opts, 0.8, cfg.MaxIter)
+				if err != nil {
+					return nil, err
+				}
+				st := run.sess.Stats()
+				times[strat] = append(times[strat], st.ExecTime.Seconds())
+				queries[strat] = append(queries[strat], float64(st.PhaseQueries[explore.PhaseMisclass]))
+			}
+			cfg.logf("fig10e areas=%d %v done\n", k, strat)
+		}
+		po, cl := mean(times[explore.MisclassPerObject]), mean(times[explore.MisclassClustered])
+		improvement := 0.0
+		if po > 0 {
+			improvement = (po - cl) / po * 100
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.3f", po),
+			fmt.Sprintf("%.3f", cl),
+			fmt.Sprintf("%.0f%%", improvement),
+			fmt.Sprintf("%.0f", mean(queries[explore.MisclassPerObject])),
+			fmt.Sprintf("%.0f", mean(queries[explore.MisclassClustered])),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper shape: clustering reduces extraction queries (and, on a disk-backed engine, exploration time) without hurting accuracy",
+		"this in-memory engine has near-zero per-query overhead, so the query-count columns carry the signal",
+	)
+	return rep, nil
+}
+
+// runFig10f regenerates Figure 10(f): accuracy at a 500-label budget with
+// the adaptive boundary sample size versus a fixed per-face size.
+func runFig10f(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"Areas", "SampleSize-Fixed", "SampleSize-Adaptive"}}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	const budget = 500
+	for _, k := range []int{1, 3, 5, 7} {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, adaptive := range []bool{false, true} {
+			var fs []float64
+			for i := 0; i < cfg.Sessions; i++ {
+				seed := cfg.Seed + int64(i) + 1
+				target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: k, Size: eval.Large}, seed)
+				if err != nil {
+					return nil, err
+				}
+				opts := explore.DefaultOptions()
+				opts.Seed = seed
+				opts.AdaptiveBoundary = adaptive
+				user := eval.NewSimulatedUser(target)
+				s, err := explore.NewSession(v, user, opts)
+				if err != nil {
+					return nil, err
+				}
+				tr, err := eval.RunTrace(s, v, target, 0, budget/opts.SamplesPerIteration+1)
+				if err != nil {
+					return nil, err
+				}
+				fs = append(fs, fAtSamples(tr, budget))
+			}
+			row = append(row, fmtF(mean(fs)))
+			cfg.logf("fig10f areas=%d adaptive=%v done\n", k, adaptive)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper shape: the adaptive size shifts effort to discovery and misclassified exploitation, improving accuracy at a fixed budget",
+	)
+	return rep, nil
+}

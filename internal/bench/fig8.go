@@ -1,0 +1,324 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/eval"
+	"github.com/explore-by-example/aide/internal/explore"
+)
+
+// The default exploration space of Section 6.1: a dense 2-D space over
+// rowc and colc.
+var denseAttrs = []string{"rowc", "colc"}
+
+func init() {
+	register("fig8a", "accuracy vs samples for increasing area size (1 area)", runFig8a)
+	register("fig8b", "accuracy vs samples for increasing number of areas (large areas)", runFig8b)
+	register("fig8c", "time per iteration vs accuracy for increasing area size (1 area)", runFig8c)
+	register("fig8d", "AIDE vs Random vs Random-Grid, samples to >70% accuracy (1 area)", runFig8d)
+	register("fig8e", "AIDE vs Random vs Random-Grid vs number of areas (large areas, >70%)", runFig8e)
+	register("fig8f", "impact of exploration phases (1 large area)", runFig8f)
+}
+
+// traceForSize runs one AIDE session on a fresh 1-area target of the
+// given size.
+func traceForSize(cfg Config, v *engine.View, size eval.SizeClass, areas int, seed int64, stopF float64, mut func(*explore.Options)) (eval.Trace, error) {
+	target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: areas, Size: size}, seed)
+	if err != nil {
+		return eval.Trace{}, err
+	}
+	opts := explore.DefaultOptions()
+	opts.Seed = seed
+	if mut != nil {
+		mut(&opts)
+	}
+	run, err := runAIDE(v, v, target, opts, stopF, cfg.MaxIter)
+	if err != nil {
+		return eval.Trace{}, err
+	}
+	return run.trace, nil
+}
+
+// runFig8a regenerates Figure 8(a): samples needed per accuracy level for
+// large, medium and small single-area targets.
+func runFig8a(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"F-measure", "AIDE-Large", "AIDE-Medium", "AIDE-Small"}}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []eval.SizeClass{eval.Large, eval.Medium, eval.Small}
+	// One full trace per (size, seed); harvest every accuracy level from it.
+	traces := make(map[eval.SizeClass][]eval.Trace)
+	for _, size := range sizes {
+		maxIter := cfg.MaxIter
+		if size == eval.Small {
+			maxIter *= 2 // small areas legitimately need deeper search
+		}
+		for i := 0; i < cfg.Sessions; i++ {
+			tr, err := traceForSize(cfg, v, size, 1, cfg.Seed+int64(i)+1, 1.0, nil)
+			if err != nil {
+				return nil, err
+			}
+			traces[size] = append(traces[size], tr)
+			cfg.logf("fig8a %s session %d: maxF=%.3f samples=%d\n", size, i+1, tr.MaxF(), lastSample(tr))
+		}
+		_ = maxIter
+	}
+	for _, f := range accuracyLevels {
+		row := []string{fmt.Sprintf("%.0f%%", f*100)}
+		for _, size := range sizes {
+			avg, conv := harvest(traces[size], f)
+			row = append(row, fmtSamples(avg, conv, cfg.Sessions))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper shape: larger areas reach each accuracy with fewer samples")
+	return rep, nil
+}
+
+// runFig8b regenerates Figure 8(b): samples per accuracy level for 1, 3,
+// 5, 7 large relevant areas.
+func runFig8b(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"F-measure", "1-Area", "3-Areas", "5-Areas", "7-Areas"}}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	areaCounts := []int{1, 3, 5, 7}
+	traces := make(map[int][]eval.Trace)
+	for _, k := range areaCounts {
+		for i := 0; i < cfg.Sessions; i++ {
+			tr, err := traceForSize(cfg, v, eval.Large, k, cfg.Seed+int64(i)+1, 1.0, nil)
+			if err != nil {
+				return nil, err
+			}
+			traces[k] = append(traces[k], tr)
+			cfg.logf("fig8b areas=%d session %d: maxF=%.3f\n", k, i+1, tr.MaxF())
+		}
+	}
+	for _, f := range accuracyLevels {
+		row := []string{fmt.Sprintf("%.0f%%", f*100)}
+		for _, k := range areaCounts {
+			avg, conv := harvest(traces[k], f)
+			row = append(row, fmtSamples(avg, conv, cfg.Sessions))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper shape: more areas require more samples at every accuracy level")
+	return rep, nil
+}
+
+// runFig8c regenerates Figure 8(c): average per-iteration system
+// execution time (user wait time) needed to reach each accuracy level.
+func runFig8c(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"F-measure", "AIDE-Large (s)", "AIDE-Medium (s)", "AIDE-Small (s)"}}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []eval.SizeClass{eval.Large, eval.Medium, eval.Small}
+	traces := make(map[eval.SizeClass][]eval.Trace)
+	for _, size := range sizes {
+		for i := 0; i < cfg.Sessions; i++ {
+			tr, err := traceForSize(cfg, v, size, 1, cfg.Seed+int64(i)+1, 1.0, nil)
+			if err != nil {
+				return nil, err
+			}
+			traces[size] = append(traces[size], tr)
+		}
+	}
+	for _, f := range accuracyLevels {
+		row := []string{fmt.Sprintf("%.0f%%", f*100)}
+		for _, size := range sizes {
+			var times []float64
+			for _, tr := range traces[size] {
+				if idx, ok := iterToAccuracy(tr, f); ok {
+					times = append(times, mean(tr.IterDuration[:idx+1]))
+				}
+			}
+			if len(times) == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", mean(times)))
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		"per-iteration wait time stays interactive (sub-second at this scale) and grows with accuracy",
+	)
+	return rep, nil
+}
+
+// runFig8d regenerates Figure 8(d): AIDE vs the random baselines, samples
+// to reach >=70% accuracy on single areas of each size.
+func runFig8d(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"Area size", "AIDE", "Random", "Random-Grid"}}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	// Random baselines need far more samples; allow them more iterations.
+	baseIter := cfg.MaxIter * 3
+	for _, size := range []eval.SizeClass{eval.Large, eval.Medium, eval.Small} {
+		row := []string{size.String()}
+		for _, kind := range []string{"aide", "random", "grid"} {
+			avg, conv, err := avgSamplesTo(cfg, 0.7, func(seed int64) (eval.Trace, error) {
+				target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: 1, Size: size}, seed)
+				if err != nil {
+					return eval.Trace{}, err
+				}
+				e, err := makeExplorer(kind, v, target, seed)
+				if err != nil {
+					return eval.Trace{}, err
+				}
+				maxIter := cfg.MaxIter
+				if kind != "aide" {
+					maxIter = baseIter
+				}
+				if size == eval.Small {
+					maxIter *= 2
+				}
+				return eval.RunTrace(e, v, target, 0.7, maxIter)
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtSamples(avg, conv, cfg.Sessions))
+			cfg.logf("fig8d %s %s done\n", size, kind)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper shape: AIDE needs a small fraction of the baselines' samples; baselines fail on small areas")
+	return rep, nil
+}
+
+// runFig8e regenerates Figure 8(e): the same comparison across 1-7 large
+// areas.
+func runFig8e(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"Areas", "AIDE", "Random", "Random-Grid"}}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{1, 3, 5, 7} {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, kind := range []string{"aide", "random", "grid"} {
+			avg, conv, err := avgSamplesTo(cfg, 0.7, func(seed int64) (eval.Trace, error) {
+				target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: k, Size: eval.Large}, seed)
+				if err != nil {
+					return eval.Trace{}, err
+				}
+				e, err := makeExplorer(kind, v, target, seed)
+				if err != nil {
+					return eval.Trace{}, err
+				}
+				maxIter := cfg.MaxIter
+				if kind != "aide" {
+					maxIter = cfg.MaxIter * 3
+				}
+				return eval.RunTrace(e, v, target, 0.7, maxIter)
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtSamples(avg, conv, cfg.Sessions))
+			cfg.logf("fig8e areas=%d %s done\n", k, kind)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper shape: AIDE stays under ~500 samples while baselines exceed 1000")
+	return rep, nil
+}
+
+// runFig8f regenerates Figure 8(f): the phase ablation. Random-Grid is
+// AIDE with only the object-discovery phase; +Misclassified adds the
+// misclassified exploitation; full AIDE adds boundary exploitation.
+func runFig8f(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"F-measure", "Random-Grid", "Random-Grid+Misclassified", "AIDE"}}
+	v, err := sdssView(cfg.Rows, cfg.Seed, denseAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		mut  func(*explore.Options)
+	}{
+		{"grid-only", func(o *explore.Options) { o.DisableMisclass = true; o.DisableBoundary = true }},
+		{"grid+misclass", func(o *explore.Options) { o.DisableBoundary = true }},
+		{"full", nil},
+	}
+	traces := make(map[string][]eval.Trace)
+	for _, variant := range variants {
+		for i := 0; i < cfg.Sessions; i++ {
+			tr, err := traceForSize(cfg, v, eval.Large, 1, cfg.Seed+int64(i)+1, 1.0, variant.mut)
+			if err != nil {
+				return nil, err
+			}
+			traces[variant.name] = append(traces[variant.name], tr)
+			cfg.logf("fig8f %s session %d maxF=%.3f\n", variant.name, i+1, tr.MaxF())
+		}
+	}
+	for _, f := range accuracyLevels {
+		row := []string{fmt.Sprintf("%.0f%%", f*100)}
+		for _, variant := range variants {
+			avg, conv := harvest(traces[variant.name], f)
+			row = append(row, fmtSamples(avg, conv, cfg.Sessions))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper shape: each added phase reduces the samples needed at every accuracy level")
+	return rep, nil
+}
+
+// makeExplorer builds AIDE or a baseline against the target.
+func makeExplorer(kind string, v *engine.View, target eval.Target, seed int64) (explore.Explorer, error) {
+	user := eval.NewSimulatedUser(target)
+	switch kind {
+	case "aide":
+		opts := explore.DefaultOptions()
+		opts.Seed = seed
+		return explore.NewSession(v, user, opts)
+	case "random":
+		return explore.NewRandom(v, user, 20, seed)
+	case "grid":
+		return explore.NewRandomGrid(v, user, 20, 4, seed)
+	default:
+		return nil, fmt.Errorf("bench: unknown explorer kind %q", kind)
+	}
+}
+
+// harvest averages samples-to-accuracy over traces.
+func harvest(traces []eval.Trace, f float64) (avg float64, converged int) {
+	total := 0
+	for _, tr := range traces {
+		if n, ok := tr.SamplesToAccuracy(f); ok {
+			total += n
+			converged++
+		}
+	}
+	if converged == 0 {
+		return 0, 0
+	}
+	return float64(total) / float64(converged), converged
+}
+
+// iterToAccuracy returns the iteration index at which the trace first
+// reached f.
+func iterToAccuracy(tr eval.Trace, f float64) (int, bool) {
+	for i, v := range tr.F {
+		if v >= f {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func lastSample(tr eval.Trace) int {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	return tr.Samples[len(tr.Samples)-1]
+}

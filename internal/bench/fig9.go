@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/explore-by-example/aide/internal/eval"
+	"github.com/explore-by-example/aide/internal/explore"
+)
+
+func init() {
+	register("fig9a", "accuracy vs samples across database sizes (1 large area)", runFig9a)
+	register("fig9b", "sampled datasets: accuracy delta and time improvement", runFig9b)
+	register("fig9c", "sampled datasets: time improvement vs number of areas", runFig9c)
+}
+
+// dbSizes maps the paper's dataset sizes to scaled row counts: cfg.Rows
+// stands in for 10 GB (3M rows in the paper), 5x for 50 GB, 10x for
+// 100 GB. Scaling is linear in rows exactly as the paper's sizes are.
+func dbSizes(cfg Config) []struct {
+	label string
+	rows  int
+} {
+	return []struct {
+		label string
+		rows  int
+	}{
+		{"10GB", cfg.Rows},
+		{"50GB", cfg.Rows * 5},
+		{"100GB", cfg.Rows * 10},
+	}
+}
+
+// sampleBudgets are the x-axis ticks of Figure 9(a).
+var sampleBudgets = []int{250, 300, 350, 400, 450, 500}
+
+// runFig9a regenerates Figure 9(a): accuracy achieved within given label
+// budgets, per database size. The paper's conclusion — database size does
+// not affect effectiveness — should reproduce exactly.
+func runFig9a(cfg Config) (*Report, error) {
+	sizes := dbSizes(cfg)
+	rep := &Report{Header: []string{"Samples"}}
+	for _, s := range sizes {
+		rep.Header = append(rep.Header, s.label)
+	}
+	traces := make(map[string][]eval.Trace)
+	for _, s := range sizes {
+		v, err := sdssView(s.rows, cfg.Seed, denseAttrs...)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < cfg.Sessions; i++ {
+			tr, err := traceForSize(cfg, v, eval.Large, 1, cfg.Seed+int64(i)+1, 1.0, nil)
+			if err != nil {
+				return nil, err
+			}
+			traces[s.label] = append(traces[s.label], tr)
+			cfg.logf("fig9a %s session %d maxF=%.3f\n", s.label, i+1, tr.MaxF())
+		}
+	}
+	for _, budget := range sampleBudgets {
+		row := []string{fmt.Sprintf("%d", budget)}
+		for _, s := range sizes {
+			var fs []float64
+			for _, tr := range traces[s.label] {
+				fs = append(fs, fAtSamples(tr, budget))
+			}
+			row = append(row, fmtF(mean(fs)))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "paper shape: accuracy at a given sample budget is independent of database size")
+	return rep, nil
+}
+
+// runFig9b regenerates Figure 9(b): exploring a 10% simple random sample
+// instead of the full dataset — the absolute accuracy difference should
+// stay small while system execution time drops by a large factor.
+func runFig9b(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"DB size", "Accuracy delta", "Time improvement"}}
+	for _, s := range dbSizes(cfg) {
+		v, err := sdssView(s.rows, cfg.Seed, denseAttrs...)
+		if err != nil {
+			return nil, err
+		}
+		sampled, err := v.Sampled(0.1, cfg.Seed+99)
+		if err != nil {
+			return nil, err
+		}
+		var accDeltas, fullTimes, sampTimes []float64
+		for i := 0; i < cfg.Sessions; i++ {
+			seed := cfg.Seed + int64(i) + 1
+			target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: 1, Size: eval.Large}, seed)
+			if err != nil {
+				return nil, err
+			}
+			opts := explore.DefaultOptions()
+			opts.Seed = seed
+			full, err := runAIDE(v, v, target, opts, 0, cfg.MaxIter)
+			if err != nil {
+				return nil, err
+			}
+			// Exploration runs on the sampled view; accuracy is still
+			// measured on the full data, as the paper does.
+			samp, err := runAIDE(sampled, v, target, opts, 0, cfg.MaxIter)
+			if err != nil {
+				return nil, err
+			}
+			d := full.trace.MaxF() - samp.trace.MaxF()
+			if d < 0 {
+				d = -d
+			}
+			accDeltas = append(accDeltas, d)
+			fullTimes = append(fullTimes, full.trace.AvgIterSeconds())
+			sampTimes = append(sampTimes, samp.trace.AvgIterSeconds())
+			cfg.logf("fig9b %s session %d: fullF=%.3f sampF=%.3f\n", s.label, i+1, full.trace.MaxF(), samp.trace.MaxF())
+		}
+		improvement := 0.0
+		if ft := mean(fullTimes); ft > 0 {
+			improvement = (ft - mean(sampTimes)) / ft * 100
+		}
+		rep.Rows = append(rep.Rows, []string{
+			s.label,
+			fmt.Sprintf("%.2f%%", mean(accDeltas)*100),
+			fmt.Sprintf("%.0f%%", improvement),
+		})
+	}
+	rep.Notes = append(rep.Notes, "paper shape: <=~7% accuracy delta; larger databases gain more time")
+	return rep, nil
+}
+
+// runFig9c regenerates Figure 9(c): per-iteration time improvement from
+// sampled datasets as query complexity (number of areas) grows.
+func runFig9c(cfg Config) (*Report, error) {
+	rep := &Report{Header: []string{"Areas", "Full (s/iter)", "Sampled (s/iter)", "Improvement"}}
+	v, err := sdssView(cfg.Rows*5, cfg.Seed, denseAttrs...) // the "50GB" point
+	if err != nil {
+		return nil, err
+	}
+	sampled, err := v.Sampled(0.1, cfg.Seed+99)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{1, 3, 5, 7} {
+		var fullTimes, sampTimes []float64
+		for i := 0; i < cfg.Sessions; i++ {
+			seed := cfg.Seed + int64(i) + 1
+			target, err := eval.GenerateTarget(v, eval.TargetSpec{NumAreas: k, Size: eval.Large}, seed)
+			if err != nil {
+				return nil, err
+			}
+			opts := explore.DefaultOptions()
+			opts.Seed = seed
+			full, err := runAIDE(v, v, target, opts, 0.7, cfg.MaxIter)
+			if err != nil {
+				return nil, err
+			}
+			samp, err := runAIDE(sampled, v, target, opts, 0.7, cfg.MaxIter)
+			if err != nil {
+				return nil, err
+			}
+			fullTimes = append(fullTimes, full.trace.AvgIterSeconds())
+			sampTimes = append(sampTimes, samp.trace.AvgIterSeconds())
+		}
+		ft, st := mean(fullTimes), mean(sampTimes)
+		improvement := 0.0
+		if ft > 0 {
+			improvement = (ft - st) / ft * 100
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.4f", ft),
+			fmt.Sprintf("%.4f", st),
+			fmt.Sprintf("%.0f%%", improvement),
+		})
+		cfg.logf("fig9c areas=%d done\n", k)
+	}
+	rep.Notes = append(rep.Notes, "paper shape: sampled datasets cut per-iteration time by a large factor at every complexity")
+	return rep, nil
+}

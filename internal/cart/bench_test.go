@@ -1,0 +1,89 @@
+package cart
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// trainingSet builds n labeled points against a two-area target, the
+// data shape the session trains on.
+func trainingSet(n int, seed int64) ([]geom.Point, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	targets := []geom.Rect{
+		geom.R(20, 28, 30, 38),
+		geom.R(60, 68, 70, 78),
+	}
+	points := make([]geom.Point, n)
+	labels := make([]bool, n)
+	for i := range points {
+		p := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		points[i] = p
+		for _, t := range targets {
+			if t.Contains(p) {
+				labels[i] = true
+			}
+		}
+	}
+	return points, labels
+}
+
+func BenchmarkTrain500(b *testing.B) {
+	points, labels := trainingSet(500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(points, labels, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrain2000(b *testing.B) {
+	points, labels := trainingSet(2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(points, labels, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	points, labels := trainingSet(2000, 1)
+	tree, err := Train(points, labels, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := geom.Point{50, 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(p)
+	}
+}
+
+func BenchmarkRelevantAreas(b *testing.B) {
+	points, labels := trainingSet(2000, 1)
+	tree, err := Train(points, labels, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := geom.NewRect(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.RelevantAreas(bounds)
+	}
+}
+
+func BenchmarkMergeAreas(b *testing.B) {
+	points, labels := trainingSet(2000, 1)
+	tree, err := Train(points, labels, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	areas := tree.RelevantAreas(geom.NewRect(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeAreas(areas)
+	}
+}

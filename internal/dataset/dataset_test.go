@@ -1,0 +1,386 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func smallSchema() Schema {
+	return Schema{
+		{Name: "x", Min: 0, Max: 100},
+		{Name: "y", Min: 0, Max: 10},
+	}
+}
+
+func TestNewTableShapeChecks(t *testing.T) {
+	s := smallSchema()
+	if _, err := NewTable("t", s, [][]float64{{1, 2}}); err == nil {
+		t.Error("column count mismatch should error")
+	}
+	if _, err := NewTable("t", s, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("row count mismatch should error")
+	}
+	tab, err := NewTable("t", s, [][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 || tab.NumCols() != 2 {
+		t.Errorf("shape = %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if tab.Name() != "t" {
+		t.Errorf("Name = %q", tab.Name())
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tab, err := NewTable("t", smallSchema(), [][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Value(1, 0) != 2 || tab.Value(2, 1) != 6 {
+		t.Error("Value wrong")
+	}
+	row := tab.Row(0)
+	if row[0] != 1 || row[1] != 4 {
+		t.Errorf("Row = %v", row)
+	}
+	p := tab.Project(2, []int{1})
+	if len(p) != 1 || p[0] != 6 {
+		t.Errorf("Project = %v", p)
+	}
+	if got := tab.Col(1); got[0] != 4 {
+		t.Errorf("Col = %v", got)
+	}
+}
+
+func TestSchemaIndexAndNames(t *testing.T) {
+	s := smallSchema()
+	if s.Index("y") != 1 {
+		t.Error("Index(y) wrong")
+	}
+	if s.Index("missing") != -1 {
+		t.Error("Index(missing) should be -1")
+	}
+	names := s.Names()
+	if names[0] != "x" || names[1] != "y" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestColumnIndexes(t *testing.T) {
+	tab, _ := NewTable("t", smallSchema(), [][]float64{{1}, {2}})
+	idx, err := tab.ColumnIndexes([]string{"y", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0] != 1 || idx[1] != 0 {
+		t.Errorf("ColumnIndexes = %v", idx)
+	}
+	if _, err := tab.ColumnIndexes([]string{"nope"}); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestNormalizerUsesSchemaDomains(t *testing.T) {
+	tab, _ := NewTable("t", smallSchema(), [][]float64{{50}, {5}})
+	n, err := tab.Normalizer([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := n.ToNorm([]float64{50, 5})
+	if math.Abs(norm[0]-50) > 1e-9 || math.Abs(norm[1]-50) > 1e-9 {
+		t.Errorf("norm = %v", norm)
+	}
+	if _, err := tab.Normalizer([]int{7}); err == nil {
+		t.Error("out-of-range column should error")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	tab, _ := NewTable("t", smallSchema(), [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	sub := tab.Subset("sub", []int{3, 1})
+	if sub.NumRows() != 2 {
+		t.Fatalf("rows = %d", sub.NumRows())
+	}
+	if sub.Value(0, 0) != 4 || sub.Value(1, 1) != 6 {
+		t.Errorf("subset values wrong: %v %v", sub.Value(0, 0), sub.Value(1, 1))
+	}
+	if sub.Name() != "sub" {
+		t.Errorf("Name = %q", sub.Name())
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	tab, _ := NewTable("t", smallSchema(), [][]float64{{1, 2, 3}, {0, 0, 0}})
+	s := tab.ColumnStats(0)
+	if s.Min != 1 || s.Max != 3 || math.Abs(s.Mean-2) > 1e-9 {
+		t.Errorf("Stats = %+v", s)
+	}
+	wantStd := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.Std-wantStd) > 1e-9 {
+		t.Errorf("Std = %v, want %v", s.Std, wantStd)
+	}
+	empty, _ := NewTable("e", smallSchema(), [][]float64{{}, {}})
+	if empty.ColumnStats(0) != (Stats{}) {
+		t.Error("empty stats should be zero")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder("b", smallSchema())
+	b.Add(1, 2)
+	b.Add(3, 4)
+	tab := b.Build()
+	if tab.NumRows() != 2 || tab.Value(1, 1) != 4 {
+		t.Error("builder produced wrong table")
+	}
+}
+
+func TestBuilderPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder("b", smallSchema()).Add(1)
+}
+
+func TestSortedIndex(t *testing.T) {
+	tab, _ := NewTable("t", smallSchema(), [][]float64{{3, 1, 2}, {0, 0, 0}})
+	idx := tab.SortedIndex(0)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("SortedIndex = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestGenerateSDSSDeterministic(t *testing.T) {
+	a := GenerateSDSS(500, 42)
+	b := GenerateSDSS(500, 42)
+	for c := 0; c < a.NumCols(); c++ {
+		for r := 0; r < a.NumRows(); r++ {
+			if a.Value(r, c) != b.Value(r, c) {
+				t.Fatalf("row %d col %d differs between same-seed runs", r, c)
+			}
+		}
+	}
+	c := GenerateSDSS(500, 43)
+	same := true
+	for r := 0; r < a.NumRows() && same; r++ {
+		same = a.Value(r, 0) == c.Value(r, 0)
+	}
+	if same {
+		t.Error("different seeds produced identical rowc column")
+	}
+}
+
+func TestGenerateSDSSDomains(t *testing.T) {
+	tab := GenerateSDSS(2000, 7)
+	for c, col := range tab.Schema() {
+		s := tab.ColumnStats(c)
+		if s.Min < col.Min-1e-9 || s.Max > col.Max+1e-9 {
+			t.Errorf("column %s out of domain: data [%g,%g] domain [%g,%g]",
+				col.Name, s.Min, s.Max, col.Min, col.Max)
+		}
+	}
+}
+
+// rowc/colc should be roughly uniform; dec should be skewed
+// (concentrated). We compare the fraction of mass in the densest decile.
+func TestGenerateSDSSSkewShape(t *testing.T) {
+	tab := GenerateSDSS(20000, 11)
+	frac := func(col int) float64 {
+		idx := tab.Schema()[col]
+		counts := make([]int, 10)
+		data := tab.Col(col)
+		for _, v := range data {
+			b := int((v - idx.Min) / (idx.Max - idx.Min) * 10)
+			if b > 9 {
+				b = 9
+			}
+			if b < 0 {
+				b = 0
+			}
+			counts[b]++
+		}
+		sort.Ints(counts)
+		return float64(counts[9]) / float64(len(data))
+	}
+	if f := frac(0); f > 0.15 {
+		t.Errorf("rowc densest decile fraction %v, want near 0.10 (uniform)", f)
+	}
+	if f := frac(3); f < 0.2 {
+		t.Errorf("dec densest decile fraction %v, want skewed (>0.2)", f)
+	}
+	if f := frac(2); f < 0.15 {
+		t.Errorf("ra densest decile fraction %v, want skewed (>0.15)", f)
+	}
+}
+
+func TestGenerateAuction(t *testing.T) {
+	tab := GenerateAuction(5000, 3)
+	if tab.NumCols() != 7 {
+		t.Fatalf("cols = %d", tab.NumCols())
+	}
+	for c, col := range tab.Schema() {
+		s := tab.ColumnStats(c)
+		if s.Min < col.Min-1e-9 || s.Max > col.Max+1e-9 {
+			t.Errorf("column %s out of domain: [%g,%g] not in [%g,%g]",
+				col.Name, s.Min, s.Max, col.Min, col.Max)
+		}
+	}
+	// price_diff must be consistent: current - initial (when positive).
+	ip := tab.Schema().Index("initial_price")
+	cp := tab.Schema().Index("current_price")
+	pd := tab.Schema().Index("price_diff")
+	for r := 0; r < tab.NumRows(); r++ {
+		want := tab.Value(r, cp) - tab.Value(r, ip)
+		if want < 0 {
+			want = 0
+		}
+		if want > 1500 {
+			want = 1500
+		}
+		if math.Abs(tab.Value(r, pd)-want) > 1e-9 {
+			t.Fatalf("row %d price_diff = %v, want %v", r, tab.Value(r, pd), want)
+		}
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	tab := GenerateUniform(3000, 3, 5)
+	if tab.NumCols() != 3 || tab.NumRows() != 3000 {
+		t.Fatalf("shape = %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if tab.Schema()[2].Name != "a2" {
+		t.Errorf("attr name = %q", tab.Schema()[2].Name)
+	}
+	s := tab.ColumnStats(1)
+	if math.Abs(s.Mean-50) > 3 {
+		t.Errorf("uniform mean = %v, want ~50", s.Mean)
+	}
+}
+
+func TestGenerateClusters(t *testing.T) {
+	specs := []ClusterSpec{
+		{Center: []float64{20, 20}, Std: 3, Weight: 1},
+		{Center: []float64{80, 80}, Std: 3, Weight: 1},
+	}
+	tab := GenerateClusters(10000, 2, specs, 0.1, 9)
+	// Most points should be near one of the centers.
+	near := 0
+	for r := 0; r < tab.NumRows(); r++ {
+		x, y := tab.Value(r, 0), tab.Value(r, 1)
+		if (math.Abs(x-20) < 10 && math.Abs(y-20) < 10) ||
+			(math.Abs(x-80) < 10 && math.Abs(y-80) < 10) {
+			near++
+		}
+	}
+	if f := float64(near) / float64(tab.NumRows()); f < 0.7 {
+		t.Errorf("fraction near centers = %v, want > 0.7", f)
+	}
+}
+
+func TestGenerateClustersBackgroundOnly(t *testing.T) {
+	tab := GenerateClusters(1000, 2, nil, 0, 1)
+	// No specs: totalW == 0 forces the uniform path.
+	s := tab.ColumnStats(0)
+	if math.Abs(s.Mean-50) > 5 {
+		t.Errorf("background-only mean = %v, want ~50", s.Mean)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 10: "10", 123: "123"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: Subset preserves values under any index permutation.
+func TestQuickSubsetPreservesValues(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		tab := GenerateUniform(n, 2, seed)
+		k := 1 + rng.Intn(n)
+		rows := make([]int, k)
+		for i := range rows {
+			rows[i] = rng.Intn(n)
+		}
+		sub := tab.Subset("s", rows)
+		for i, r := range rows {
+			for c := 0; c < 2; c++ {
+				if sub.Value(i, c) != tab.Value(r, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SortedIndex yields non-decreasing values and is a permutation.
+func TestQuickSortedIndex(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		tab := GenerateUniform(n, 1, seed)
+		idx := tab.SortedIndex(0)
+		if len(idx) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		prev := math.Inf(-1)
+		for _, r := range idx {
+			if r < 0 || r >= n || seen[r] {
+				return false
+			}
+			seen[r] = true
+			v := tab.Value(r, 0)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	tab, _ := NewTable("t", smallSchema(), [][]float64{{0, 25, 50, 75, 100}, {0, 0, 0, 0, 0}})
+	h := tab.Histogram(0, 4)
+	want := []int{1, 1, 1, 2} // 100 clamps into the last bin
+	if len(h) != 4 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, h[i], want[i])
+		}
+	}
+	if got := tab.Histogram(0, 0); got != nil {
+		t.Error("bins<=0 should return nil")
+	}
+}
+
+func TestHistogramConstantColumn(t *testing.T) {
+	tab, _ := NewTable("t", Schema{{Name: "c", Min: 5, Max: 5}}, [][]float64{{5, 5, 5}})
+	h := tab.Histogram(0, 3)
+	if h[0] != 3 {
+		t.Errorf("constant column histogram = %v", h)
+	}
+}

@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV reader: it must never
+// panic, and any table it accepts must survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("a\n")
+	f.Add("")
+	f.Add("a,b\n1\n")
+	f.Add("x, y \n 1 , 2 \n3,4\n")
+	f.Add("a,b\n1e309,2\n")
+	f.Add("a,b\nNaN,Inf\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tab, err := ReadCSV(strings.NewReader(data), "fuzz", nil)
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted table failed to write: %v", err)
+		}
+		again, err := ReadCSV(strings.NewReader(buf.String()), "fuzz", nil)
+		if err != nil {
+			t.Fatalf("rendering of accepted table rejected: %v", err)
+		}
+		if again.NumRows() != tab.NumRows() || again.NumCols() != tab.NumCols() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				again.NumRows(), again.NumCols(), tab.NumRows(), tab.NumCols())
+		}
+	})
+}
+
+// FuzzReadBinary must reject arbitrary bytes without panicking.
+func FuzzReadBinary(f *testing.F) {
+	f.Add([]byte("AIDEtbl1"))
+	f.Add([]byte(""))
+	f.Add([]byte("AIDEtbl1\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := ReadBinary(strings.NewReader(string(data)))
+		if err == nil && tab == nil {
+			t.Fatal("nil table with nil error")
+		}
+	})
+}

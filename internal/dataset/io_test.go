@@ -1,0 +1,135 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := GenerateUniform(100, 3, 1)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "uniform", orig.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != orig.NumRows() || got.NumCols() != orig.NumCols() {
+		t.Fatalf("shape = %dx%d", got.NumRows(), got.NumCols())
+	}
+	for r := 0; r < orig.NumRows(); r++ {
+		for c := 0; c < orig.NumCols(); c++ {
+			if got.Value(r, c) != orig.Value(r, c) {
+				t.Fatalf("value (%d,%d) = %v, want %v", r, c, got.Value(r, c), orig.Value(r, c))
+			}
+		}
+	}
+	// Declared schema domains survive the round trip.
+	if got.Schema()[0] != orig.Schema()[0] {
+		t.Errorf("schema changed: %+v vs %+v", got.Schema()[0], orig.Schema()[0])
+	}
+}
+
+func TestReadCSVDerivedSchema(t *testing.T) {
+	in := "price, bids\n10,3\n50,7\n30,5\n"
+	tab, err := ReadCSV(strings.NewReader(in), "items", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.Schema()
+	if s[0].Name != "price" || s[0].Min != 10 || s[0].Max != 50 {
+		t.Errorf("derived schema = %+v", s[0])
+	}
+	if s[1].Name != "bids" || s[1].Min != 3 || s[1].Max != 7 {
+		t.Errorf("derived schema = %+v", s[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "t", nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,x\n"), "t", nil); err == nil {
+		t.Error("non-numeric cell should error")
+	}
+	// Schema mismatches.
+	sch := Schema{{Name: "a", Min: 0, Max: 1}}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), "t", sch); err == nil {
+		t.Error("column count mismatch should error")
+	}
+	sch = Schema{{Name: "x", Min: 0, Max: 1}, {Name: "b", Min: 0, Max: 1}}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), "t", sch); err == nil {
+		t.Error("column name mismatch should error")
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader("a,b\n"), "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 0 {
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := GenerateSDSS(500, 3)
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != orig.Name() {
+		t.Errorf("name = %q", got.Name())
+	}
+	if got.NumRows() != orig.NumRows() {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	for r := 0; r < orig.NumRows(); r += 37 {
+		for c := 0; c < orig.NumCols(); c++ {
+			if got.Value(r, c) != orig.Value(r, c) {
+				t.Fatalf("value (%d,%d) differs", r, c)
+			}
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a table")); err == nil {
+		t.Error("garbage should be rejected")
+	}
+	if _, err := ReadBinary(strings.NewReader("AIDE")); err == nil {
+		t.Error("truncated magic should be rejected")
+	}
+	if _, err := ReadBinary(strings.NewReader("AIDEtbl1garbagegarbage")); err == nil {
+		t.Error("bad gob payload should be rejected")
+	}
+}
+
+func TestCSVPrecision(t *testing.T) {
+	// Full float64 precision survives 'g'/-1 formatting.
+	sch := Schema{{Name: "v", Min: 0, Max: 1}}
+	b := NewBuilder("t", sch)
+	b.Add(0.1234567890123456789)
+	b.Add(1e-300)
+	tab := b.Build()
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "t", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tab.NumRows(); r++ {
+		if got.Value(r, 0) != tab.Value(r, 0) {
+			t.Errorf("row %d: %v != %v", r, got.Value(r, 0), tab.Value(r, 0))
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Micro-benchmarks for the engine primitives behind AIDE's
+// sample-extraction queries. These quantify the substrate costs the
+// paper attributes to MySQL: region counting, region sampling, and
+// whole-domain boundary-slab sampling (the expensive case of §5.2).
+
+func benchView(b *testing.B, rows int) *View {
+	b.Helper()
+	tab := dataset.GenerateSDSS(rows, 1)
+	v, err := NewView(tab, []string{"rowc", "colc"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+func BenchmarkViewBuild100k(b *testing.B) {
+	tab := dataset.GenerateSDSS(100_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewView(tab, []string{"rowc", "colc"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountSmallRect(b *testing.B) {
+	v := benchView(b, 100_000)
+	rect := geom.R(40, 48, 40, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Count(rect)
+	}
+}
+
+func BenchmarkSampleRectSmall(b *testing.B) {
+	v := benchView(b, 100_000)
+	rect := geom.R(40, 48, 40, 48)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.SampleRect(rect, 10, rng)
+	}
+}
+
+// BenchmarkSampleBoundarySlab samples a face slab spanning the whole
+// domain in one dimension — the query shape of boundary exploitation
+// with whole-domain sampling, the paper's most expensive extraction.
+func BenchmarkSampleBoundarySlab(b *testing.B) {
+	v := benchView(b, 100_000)
+	slab := geom.R(0, 100, 49, 51)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.SampleRect(slab, 5, rng)
+	}
+}
+
+func BenchmarkSampleAll(b *testing.B) {
+	v := benchView(b, 100_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.SampleAll(20, rng)
+	}
+}
+
+func BenchmarkQueryExecute(b *testing.B) {
+	v := benchView(b, 100_000)
+	q := Query{
+		Table: "PhotoObjAll",
+		Attrs: []string{"rowc", "colc"},
+		Areas: []geom.Rect{
+			{{Lo: 100, Hi: 300}, {Lo: 100, Hi: 400}},
+			{{Lo: 900, Hi: 1100}, {Lo: 1500, Hi: 1800}},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Execute(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampledViewBuild(b *testing.B) {
+	v := benchView(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Sampled(0.1, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package engine is AIDE's database substrate. The paper runs on MySQL
+// with a covering index over the exploration attributes; this package
+// provides the equivalent capability in-process: an exploration View over
+// a table with (a) per-attribute sorted indexes, (b) a multi-dimensional
+// grid index over the normalized exploration space, (c) uniform random
+// sampling restricted to arbitrary hyper-rectangles (the paper's "sample
+// extraction queries"), and (d) simple-random-sample datasets
+// (Section 5.2's sampled-dataset optimization).
+//
+// All region arguments are in the normalized [0,100] space of geom; the
+// View owns the normalizer that maps raw attribute values there.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"sync/atomic"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Stats counts the work the engine performs on behalf of an exploration
+// session. Counters are cumulative and safe for concurrent update.
+type Stats struct {
+	// Queries is the number of sample-extraction and evaluation queries
+	// executed.
+	Queries atomic.Int64
+	// RowsExamined is the number of candidate rows the engine touched
+	// (index entries scanned plus verification probes).
+	RowsExamined atomic.Int64
+}
+
+// Snapshot returns a plain copy of the counters.
+func (s *Stats) Snapshot() (queries, rowsExamined int64) {
+	return s.Queries.Load(), s.RowsExamined.Load()
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	s.Queries.Store(0)
+	s.RowsExamined.Store(0)
+}
+
+// View is an indexed projection of a table onto d exploration attributes.
+// It is immutable after construction and safe for concurrent readers.
+type View struct {
+	tab    *dataset.Table
+	cols   []int // table column indexes of the exploration attributes
+	norm   *geom.Normalizer
+	ncols  [][]float64 // normalized column values, one slice per dimension
+	grid   *gridIndex
+	sorted [][]int32 // per-dimension row ids in ascending value order
+	stats  *Stats
+}
+
+// NewView builds a View over the named exploration attributes, creating
+// the covering index (normalized columns + grid index).
+func NewView(tab *dataset.Table, attrs []string) (*View, error) {
+	cols, err := tab.ColumnIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: view needs at least one attribute")
+	}
+	norm, err := tab.Normalizer(cols)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{tab: tab, cols: cols, norm: norm, stats: &Stats{}}
+	v.ncols = make([][]float64, len(cols))
+	for i, c := range cols {
+		src := tab.Col(c)
+		nc := make([]float64, len(src))
+		for r, raw := range src {
+			nc[r] = norm.ToNormValue(i, raw)
+		}
+		v.ncols[i] = nc
+	}
+	v.grid = buildGridIndex(v.ncols, tab.NumRows())
+	v.sorted = make([][]int32, len(cols))
+	for i := range v.ncols {
+		v.sorted[i] = sortedIndex(v.ncols[i])
+	}
+	return v, nil
+}
+
+// sortedIndex returns row ids ordered by ascending value: one column of
+// the covering index. Range lookups on a single attribute binary-search
+// this instead of walking grid cells.
+func sortedIndex(vals []float64) []int32 {
+	idx := make([]int32, len(vals))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		va, vb := vals[a], vals[b]
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return idx
+}
+
+// sortedRange returns the half-open [lo, hi) positions in sorted[dim]
+// whose values fall inside iv.
+func (v *View) sortedRange(dim int, iv geom.Interval) (int, int) {
+	idx := v.sorted[dim]
+	vals := v.ncols[dim]
+	lo, _ := slices.BinarySearchFunc(idx, iv.Lo, func(r int32, t float64) int {
+		switch {
+		case vals[r] < t:
+			return -1
+		case vals[r] > t:
+			return 1
+		default:
+			return 0
+		}
+	})
+	// Advance lo past equal-to-Lo collisions resolved leftward by the
+	// search; BinarySearchFunc returns the first match position already.
+	hi := lo
+	for hi < len(idx) && vals[idx[hi]] <= iv.Hi {
+		hi++
+	}
+	// The linear advance above is O(matches); for the narrow boundary
+	// slabs this fast path serves, matches are few relative to the table.
+	return lo, hi
+}
+
+// singleConstrainedDim reports the only dimension of rect narrower than
+// the full domain, or -1 when zero or several dimensions are constrained.
+func (v *View) singleConstrainedDim(rect geom.Rect) int {
+	dim := -1
+	for i := range rect {
+		if rect[i].Lo <= geom.NormMin && rect[i].Hi >= geom.NormMax {
+			continue
+		}
+		if dim >= 0 {
+			return -1
+		}
+		dim = i
+	}
+	return dim
+}
+
+// Table returns the underlying table.
+func (v *View) Table() *dataset.Table { return v.tab }
+
+// Attrs returns the exploration attribute names in order.
+func (v *View) Attrs() []string {
+	out := make([]string, len(v.cols))
+	for i, c := range v.cols {
+		out[i] = v.tab.Schema()[c].Name
+	}
+	return out
+}
+
+// Dims returns the dimensionality of the exploration space.
+func (v *View) Dims() int { return len(v.cols) }
+
+// NumRows returns the number of rows visible through the view.
+func (v *View) NumRows() int { return v.tab.NumRows() }
+
+// Normalizer returns the raw<->normalized mapping for the view's
+// attributes.
+func (v *View) Normalizer() *geom.Normalizer { return v.norm }
+
+// Stats returns the engine counters for this view.
+func (v *View) Stats() *Stats { return v.stats }
+
+// NormPoint returns row's exploration attributes in normalized space.
+func (v *View) NormPoint(row int) geom.Point {
+	p := make(geom.Point, len(v.ncols))
+	for i := range v.ncols {
+		p[i] = v.ncols[i][row]
+	}
+	return p
+}
+
+// RawPoint returns row's exploration attributes in raw space.
+func (v *View) RawPoint(row int) geom.Point {
+	return v.tab.Project(row, v.cols)
+}
+
+// FullRow returns the entire row (all table columns), the tuple a user
+// would review.
+func (v *View) FullRow(row int) geom.Point { return v.tab.Row(row) }
+
+// Contains reports whether the row's normalized point lies in rect.
+func (v *View) Contains(rect geom.Rect, row int) bool {
+	for i := range v.ncols {
+		if val := v.ncols[i][row]; val < rect[i].Lo || val > rect[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesAny reports whether the row lies in any of the rects.
+func (v *View) MatchesAny(rects []geom.Rect, row int) bool {
+	for _, r := range rects {
+		if v.Contains(r, row) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of rows inside rect (normalized space).
+func (v *View) Count(rect geom.Rect) int {
+	v.stats.Queries.Add(1)
+	n := 0
+	v.scanRect(rect, func(int) bool { n++; return true })
+	return n
+}
+
+// RowsIn returns all row ids inside rect (normalized space), in
+// unspecified order.
+func (v *View) RowsIn(rect geom.Rect) []int {
+	v.stats.Queries.Add(1)
+	var out []int
+	v.scanRect(rect, func(r int) bool { out = append(out, r); return true })
+	return out
+}
+
+// scanRect visits every row inside rect via the grid index, invoking fn
+// for each; fn returning false stops the scan. Rows of cells fully
+// contained in rect are emitted without per-row verification.
+func (v *View) scanRect(rect geom.Rect, fn func(row int) bool) {
+	examined := int64(0)
+	defer func() { v.stats.RowsExamined.Add(examined) }()
+	v.grid.visitCells(rect, func(rows []int32, full bool) bool {
+		examined += int64(len(rows))
+		for _, r := range rows {
+			if full || v.Contains(rect, int(r)) {
+				if !fn(int(r)) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// Sampled returns a new View over a simple random sample of the
+// underlying table (each row kept independently is approximated by a
+// fixed-size SRS of round(fraction*n) rows), per Section 5.2. Attribute
+// domains — and therefore the normalized space — are preserved.
+func (v *View) Sampled(fraction float64, seed int64) (*View, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("engine: sample fraction %v out of (0,1]", fraction)
+	}
+	n := v.tab.NumRows()
+	k := int(math.Round(fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := rng.Perm(n)[:k]
+	sub := v.tab.Subset(v.tab.Name()+"_sample", rows)
+	return NewView(sub, v.Attrs())
+}
+
+// gridIndex partitions the normalized space into cellsPerDim^d equal
+// cells and stores the row ids of each cell. It answers "which rows can
+// fall inside this rectangle" with work proportional to the boundary
+// shell of the rectangle.
+type gridIndex struct {
+	dims        int
+	cellsPerDim int
+	cellWidth   float64
+	cells       [][]int32 // flat row-major cell -> row ids
+}
+
+// buildGridIndex picks a resolution so the average cell holds a modest
+// number of rows without exploding the cell count in high dimensions.
+func buildGridIndex(ncols [][]float64, rows int) *gridIndex {
+	d := len(ncols)
+	// Target ~64 rows per cell, capped to keep memory bounded.
+	target := float64(rows) / 64
+	if target < 1 {
+		target = 1
+	}
+	per := int(math.Ceil(math.Pow(target, 1/float64(d))))
+	maxPer := []int{0, 4096, 512, 64, 24, 12, 8, 6, 5}
+	capPer := 5
+	if d < len(maxPer) {
+		capPer = maxPer[d]
+	}
+	if per > capPer {
+		per = capPer
+	}
+	if per < 2 {
+		per = 2
+	}
+	g := &gridIndex{
+		dims:        d,
+		cellsPerDim: per,
+		cellWidth:   (geom.NormMax - geom.NormMin) / float64(per),
+	}
+	total := 1
+	for i := 0; i < d; i++ {
+		total *= per
+	}
+	g.cells = make([][]int32, total)
+	for r := 0; r < rows; r++ {
+		id := g.cellOf(ncols, r)
+		g.cells[id] = append(g.cells[id], int32(r))
+	}
+	return g
+}
+
+// cellOf returns the flat cell id of row r.
+func (g *gridIndex) cellOf(ncols [][]float64, r int) int {
+	id := 0
+	for i := 0; i < g.dims; i++ {
+		c := int((ncols[i][r] - geom.NormMin) / g.cellWidth)
+		if c >= g.cellsPerDim {
+			c = g.cellsPerDim - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		id = id*g.cellsPerDim + c
+	}
+	return id
+}
+
+// cellRange returns the [lo,hi] cell coordinates overlapping interval iv
+// along one dimension, and whether the overlap is non-empty.
+func (g *gridIndex) cellRange(iv geom.Interval) (int, int, bool) {
+	if iv.Hi < geom.NormMin || iv.Lo > geom.NormMax || iv.Lo > iv.Hi {
+		return 0, 0, false
+	}
+	lo := int(math.Floor((math.Max(iv.Lo, geom.NormMin) - geom.NormMin) / g.cellWidth))
+	hi := int(math.Floor((math.Min(iv.Hi, geom.NormMax) - geom.NormMin) / g.cellWidth))
+	if lo >= g.cellsPerDim {
+		lo = g.cellsPerDim - 1
+	}
+	if hi >= g.cellsPerDim {
+		hi = g.cellsPerDim - 1
+	}
+	return lo, hi, true
+}
+
+// visitCells invokes fn for every cell overlapping rect. full is true when
+// the cell lies entirely inside rect, so its rows need no verification.
+// fn returning false stops the visit.
+func (g *gridIndex) visitCells(rect geom.Rect, fn func(rows []int32, full bool) bool) {
+	lo := make([]int, g.dims)
+	hi := make([]int, g.dims)
+	for i := 0; i < g.dims; i++ {
+		l, h, ok := g.cellRange(rect[i])
+		if !ok {
+			return
+		}
+		lo[i], hi[i] = l, h
+	}
+	coord := make([]int, g.dims)
+	copy(coord, lo)
+	for {
+		id := 0
+		full := true
+		for i := 0; i < g.dims; i++ {
+			id = id*g.cellsPerDim + coord[i]
+			cellLo := geom.NormMin + float64(coord[i])*g.cellWidth
+			cellHi := cellLo + g.cellWidth
+			if cellLo < rect[i].Lo || cellHi > rect[i].Hi {
+				full = false
+			}
+		}
+		if rows := g.cells[id]; len(rows) > 0 {
+			if !fn(rows, full) {
+				return
+			}
+		}
+		// Advance odometer.
+		i := g.dims - 1
+		for ; i >= 0; i-- {
+			coord[i]++
+			if coord[i] <= hi[i] {
+				break
+			}
+			coord[i] = lo[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

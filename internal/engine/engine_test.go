@@ -1,0 +1,543 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// gridTable builds a 10x10 lattice table with values 0..9 in each of two
+// columns, 100 rows total, domains [0,9].
+func gridTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	schema := dataset.Schema{
+		{Name: "x", Min: 0, Max: 9},
+		{Name: "y", Min: 0, Max: 9},
+	}
+	b := dataset.NewBuilder("lattice", schema)
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			b.Add(float64(x), float64(y))
+		}
+	}
+	return b.Build()
+}
+
+func latticeView(t *testing.T) *View {
+	t.Helper()
+	v, err := NewView(gridTable(t), []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewViewErrors(t *testing.T) {
+	tab := gridTable(t)
+	if _, err := NewView(tab, []string{"z"}); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	if _, err := NewView(tab, nil); err == nil {
+		t.Error("empty attribute list should error")
+	}
+}
+
+func TestViewBasics(t *testing.T) {
+	v := latticeView(t)
+	if v.Dims() != 2 || v.NumRows() != 100 {
+		t.Fatalf("dims=%d rows=%d", v.Dims(), v.NumRows())
+	}
+	attrs := v.Attrs()
+	if attrs[0] != "x" || attrs[1] != "y" {
+		t.Errorf("Attrs = %v", attrs)
+	}
+	// Row 0 is (0,0): normalized (0,0). Row 99 is (9,9): normalized (100,100).
+	p := v.NormPoint(0)
+	if p[0] != 0 || p[1] != 0 {
+		t.Errorf("NormPoint(0) = %v", p)
+	}
+	p = v.NormPoint(99)
+	if math.Abs(p[0]-100) > 1e-9 || math.Abs(p[1]-100) > 1e-9 {
+		t.Errorf("NormPoint(99) = %v", p)
+	}
+	raw := v.RawPoint(99)
+	if raw[0] != 9 || raw[1] != 9 {
+		t.Errorf("RawPoint(99) = %v", raw)
+	}
+	if got := v.FullRow(99); got[0] != 9 || got[1] != 9 {
+		t.Errorf("FullRow = %v", got)
+	}
+}
+
+func TestCountAndRowsIn(t *testing.T) {
+	v := latticeView(t)
+	// Normalized rect [0,50]x[0,50] covers raw x,y in [0,4.5]: 5x5 = 25 rows.
+	rect := geom.R(0, 50, 0, 50)
+	if got := v.Count(rect); got != 25 {
+		t.Errorf("Count = %d, want 25", got)
+	}
+	rows := v.RowsIn(rect)
+	if len(rows) != 25 {
+		t.Fatalf("RowsIn returned %d rows", len(rows))
+	}
+	for _, r := range rows {
+		p := v.RawPoint(r)
+		if p[0] > 4.5 || p[1] > 4.5 {
+			t.Errorf("row %d = %v outside rect", r, p)
+		}
+	}
+}
+
+func TestCountFullDomain(t *testing.T) {
+	v := latticeView(t)
+	if got := v.Count(geom.NewRect(2)); got != 100 {
+		t.Errorf("full-domain Count = %d, want 100", got)
+	}
+}
+
+func TestCountEmptyRegion(t *testing.T) {
+	v := latticeView(t)
+	// Between lattice points: raw (0.3, 0.3) +- tiny.
+	rect := geom.R(2, 3, 2, 3)
+	if got := v.Count(rect); got != 0 {
+		t.Errorf("Count = %d, want 0", got)
+	}
+}
+
+func TestSampleRectUniformAndExact(t *testing.T) {
+	v := latticeView(t)
+	rng := rand.New(rand.NewSource(1))
+	rect := geom.R(0, 50, 0, 50) // 25 matching rows
+	got := v.SampleRect(rect, 10, rng)
+	if len(got) != 10 {
+		t.Fatalf("got %d rows, want 10", len(got))
+	}
+	seen := map[int]bool{}
+	for _, r := range got {
+		if seen[r] {
+			t.Error("duplicate row in sample")
+		}
+		seen[r] = true
+		if !v.Contains(rect, r) {
+			t.Errorf("sampled row %d outside rect", r)
+		}
+	}
+	// Requesting more than available returns all matching rows.
+	all := v.SampleRect(rect, 1000, rng)
+	if len(all) != 25 {
+		t.Errorf("oversample returned %d rows, want 25", len(all))
+	}
+}
+
+func TestSampleRectEmpty(t *testing.T) {
+	v := latticeView(t)
+	rng := rand.New(rand.NewSource(1))
+	if got := v.SampleRect(geom.R(2, 3, 2, 3), 5, rng); got != nil {
+		t.Errorf("empty region sample = %v", got)
+	}
+	if got := v.SampleRect(geom.NewRect(2), 0, rng); got != nil {
+		t.Errorf("n=0 sample = %v", got)
+	}
+}
+
+func TestSampleRectCoverage(t *testing.T) {
+	// Over many draws of size 1, every matching row should appear:
+	// sampling is uniform over rows, not cells.
+	v := latticeView(t)
+	rng := rand.New(rand.NewSource(7))
+	rect := geom.R(0, 30, 0, 30) // raw [0,2.7]^2 -> 9 rows
+	counts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		rows := v.SampleRect(rect, 1, rng)
+		if len(rows) != 1 {
+			t.Fatal("expected one row")
+		}
+		counts[rows[0]]++
+	}
+	if len(counts) != 9 {
+		t.Fatalf("distinct rows sampled = %d, want 9", len(counts))
+	}
+	for r, c := range counts {
+		if c < 100 {
+			t.Errorf("row %d sampled only %d/2000 times; sampling biased", r, c)
+		}
+	}
+}
+
+func TestSampleAll(t *testing.T) {
+	v := latticeView(t)
+	rng := rand.New(rand.NewSource(3))
+	got := v.SampleAll(20, rng)
+	if len(got) != 20 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, r := range got {
+		if seen[r] {
+			t.Error("duplicate")
+		}
+		seen[r] = true
+	}
+	if got := v.SampleAll(500, rng); len(got) != 100 {
+		t.Errorf("oversample len = %d, want 100", len(got))
+	}
+	if got := v.SampleAll(0, rng); got != nil {
+		t.Errorf("n=0 = %v", got)
+	}
+}
+
+func TestSampleNearAndOneNearCenter(t *testing.T) {
+	v := latticeView(t)
+	rng := rand.New(rand.NewSource(5))
+	// Center at normalized (50,50); radius 10 covers raw [3.6,5.4]^2 -> rows x,y in {4,5}.
+	rows := v.SampleNear(geom.Point{50, 50}, 10, 100, rng)
+	if len(rows) != 4 {
+		t.Errorf("SampleNear found %d rows, want 4", len(rows))
+	}
+	r := v.SampleOneNearCenter(geom.Point{50, 50}, 10, rng)
+	if r < 0 {
+		t.Error("SampleOneNearCenter found nothing")
+	}
+	r = v.SampleOneNearCenter(geom.Point{25, 25}, 1, rng)
+	if r != -1 {
+		t.Errorf("expected -1 in empty area, got %d", r)
+	}
+}
+
+func TestDensityIn(t *testing.T) {
+	v := latticeView(t)
+	got := v.DensityIn(geom.R(0, 50, 0, 50))
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("DensityIn = %v, want 0.25", got)
+	}
+}
+
+func TestSampledView(t *testing.T) {
+	v := latticeView(t)
+	s, err := v.Sampled(0.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 20 {
+		t.Errorf("sampled rows = %d, want 20", s.NumRows())
+	}
+	// Normalized space is preserved: domains come from the schema.
+	if s.Normalizer().Dims() != 2 {
+		t.Error("normalizer dims wrong")
+	}
+	if _, err := v.Sampled(0, 1); err == nil {
+		t.Error("fraction 0 should error")
+	}
+	if _, err := v.Sampled(1.5, 1); err == nil {
+		t.Error("fraction >1 should error")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	v := latticeView(t)
+	v.Stats().Reset()
+	rng := rand.New(rand.NewSource(1))
+	v.Count(geom.NewRect(2))
+	v.SampleRect(geom.R(0, 50, 0, 50), 3, rng)
+	q, _ := v.Stats().Snapshot()
+	if q != 2 {
+		t.Errorf("queries = %d, want 2", q)
+	}
+	v.Stats().Reset()
+	q, rows := v.Stats().Snapshot()
+	if q != 0 || rows != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestQuerySQL(t *testing.T) {
+	q := Query{
+		Table: "trials",
+		Attrs: []string{"age", "dosage"},
+		Areas: []geom.Rect{
+			geom.R(0, 20, 10, 15),
+			geom.R(20, 40, 0, 10),
+		},
+	}
+	want := "SELECT * FROM trials WHERE (age >= 0 AND age <= 20 AND dosage >= 10 AND dosage <= 15) OR (age >= 20 AND age <= 40 AND dosage >= 0 AND dosage <= 10);"
+	if got := q.SQL(); got != want {
+		t.Errorf("SQL() = %q, want %q", got, want)
+	}
+}
+
+func TestQuerySQLEmpty(t *testing.T) {
+	q := Query{Table: "t", Attrs: []string{"x"}}
+	if got := q.SQL(); got != "SELECT * FROM t WHERE FALSE;" {
+		t.Errorf("SQL() = %q", got)
+	}
+}
+
+func TestQueryMatches(t *testing.T) {
+	q := Query{
+		Attrs: []string{"x", "y"},
+		Areas: []geom.Rect{geom.R(0, 1, 0, 1), geom.R(5, 6, 5, 6)},
+	}
+	if !q.Matches(geom.Point{0.5, 0.5}) || !q.Matches(geom.Point{5.5, 5.5}) {
+		t.Error("point in area should match")
+	}
+	if q.Matches(geom.Point{3, 3}) {
+		t.Error("point outside areas should not match")
+	}
+	if q.NumAreas() != 2 {
+		t.Error("NumAreas wrong")
+	}
+}
+
+func TestQueryExecute(t *testing.T) {
+	v := latticeView(t)
+	q := Query{
+		Table: "lattice",
+		Attrs: []string{"x", "y"},
+		Areas: []geom.Rect{
+			geom.R(0, 1, 0, 1),   // 4 rows
+			geom.R(1, 2, 1, 2),   // 4 rows, 1 shared with above
+			geom.R(20, 10, 0, 1), // empty (inverted)
+		},
+	}
+	rows, err := q.Execute(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Errorf("Execute returned %d rows, want 7 (dedup overlap)", len(rows))
+	}
+	sel, err := q.Selectivity(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sel-0.07) > 1e-9 {
+		t.Errorf("Selectivity = %v, want 0.07", sel)
+	}
+}
+
+func TestQueryExecuteChecksView(t *testing.T) {
+	v := latticeView(t)
+	q := Query{Table: "lattice", Attrs: []string{"x"}, Areas: []geom.Rect{geom.R(0, 1)}}
+	if _, err := q.Execute(v); err == nil {
+		t.Error("attr count mismatch should error")
+	}
+	q = Query{Table: "lattice", Attrs: []string{"y", "x"}, Areas: []geom.Rect{geom.R(0, 1, 0, 1)}}
+	if _, err := q.Execute(v); err == nil {
+		t.Error("attr order mismatch should error")
+	}
+	q = Query{Table: "lattice", Attrs: []string{"x", "y"}, Areas: []geom.Rect{geom.R(0, 1)}}
+	if _, err := q.Execute(v); err == nil {
+		t.Error("area dim mismatch should error")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		-2.25:   "-2.25",
+		10:      "10",
+		3.14159: "3.14159",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGridIndexHighDim(t *testing.T) {
+	// 5-D view exercises the capped cells-per-dim path.
+	tab := dataset.GenerateUniform(5000, 5, 11)
+	v, err := NewView(tab, tab.Schema().Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect := geom.R(0, 50, 0, 50, 0, 50, 0, 50, 0, 50)
+	count := v.Count(rect)
+	// Expected ~ 5000 / 32 = 156.
+	if count < 80 || count > 260 {
+		t.Errorf("5-D octant count = %d, want ~156", count)
+	}
+	rng := rand.New(rand.NewSource(2))
+	rows := v.SampleRect(rect, 10, rng)
+	for _, r := range rows {
+		if !v.Contains(rect, r) {
+			t.Error("sample outside rect")
+		}
+	}
+}
+
+// Property: Count(rect) equals a brute-force scan for random rects.
+func TestQuickCountMatchesBruteForce(t *testing.T) {
+	tab := dataset.GenerateUniform(2000, 2, 21)
+	v, err := NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rect := make(geom.Rect, 2)
+		for i := range rect {
+			a := rng.Float64() * 100
+			b := rng.Float64() * 100
+			if a > b {
+				a, b = b, a
+			}
+			rect[i] = geom.Interval{Lo: a, Hi: b}
+		}
+		want := 0
+		for r := 0; r < v.NumRows(); r++ {
+			if rect.Contains(v.NormPoint(r)) {
+				want++
+			}
+		}
+		return v.Count(rect) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all sampled rows satisfy the rect, and sample sizes are
+// min(n, matching).
+func TestQuickSampleRectContract(t *testing.T) {
+	tab := dataset.GenerateUniform(1000, 3, 31)
+	v, err := NewView(tab, []string{"a0", "a1", "a2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rect := make(geom.Rect, 3)
+		for i := range rect {
+			a := rng.Float64() * 100
+			w := rng.Float64() * 50
+			rect[i] = geom.Interval{Lo: a, Hi: math.Min(a+w, 100)}
+		}
+		n := 1 + rng.Intn(30)
+		rows := v.SampleRect(rect, n, rng)
+		matching := v.Count(rect)
+		wantLen := n
+		if matching < n {
+			wantLen = matching
+		}
+		if len(rows) != wantLen {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, r := range rows {
+			if seen[r] || !v.Contains(rect, r) {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuerySQLDomainsEliminateUnconstrained(t *testing.T) {
+	q := Query{
+		Table:   "t",
+		Attrs:   []string{"x", "y"},
+		Areas:   []geom.Rect{geom.R(10, 20, 0, 9)},
+		Domains: geom.R(0, 9, 0, 9),
+	}
+	// y spans its whole domain [0,9]: it must vanish from the SQL.
+	want := "SELECT * FROM t WHERE (x >= 10 AND x <= 20);"
+	if got := q.SQL(); got != want {
+		t.Errorf("SQL = %q, want %q", got, want)
+	}
+	// All attributes unconstrained renders TRUE.
+	q.Areas = []geom.Rect{geom.R(0, 9, 0, 9)}
+	want = "SELECT * FROM t WHERE (TRUE);"
+	if got := q.SQL(); got != want {
+		t.Errorf("SQL = %q, want %q", got, want)
+	}
+}
+
+func TestQuerySQLWithoutDomainsKeepsAll(t *testing.T) {
+	q := Query{
+		Table: "t",
+		Attrs: []string{"x"},
+		Areas: []geom.Rect{geom.R(0, 9)},
+	}
+	want := "SELECT * FROM t WHERE (x >= 0 AND x <= 9);"
+	if got := q.SQL(); got != want {
+		t.Errorf("SQL = %q, want %q", got, want)
+	}
+}
+
+// Property: the sorted-index fast path (rect constrained in exactly one
+// dimension) agrees with a brute-force scan.
+func TestQuickSingleDimFastPath(t *testing.T) {
+	tab := dataset.GenerateSDSS(3000, 41)
+	v, err := NewView(tab, []string{"rowc", "colc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := rng.Intn(2)
+		lo := rng.Float64() * 95
+		slab := geom.NewRect(2)
+		slab[dim] = geom.Interval{Lo: lo, Hi: lo + rng.Float64()*10}
+		want := 0
+		for r := 0; r < v.NumRows(); r++ {
+			if slab.Contains(v.NormPoint(r)) {
+				want++
+			}
+		}
+		n := 1 + rng.Intn(25)
+		rows := v.SampleRect(slab, n, rng)
+		wantLen := n
+		if want < n {
+			wantLen = want
+		}
+		if len(rows) != wantLen {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, r := range rows {
+			if seen[r] || !slab.Contains(v.NormPoint(r)) {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The fast path is uniform over matching rows, like the grid path.
+func TestSingleDimFastPathUniform(t *testing.T) {
+	v := latticeView(t) // 10x10 lattice
+	rng := rand.New(rand.NewSource(9))
+	// Slab over x in [0, 30]: raw x in {0,1,2} -> 30 rows.
+	slab := geom.R(0, 30, 0, 100)
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		rows := v.SampleRect(slab, 1, rng)
+		if len(rows) != 1 {
+			t.Fatal("want one row")
+		}
+		counts[rows[0]]++
+	}
+	if len(counts) != 30 {
+		t.Fatalf("distinct rows = %d, want 30", len(counts))
+	}
+	for r, c := range counts {
+		if c < 40 {
+			t.Errorf("row %d sampled %d/3000 times; biased", r, c)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// FuzzParseQuery drives the hand-rolled SQL parser with arbitrary input:
+// it must never panic, and anything it accepts must render back to SQL
+// it accepts again (idempotent round trip).
+func FuzzParseQuery(f *testing.F) {
+	f.Add("SELECT * FROM t WHERE FALSE;")
+	f.Add("SELECT * FROM t WHERE (x >= 1 AND x <= 2);")
+	f.Add("SELECT * FROM t WHERE (x >= 1 AND x <= 2) OR (y >= 0 AND y <= 5);")
+	f.Add("select * from t where (TRUE)")
+	f.Add("SELECT * FROM t WHERE (x >= -1.5e2 AND x <= 1e3)")
+	f.Add("")
+	f.Add("SELECT")
+	f.Add("SELECT * FROM t WHERE (x >= 1 AND x <= ")
+	f.Add("SELECT * FROM t WHERE ((((")
+
+	attrs := []string{"x", "y"}
+	domains := geom.R(0, 100, 0, 100)
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := ParseQuery(sql, attrs, domains)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input round-trips: the rendered SQL parses again to
+		// the same areas.
+		again, err := ParseQuery(q.SQL(), attrs, domains)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", sql, q.SQL(), err)
+		}
+		if len(again.Areas) != len(q.Areas) {
+			t.Fatalf("round trip changed area count: %d vs %d", len(again.Areas), len(q.Areas))
+		}
+	})
+}

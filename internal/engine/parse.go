@@ -1,0 +1,278 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// ParseQuery parses the SELECT dialect that Query.SQL emits — a
+// disjunction of conjunctive range predicates — back into a Query, so
+// predicted queries can be stored as text and re-executed later:
+//
+//	SELECT * FROM t WHERE (a >= 1 AND a <= 2 AND b >= 0 AND b <= 5) OR (a >= 7 AND a <= 9);
+//	SELECT * FROM t WHERE FALSE;
+//	SELECT * FROM t WHERE (TRUE);
+//
+// attrs fixes the attribute order of the resulting rectangles (the query
+// text alone cannot define dimension order, and disjuncts may omit
+// unconstrained attributes). domains supplies the per-attribute [min,max]
+// used for omitted attributes; it may be nil only when every disjunct
+// constrains every attribute on both sides.
+func ParseQuery(sql string, attrs []string, domains geom.Rect) (Query, error) {
+	if domains != nil && len(domains) != len(attrs) {
+		return Query{}, fmt.Errorf("engine: %d domains for %d attrs", len(domains), len(attrs))
+	}
+	p := &sqlParser{input: sql}
+	p.skipSpace()
+	if err := p.keyword("SELECT"); err != nil {
+		return Query{}, err
+	}
+	if err := p.token("*"); err != nil {
+		return Query{}, err
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return Query{}, err
+	}
+	table, err := p.identifier()
+	if err != nil {
+		return Query{}, fmt.Errorf("engine: parsing table name: %w", err)
+	}
+	q := Query{Table: table, Attrs: attrs, Domains: domains}
+	if err := p.keyword("WHERE"); err != nil {
+		return Query{}, err
+	}
+
+	p.skipSpace()
+	if p.tryKeyword("FALSE") {
+		if err := p.finish(); err != nil {
+			return Query{}, err
+		}
+		return q, nil
+	}
+
+	attrIdx := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		attrIdx[a] = i
+	}
+
+	for {
+		area, err := p.disjunct(attrIdx, len(attrs), domains)
+		if err != nil {
+			return Query{}, err
+		}
+		q.Areas = append(q.Areas, area)
+		p.skipSpace()
+		if !p.tryKeyword("OR") {
+			break
+		}
+	}
+	if err := p.finish(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// sqlParser is a hand-rolled recursive-descent parser for the emitted
+// SQL subset.
+type sqlParser struct {
+	input string
+	pos   int
+}
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("engine: parse error at byte %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sqlParser) skipSpace() {
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// keyword consumes a case-insensitive keyword or fails.
+func (p *sqlParser) keyword(kw string) error {
+	if !p.tryKeyword(kw) {
+		return p.errf("expected %q", kw)
+	}
+	return nil
+}
+
+// tryKeyword consumes the keyword when present.
+func (p *sqlParser) tryKeyword(kw string) bool {
+	p.skipSpace()
+	end := p.pos + len(kw)
+	if end > len(p.input) {
+		return false
+	}
+	if !strings.EqualFold(p.input[p.pos:end], kw) {
+		return false
+	}
+	// Must not run into an identifier character.
+	if end < len(p.input) && isIdentChar(p.input[end]) {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+// token consumes an exact punctuation token.
+func (p *sqlParser) token(tok string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.input[p.pos:], tok) {
+		return p.errf("expected %q", tok)
+	}
+	p.pos += len(tok)
+	return nil
+}
+
+// tryToken consumes tok when present.
+func (p *sqlParser) tryToken(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.input[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// identifier consumes an attribute or table name.
+func (p *sqlParser) identifier() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) && isIdentChar(p.input[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.input[start:p.pos], nil
+}
+
+// number consumes a float literal.
+func (p *sqlParser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos < len(p.input) && (p.input[p.pos] == '-' || p.input[p.pos] == '+') {
+		p.pos++
+	}
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		if (c == '-' || c == '+') && p.pos > start && (p.input[p.pos-1] == 'e' || p.input[p.pos-1] == 'E') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return 0, p.errf("expected number")
+	}
+	v, err := strconv.ParseFloat(p.input[start:p.pos], 64)
+	if err != nil {
+		return 0, p.errf("bad number %q: %v", p.input[start:p.pos], err)
+	}
+	return v, nil
+}
+
+// disjunct parses one parenthesized conjunction into a rectangle.
+func (p *sqlParser) disjunct(attrIdx map[string]int, dims int, domains geom.Rect) (geom.Rect, error) {
+	if err := p.token("("); err != nil {
+		return nil, err
+	}
+	// Start from the domains (or unset markers when nil).
+	area := make(geom.Rect, dims)
+	set := make([][2]bool, dims) // per dim: lo set, hi set
+	for i := range area {
+		if domains != nil {
+			area[i] = domains[i]
+		}
+	}
+	if p.tryKeyword("TRUE") {
+		if err := p.token(")"); err != nil {
+			return nil, err
+		}
+		if domains == nil {
+			return nil, p.errf("TRUE disjunct requires domains")
+		}
+		return area, nil
+	}
+	for {
+		name, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		dim, ok := attrIdx[name]
+		if !ok {
+			return nil, p.errf("unknown attribute %q", name)
+		}
+		var isLower bool
+		switch {
+		case p.tryToken(">="):
+			isLower = true
+		case p.tryToken("<="):
+			isLower = false
+		default:
+			return nil, p.errf("expected >= or <= after %q", name)
+		}
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if isLower {
+			area[dim].Lo = v
+			set[dim][0] = true
+		} else {
+			area[dim].Hi = v
+			set[dim][1] = true
+		}
+		if p.tryKeyword("AND") {
+			continue
+		}
+		break
+	}
+	if err := p.token(")"); err != nil {
+		return nil, err
+	}
+	if domains == nil {
+		for d := range set {
+			if !set[d][0] || !set[d][1] {
+				return nil, p.errf("attribute %q not fully constrained and no domains given", keyFor(attrIdx, d))
+			}
+		}
+	}
+	return area, nil
+}
+
+// finish consumes the optional trailing semicolon and requires EOF.
+func (p *sqlParser) finish() error {
+	p.tryToken(";")
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return p.errf("unexpected trailing input %q", p.input[p.pos:])
+	}
+	return nil
+}
+
+func keyFor(m map[string]int, dim int) string {
+	for k, v := range m {
+		if v == dim {
+			return k
+		}
+	}
+	return fmt.Sprintf("dim%d", dim)
+}

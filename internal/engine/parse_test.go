@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func TestParseQueryRoundTrip(t *testing.T) {
+	q := Query{
+		Table: "trials",
+		Attrs: []string{"age", "dosage"},
+		Areas: []geom.Rect{
+			geom.R(0, 20, 10, 15),
+			geom.R(20, 40, 0, 10),
+		},
+	}
+	got, err := ParseQuery(q.SQL(), q.Attrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table != "trials" || len(got.Areas) != 2 {
+		t.Fatalf("parsed = %+v", got)
+	}
+	for i := range q.Areas {
+		if !got.Areas[i].Equal(q.Areas[i]) {
+			t.Errorf("area %d = %v, want %v", i, got.Areas[i], q.Areas[i])
+		}
+	}
+}
+
+func TestParseQueryFalse(t *testing.T) {
+	got, err := ParseQuery("SELECT * FROM t WHERE FALSE;", []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table != "t" || len(got.Areas) != 0 {
+		t.Errorf("parsed = %+v", got)
+	}
+}
+
+func TestParseQueryDomainsFillOmittedAttrs(t *testing.T) {
+	domains := geom.R(0, 100, 0, 60)
+	sql := "SELECT * FROM t WHERE (age >= 20 AND age <= 40);"
+	got, err := ParseQuery(sql, []string{"age", "dosage"}, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.R(20, 40, 0, 60)
+	if !got.Areas[0].Equal(want) {
+		t.Errorf("area = %v, want %v", got.Areas[0], want)
+	}
+}
+
+func TestParseQueryTrueDisjunct(t *testing.T) {
+	domains := geom.R(0, 9)
+	got, err := ParseQuery("SELECT * FROM t WHERE (TRUE);", []string{"x"}, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Areas[0].Equal(domains) {
+		t.Errorf("area = %v", got.Areas[0])
+	}
+	// Without domains, TRUE cannot be resolved.
+	if _, err := ParseQuery("SELECT * FROM t WHERE (TRUE);", []string{"x"}, nil); err == nil {
+		t.Error("TRUE without domains should error")
+	}
+}
+
+func TestParseQueryCaseInsensitiveKeywords(t *testing.T) {
+	sql := "select * from t where (x >= 1 and x <= 2) or (x >= 5 and x <= 6)"
+	got, err := ParseQuery(sql, []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Areas) != 2 {
+		t.Errorf("areas = %d", len(got.Areas))
+	}
+}
+
+func TestParseQueryScientificAndSignedNumbers(t *testing.T) {
+	sql := "SELECT * FROM t WHERE (x >= -1.5e2 AND x <= 1e3);"
+	got, err := ParseQuery(sql, []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Areas[0][0].Lo != -150 || got.Areas[0][0].Hi != 1000 {
+		t.Errorf("area = %v", got.Areas[0])
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	cases := []struct {
+		name, sql string
+	}{
+		{"not select", "DELETE FROM t"},
+		{"missing star", "SELECT x FROM t WHERE FALSE"},
+		{"missing from", "SELECT * t WHERE FALSE"},
+		{"missing where", "SELECT * FROM t (x >= 1 AND x <= 2)"},
+		{"unknown attribute", "SELECT * FROM t WHERE (y >= 1 AND y <= 2)"},
+		{"bad operator", "SELECT * FROM t WHERE (x > 1 AND x <= 2)"},
+		{"bad number", "SELECT * FROM t WHERE (x >= abc AND x <= 2)"},
+		{"unclosed paren", "SELECT * FROM t WHERE (x >= 1 AND x <= 2"},
+		{"trailing garbage", "SELECT * FROM t WHERE (x >= 1 AND x <= 2) nonsense"},
+		{"half constrained no domains", "SELECT * FROM t WHERE (x >= 1)"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseQuery(tc.sql, []string{"x"}, nil); err == nil {
+			t.Errorf("%s: expected error for %q", tc.name, tc.sql)
+		}
+	}
+}
+
+func TestParseQueryDomainArityCheck(t *testing.T) {
+	if _, err := ParseQuery("SELECT * FROM t WHERE FALSE", []string{"x", "y"}, geom.R(0, 1)); err == nil {
+		t.Error("domain arity mismatch should error")
+	}
+}
+
+// Property: SQL -> ParseQuery round-trips any generated query with
+// matching semantics (same matches over random points).
+func TestQuickParseRoundTripSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		attrs := make([]string, d)
+		for i := range attrs {
+			attrs[i] = string(rune('a' + i))
+		}
+		domains := make(geom.Rect, d)
+		for i := range domains {
+			domains[i] = geom.Interval{Lo: 0, Hi: 100}
+		}
+		nAreas := rng.Intn(4)
+		q := Query{Table: "t", Attrs: attrs, Domains: domains}
+		for a := 0; a < nAreas; a++ {
+			r := make(geom.Rect, d)
+			for i := range r {
+				lo := float64(int(rng.Float64()*90*8)) / 8 // dyadic: exact decimal rendering
+				r[i] = geom.Interval{Lo: lo, Hi: lo + float64(int(rng.Float64()*10*8))/8}
+			}
+			q.Areas = append(q.Areas, r)
+		}
+		parsed, err := ParseQuery(q.SQL(), attrs, domains)
+		if err != nil {
+			return false
+		}
+		// Compare semantics pointwise.
+		for s := 0; s < 50; s++ {
+			p := make(geom.Point, d)
+			for i := range p {
+				p[i] = rng.Float64() * 100
+			}
+			if q.Matches(p) != parsed.Matches(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

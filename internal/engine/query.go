@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Query is AIDE's final output: a disjunction of conjunctive range
+// predicates over the exploration attributes, each disjunct one
+// hyper-rectangle in raw attribute space. It is the "data extraction
+// query" the framework translates the decision tree into (Section 2.2).
+type Query struct {
+	// Table is the table the query selects from.
+	Table string
+	// Attrs are the exploration attribute names, in the same order as
+	// the rectangle dimensions.
+	Attrs []string
+	// Areas are the relevant areas in raw attribute space; the query
+	// selects the union of these hyper-rectangles. An empty Areas slice
+	// selects nothing.
+	Areas []geom.Rect
+	// Domains, when non-nil, holds the full raw domain of each attribute.
+	// SQL rendering omits predicates that span the entire domain — this
+	// is how attributes the classifier found irrelevant disappear from
+	// the final query (Section 5.2, "identifying irrelevant attributes").
+	Domains geom.Rect
+}
+
+// SQL renders the query as a SELECT statement, e.g.
+//
+//	SELECT * FROM trials WHERE (age >= 20 AND age <= 40 AND dosage >= 0 AND dosage <= 10)
+//	   OR (age >= 0 AND age <= 20 AND dosage >= 10 AND dosage <= 15);
+//
+// matching the query-formulation example of Section 2.2.
+func (q Query) SQL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT * FROM %s", q.Table)
+	if len(q.Areas) == 0 {
+		b.WriteString(" WHERE FALSE;")
+		return b.String()
+	}
+	b.WriteString(" WHERE ")
+	for i, area := range q.Areas {
+		if i > 0 {
+			b.WriteString(" OR ")
+		}
+		b.WriteByte('(')
+		wrote := false
+		for d, attr := range q.Attrs {
+			if q.Domains != nil && area[d].Lo <= q.Domains[d].Lo && area[d].Hi >= q.Domains[d].Hi {
+				continue // attribute unconstrained in this disjunct
+			}
+			if wrote {
+				b.WriteString(" AND ")
+			}
+			wrote = true
+			fmt.Fprintf(&b, "%s >= %s AND %s <= %s",
+				attr, trimFloat(area[d].Lo), attr, trimFloat(area[d].Hi))
+		}
+		if !wrote {
+			b.WriteString("TRUE")
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(';')
+	return b.String()
+}
+
+// Matches reports whether a raw-space point (ordered like Attrs) satisfies
+// the query.
+func (q Query) Matches(p geom.Point) bool {
+	for _, area := range q.Areas {
+		if area.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// NumAreas returns the number of disjuncts.
+func (q Query) NumAreas() int { return len(q.Areas) }
+
+// NormalizedAreas converts the query's raw areas into the normalized
+// space of the given normalizer.
+func (q Query) NormalizedAreas(n *geom.Normalizer) []geom.Rect {
+	out := make([]geom.Rect, len(q.Areas))
+	for i, a := range q.Areas {
+		out[i] = n.ToNormRect(a)
+	}
+	return out
+}
+
+// Execute returns the ids of all rows the query selects when evaluated
+// against the view. The view's attributes must match q.Attrs.
+func (q Query) Execute(v *View) ([]int, error) {
+	if err := q.checkView(v); err != nil {
+		return nil, err
+	}
+	rects := q.NormalizedAreas(v.Normalizer())
+	v.stats.Queries.Add(1)
+	var out []int
+	seen := make(map[int]struct{})
+	for _, r := range rects {
+		for _, row := range v.RowsIn(r) {
+			if _, dup := seen[row]; !dup {
+				seen[row] = struct{}{}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Selectivity returns the fraction of rows the query selects.
+func (q Query) Selectivity(v *View) (float64, error) {
+	rows, err := q.Execute(v)
+	if err != nil {
+		return 0, err
+	}
+	if v.NumRows() == 0 {
+		return 0, nil
+	}
+	return float64(len(rows)) / float64(v.NumRows()), nil
+}
+
+func (q Query) checkView(v *View) error {
+	attrs := v.Attrs()
+	if len(attrs) != len(q.Attrs) {
+		return fmt.Errorf("engine: query has %d attrs, view has %d", len(q.Attrs), len(attrs))
+	}
+	for i := range attrs {
+		if attrs[i] != q.Attrs[i] {
+			return fmt.Errorf("engine: query attr %q != view attr %q at position %d", q.Attrs[i], attrs[i], i)
+		}
+	}
+	for _, a := range q.Areas {
+		if a.Dims() != len(q.Attrs) {
+			return fmt.Errorf("engine: area has %d dims, query has %d attrs", a.Dims(), len(q.Attrs))
+		}
+	}
+	return nil
+}
+
+// trimFloat renders a float compactly (no trailing zeros).
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"math/rand"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// SampleRect returns up to n distinct rows drawn uniformly at random from
+// the rows inside rect (normalized space). This is the engine primitive
+// behind every AIDE sample-extraction query: object discovery samples
+// around cell centers, misclassified exploitation samples Chebyshev balls
+// around false negatives, and boundary exploitation samples face slabs.
+//
+// The implementation uses the grid index: cells fully inside rect
+// contribute their row lists wholesale; rows of partially overlapping
+// cells are verified individually. Sampling is exact-uniform over the
+// matching rows (not over cells), so skewed data does not bias results.
+func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
+	v.stats.Queries.Add(1)
+	if n <= 0 {
+		return nil
+	}
+	// Fast path: a rect constrained in exactly one dimension (the shape
+	// of boundary-exploitation slabs with whole-domain sampling) is a
+	// range scan of that attribute's sorted index — no grid walk.
+	if dim := v.singleConstrainedDim(rect); dim >= 0 {
+		lo, hi := v.sortedRange(dim, rect[dim])
+		v.stats.RowsExamined.Add(int64(hi - lo))
+		matched := hi - lo
+		if matched == 0 {
+			return nil
+		}
+		if n >= matched {
+			out := make([]int, 0, matched)
+			for _, r := range v.sorted[dim][lo:hi] {
+				out = append(out, int(r))
+			}
+			rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+			return out
+		}
+		chosen := make(map[int]struct{}, n)
+		for j := matched - n; j < matched; j++ {
+			t := rng.Intn(j + 1)
+			if _, dup := chosen[t]; dup {
+				t = j
+			}
+			chosen[t] = struct{}{}
+		}
+		out := make([]int, 0, n)
+		for t := range chosen {
+			out = append(out, int(v.sorted[dim][lo+t]))
+		}
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+
+	var full [][]int32 // verified-by-construction candidate blocks
+	fullTotal := 0
+	var partial []int // verified matching rows from boundary cells
+	examined := int64(0)
+
+	v.grid.visitCells(rect, func(rows []int32, isFull bool) bool {
+		if isFull {
+			full = append(full, rows)
+			fullTotal += len(rows)
+			return true
+		}
+		examined += int64(len(rows))
+		for _, r := range rows {
+			if v.Contains(rect, int(r)) {
+				partial = append(partial, int(r))
+			}
+		}
+		return true
+	})
+	v.stats.RowsExamined.Add(examined)
+
+	total := fullTotal + len(partial)
+	if total == 0 {
+		return nil
+	}
+	if n >= total {
+		out := make([]int, 0, total)
+		for _, b := range full {
+			for _, r := range b {
+				out = append(out, int(r))
+			}
+		}
+		out = append(out, partial...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+
+	// Floyd's algorithm: n distinct indices in [0,total).
+	chosen := make(map[int]struct{}, n)
+	for j := total - n; j < total; j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+	}
+	out := make([]int, 0, n)
+	for idx := range chosen {
+		out = append(out, v.rowAt(full, partial, idx))
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// rowAt maps a flat candidate index to a row id: indexes cover the full
+// blocks first, then the verified partial rows.
+func (v *View) rowAt(full [][]int32, partial []int, idx int) int {
+	for _, b := range full {
+		if idx < len(b) {
+			return int(b[idx])
+		}
+		idx -= len(b)
+	}
+	return partial[idx]
+}
+
+// SampleNear returns up to n rows within Chebyshev distance y of center
+// (normalized space): the "f random samples within a normalized distance
+// y on each dimension" of Section 4.2.
+func (v *View) SampleNear(center geom.Point, y float64, n int, rng *rand.Rand) []int {
+	return v.SampleRect(geom.RectAround(center, y, geom.NewRect(v.Dims())), n, rng)
+}
+
+// SampleAll returns n rows drawn uniformly from the entire view, the
+// primitive behind the Random baseline of Section 6.2.
+func (v *View) SampleAll(n int, rng *rand.Rand) []int {
+	v.stats.Queries.Add(1)
+	total := v.NumRows()
+	if total == 0 || n <= 0 {
+		return nil
+	}
+	if n >= total {
+		out := rng.Perm(total)
+		return out
+	}
+	chosen := make(map[int]struct{}, n)
+	for j := total - n; j < total; j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+	}
+	out := make([]int, 0, n)
+	for r := range chosen {
+		out = append(out, r)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// SampleOneNearCenter returns one random row within Chebyshev distance
+// gamma of the given cell center, or -1 when the area holds no rows. This
+// is the per-cell retrieval of the object discovery phase (Section 3):
+// "for each cell, we identify the virtual center and we retrieve a single
+// random object within distance gamma < delta/2 along each dimension".
+func (v *View) SampleOneNearCenter(center geom.Point, gamma float64, rng *rand.Rand) int {
+	rows := v.SampleNear(center, gamma, 1, rng)
+	if len(rows) == 0 {
+		return -1
+	}
+	return rows[0]
+}
+
+// DensityIn returns the number of rows inside rect divided by the total
+// row count. Discovery uses cell density to adapt its sampling radius to
+// skew (sparse cells get a larger gamma, Section 3).
+func (v *View) DensityIn(rect geom.Rect) float64 {
+	if v.NumRows() == 0 {
+		return 0
+	}
+	return float64(v.Count(rect)) / float64(v.NumRows())
+}

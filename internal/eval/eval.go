@@ -1,0 +1,101 @@
+// Package eval provides AIDE's evaluation harness: the F-measure
+// effectiveness metric over the full data space (Section 2.3), the
+// target-query workload generator modeled on the paper's SDSS-derived
+// query set (Section 6.1), the simulated user that labels samples against
+// a ground-truth target query, and the scripted manual-exploration
+// simulator behind the user-study comparison (Section 6.5).
+package eval
+
+import (
+	"fmt"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Metrics reports classifier effectiveness over the total data space T.
+type Metrics struct {
+	// TP, FP, FN are true positives, false positives and false negatives
+	// of the predicted areas against the target areas, counted over all
+	// rows.
+	TP, FP, FN int
+	// Precision = tp/(tp+fp); 1 when nothing is predicted relevant.
+	Precision float64
+	// Recall = tp/(tp+fn); 1 when nothing is truly relevant.
+	Recall float64
+	// F is the harmonic mean of precision and recall (Equation 1).
+	F float64
+}
+
+// Evaluator computes Metrics for successive predictions against one fixed
+// target query. It precomputes the target membership mask so per-iteration
+// evaluation costs one pass over the predicted areas only.
+type Evaluator struct {
+	view        *engine.View
+	targetMask  []bool
+	targetCount int
+
+	stamp []int32 // scratch: last epoch each row was marked predicted
+	epoch int32
+}
+
+// NewEvaluator builds an evaluator for the given target areas (normalized
+// space).
+func NewEvaluator(v *engine.View, target []geom.Rect) (*Evaluator, error) {
+	for _, r := range target {
+		if r.Dims() != v.Dims() {
+			return nil, fmt.Errorf("eval: target area has %d dims, view has %d", r.Dims(), v.Dims())
+		}
+	}
+	e := &Evaluator{
+		view:       v,
+		targetMask: make([]bool, v.NumRows()),
+		stamp:      make([]int32, v.NumRows()),
+	}
+	for _, r := range target {
+		for _, row := range v.RowsIn(r) {
+			if !e.targetMask[row] {
+				e.targetMask[row] = true
+				e.targetCount++
+			}
+		}
+	}
+	return e, nil
+}
+
+// TargetCount returns the number of truly relevant rows.
+func (e *Evaluator) TargetCount() int { return e.targetCount }
+
+// Measure evaluates predicted areas (normalized space) against the
+// target.
+func (e *Evaluator) Measure(predicted []geom.Rect) Metrics {
+	e.epoch++
+	var m Metrics
+	for _, r := range predicted {
+		for _, row := range e.view.RowsIn(r) {
+			if e.stamp[row] == e.epoch {
+				continue // already counted via an overlapping area
+			}
+			e.stamp[row] = e.epoch
+			if e.targetMask[row] {
+				m.TP++
+			} else {
+				m.FP++
+			}
+		}
+	}
+	m.FN = e.targetCount - m.TP
+	m.Precision = ratio(m.TP, m.TP+m.FP)
+	m.Recall = ratio(m.TP, m.TP+m.FN)
+	if m.Precision+m.Recall > 0 {
+		m.F = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,384 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/explore"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func uniformView(t testing.TB, n int, seed int64) *engine.View {
+	t.Helper()
+	tab := dataset.GenerateUniform(n, 2, seed)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestEvaluatorPerfectPrediction(t *testing.T) {
+	v := uniformView(t, 5000, 1)
+	target := []geom.Rect{geom.R(10, 30, 10, 30)}
+	ev, err := NewEvaluator(v, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ev.Measure(target)
+	if m.F != 1 || m.Precision != 1 || m.Recall != 1 {
+		t.Errorf("perfect prediction metrics = %+v", m)
+	}
+	if m.FP != 0 || m.FN != 0 {
+		t.Errorf("perfect prediction has FP=%d FN=%d", m.FP, m.FN)
+	}
+	if m.TP != ev.TargetCount() {
+		t.Errorf("TP=%d, target count=%d", m.TP, ev.TargetCount())
+	}
+}
+
+func TestEvaluatorEmptyPrediction(t *testing.T) {
+	v := uniformView(t, 5000, 2)
+	ev, err := NewEvaluator(v, []geom.Rect{geom.R(10, 30, 10, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ev.Measure(nil)
+	if m.Recall != 0 || m.F != 0 {
+		t.Errorf("empty prediction metrics = %+v", m)
+	}
+	if m.Precision != 1 {
+		t.Errorf("empty prediction precision = %v, want 1 (vacuous)", m.Precision)
+	}
+}
+
+func TestEvaluatorHalfOverlap(t *testing.T) {
+	v := uniformView(t, 40000, 3)
+	target := []geom.Rect{geom.R(0, 20, 0, 20)}
+	ev, err := NewEvaluator(v, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict the right half plus an equal-sized false area.
+	pred := []geom.Rect{geom.R(10, 20, 0, 20), geom.R(50, 60, 0, 20)}
+	m := ev.Measure(pred)
+	// Expected: TP ~ half the target, FP ~ same size as TP.
+	if math.Abs(m.Recall-0.5) > 0.06 {
+		t.Errorf("recall = %v, want ~0.5", m.Recall)
+	}
+	if math.Abs(m.Precision-0.5) > 0.06 {
+		t.Errorf("precision = %v, want ~0.5", m.Precision)
+	}
+	if m.F <= 0.4 || m.F >= 0.6 {
+		t.Errorf("F = %v, want ~0.5", m.F)
+	}
+}
+
+func TestEvaluatorOverlappingPredictionsNotDoubleCounted(t *testing.T) {
+	v := uniformView(t, 10000, 4)
+	target := []geom.Rect{geom.R(0, 20, 0, 20)}
+	ev, err := NewEvaluator(v, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := ev.Measure(target)
+	twice := ev.Measure([]geom.Rect{target[0], target[0].Clone()})
+	if once.TP != twice.TP || once.FP != twice.FP {
+		t.Errorf("duplicate predictions double-counted: %+v vs %+v", once, twice)
+	}
+}
+
+func TestEvaluatorDimMismatch(t *testing.T) {
+	v := uniformView(t, 100, 5)
+	if _, err := NewEvaluator(v, []geom.Rect{geom.R(0, 1)}); err == nil {
+		t.Error("dim mismatch should error")
+	}
+}
+
+func TestSizeClassWidths(t *testing.T) {
+	for _, tc := range []struct {
+		class  SizeClass
+		lo, hi float64
+		name   string
+	}{
+		{Small, 1, 3, "small"},
+		{Medium, 4, 6, "medium"},
+		{Large, 7, 9, "large"},
+	} {
+		lo, hi := tc.class.WidthRange()
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("%v width range = %v-%v", tc.class, lo, hi)
+		}
+		if tc.class.String() != tc.name {
+			t.Errorf("String = %q, want %q", tc.class.String(), tc.name)
+		}
+	}
+	if SizeClass(9).String() == "" {
+		t.Error("unknown size class should render")
+	}
+}
+
+func TestGenerateTargetRespectsSpec(t *testing.T) {
+	v := uniformView(t, 50000, 6)
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 3, Size: Medium}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(target.Areas) != 3 {
+		t.Fatalf("areas = %d", len(target.Areas))
+	}
+	for i, a := range target.Areas {
+		for d := range a {
+			w := a[d].Width()
+			if w < 4-1e-9 || w > 6+1e-9 {
+				t.Errorf("area %d dim %d width %v outside medium 4-6", i, d, w)
+			}
+		}
+		if v.Count(a) < 10 {
+			t.Errorf("area %d holds %d rows, want >= 10", i, v.Count(a))
+		}
+		for j := i + 1; j < len(target.Areas); j++ {
+			if a.Overlaps(target.Areas[j]) {
+				t.Errorf("areas %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateTargetDeterministic(t *testing.T) {
+	v := uniformView(t, 20000, 8)
+	a, err := GenerateTarget(v, TargetSpec{NumAreas: 2, Size: Large}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTarget(v, TargetSpec{NumAreas: 2, Size: Large}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Areas {
+		if !a.Areas[i].Equal(b.Areas[i]) {
+			t.Error("same seed produced different targets")
+		}
+	}
+}
+
+func TestGenerateTargetActiveDims(t *testing.T) {
+	tab := dataset.GenerateUniform(20000, 4, 9)
+	v, err := engine.NewView(tab, []string{"a0", "a1", "a2", "a3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 1, Size: Large, ActiveDims: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := target.Areas[0]
+	for d := 0; d < 2; d++ {
+		if a[d].Width() > 9.1 {
+			t.Errorf("active dim %d unconstrained: %v", d, a[d])
+		}
+	}
+	for d := 2; d < 4; d++ {
+		if a[d].Lo != geom.NormMin || a[d].Hi != geom.NormMax {
+			t.Errorf("inactive dim %d constrained: %v", d, a[d])
+		}
+	}
+}
+
+func TestGenerateTargetErrors(t *testing.T) {
+	v := uniformView(t, 1000, 10)
+	if _, err := GenerateTarget(v, TargetSpec{NumAreas: 0}, 1); err == nil {
+		t.Error("NumAreas=0 should error")
+	}
+	// Impossible density requirement: tiny table, high MinRows.
+	if _, err := GenerateTarget(v, TargetSpec{NumAreas: 1, Size: Small, MinRows: 100000, MaxTries: 50}, 1); err == nil {
+		t.Error("unsatisfiable MinRows should error")
+	}
+}
+
+func TestGenerateTargetDenseOnly(t *testing.T) {
+	specs := []dataset.ClusterSpec{{Center: []float64{30, 30}, Std: 6, Weight: 1}}
+	tab := dataset.GenerateClusters(30000, 2, specs, 0.1, 11)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 1, Size: Large, DenseOnly: true}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := target.Areas[0]
+	avg := float64(v.NumRows()) / geom.NewRect(2).Volume()
+	if float64(v.Count(a))/a.Volume() < avg {
+		t.Error("DenseOnly produced a sparse area")
+	}
+}
+
+func TestTargetQueryRendering(t *testing.T) {
+	v := uniformView(t, 1000, 13)
+	target := Target{Areas: []geom.Rect{geom.R(0, 50, 0, 50)}}
+	q := target.Query(v)
+	if q.Table != "uniform" || len(q.Areas) != 1 {
+		t.Errorf("query = %+v", q)
+	}
+	if !strings.Contains(q.SQL(), "a0 >= 0") {
+		t.Errorf("SQL = %q", q.SQL())
+	}
+	if !target.Contains(geom.Point{10, 10}) || target.Contains(geom.Point{60, 60}) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestSimulatedUserLabelsAndCounts(t *testing.T) {
+	v := uniformView(t, 1000, 14)
+	target := Target{Areas: []geom.Rect{geom.R(0, 50, 0, 100)}}
+	u := NewSimulatedUser(target)
+	labels := 0
+	for row := 0; row < 100; row++ {
+		if u.Label(v, row) {
+			labels++
+		}
+	}
+	if u.Reviewed != 100 {
+		t.Errorf("Reviewed = %d, want 100", u.Reviewed)
+	}
+	if labels == 0 || labels == 100 {
+		t.Errorf("labels = %d, suspicious", labels)
+	}
+	// Label agrees with ground truth.
+	for row := 0; row < 100; row++ {
+		if u.Label(v, row) != target.Contains(v.NormPoint(row)) {
+			t.Fatal("label disagrees with target")
+		}
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	tr := Trace{
+		Samples:      []int{20, 40, 60},
+		F:            []float64{0.1, 0.75, 0.9},
+		IterDuration: []float64{0.5, 1.5, 1.0},
+	}
+	n, ok := tr.SamplesToAccuracy(0.7)
+	if !ok || n != 40 {
+		t.Errorf("SamplesToAccuracy = %d,%v", n, ok)
+	}
+	if _, ok := tr.SamplesToAccuracy(0.95); ok {
+		t.Error("unreached accuracy should return ok=false")
+	}
+	if tr.MaxF() != 0.9 {
+		t.Errorf("MaxF = %v", tr.MaxF())
+	}
+	if tr.AvgIterSeconds() != 1.0 {
+		t.Errorf("AvgIterSeconds = %v", tr.AvgIterSeconds())
+	}
+	if (Trace{}).AvgIterSeconds() != 0 {
+		t.Error("empty trace avg should be 0")
+	}
+	if (Trace{}).MaxF() != 0 {
+		t.Error("empty trace MaxF should be 0")
+	}
+}
+
+func TestRunTraceConverges(t *testing.T) {
+	v := uniformView(t, 20000, 15)
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 1, Size: Large}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := NewSimulatedUser(target)
+	opts := explore.DefaultOptions()
+	s, err := explore.NewSession(v, user, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTrace(s, v, target, 0.7, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxF() < 0.7 {
+		t.Errorf("session never reached 0.7 F (max %v)", tr.MaxF())
+	}
+	if n, ok := tr.SamplesToAccuracy(0.7); !ok || n <= 0 {
+		t.Errorf("SamplesToAccuracy = %d,%v", n, ok)
+	}
+	// Reviewed should match labeled count (each label request reviewed
+	// exactly once).
+	if user.Reviewed != s.LabeledCount() {
+		t.Errorf("user reviewed %d, session labeled %d", user.Reviewed, s.LabeledCount())
+	}
+}
+
+func TestSimulateManual(t *testing.T) {
+	v := uniformView(t, 30000, 17)
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 1, Size: Large}, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SimulateManual(v, target, ManualParams{}, 19)
+	if res.Queries == 0 {
+		t.Fatal("manual simulation issued no queries")
+	}
+	if res.ReviewedObjects <= 0 {
+		t.Error("manual simulation reviewed nothing")
+	}
+	if res.ReturnedObjects < res.ReviewedObjects/2 {
+		t.Errorf("returned %d < reviewed %d; implausible", res.ReturnedObjects, res.ReviewedObjects)
+	}
+	if res.FinalF < 0.5 {
+		t.Errorf("manual exploration final F = %v, want >= 0.5", res.FinalF)
+	}
+}
+
+func TestSimulateManualMultiArea(t *testing.T) {
+	v := uniformView(t, 30000, 20)
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 3, Size: Large}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SimulateManual(v, target, ManualParams{}, 22)
+	if res.Queries < 3 {
+		t.Errorf("multi-area manual exploration used %d queries", res.Queries)
+	}
+	if res.FinalF < 0.4 {
+		t.Errorf("multi-area manual final F = %v", res.FinalF)
+	}
+}
+
+func TestManualParamsDefaults(t *testing.T) {
+	var p ManualParams
+	p.defaults()
+	if p.PageSize != 40 || p.MaxQueries != 60 || p.TargetF != 0.9 || p.AdjustNoise != 0.8 || p.StepFraction != 0.25 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+// AIDE should reduce reviewing effort versus manual exploration on the
+// same task — the user study's headline claim (Table 1).
+func TestAIDEBeatsManualOnReviewingEffort(t *testing.T) {
+	tab := dataset.GenerateAuction(30000, 23)
+	v, err := engine.NewView(tab, []string{"current_price", "num_bids"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 1, Size: Large, DenseOnly: true}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := SimulateManual(v, target, ManualParams{}, 25)
+
+	user := NewSimulatedUser(target)
+	s, err := explore.NewSession(v, user, explore.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTrace(s, v, target, manual.FinalF, 150); err != nil {
+		t.Fatal(err)
+	}
+	if user.Reviewed >= manual.ReviewedObjects {
+		t.Errorf("AIDE reviewed %d, manual reviewed %d: no savings", user.Reviewed, manual.ReviewedObjects)
+	}
+}

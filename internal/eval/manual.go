@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// ManualResult summarizes one scripted manual-exploration session: the
+// baseline AIDE is compared against in the user study (Table 1). The
+// paper's human subjects iteratively wrote range queries, skimmed the
+// returned objects, and adjusted predicates until the result set matched
+// their interest; the counters here mirror the columns of Table 1.
+type ManualResult struct {
+	// ReturnedObjects is the total number of tuples all issued queries
+	// returned (the paper's "Manual: returned objects" — hundreds of
+	// thousands).
+	ReturnedObjects int
+	// ReviewedObjects is the number of tuples the user actually read
+	// while steering their predicates (the paper's "Manual: reviewed
+	// objects").
+	ReviewedObjects int
+	// Queries is the number of exploratory queries issued.
+	Queries int
+	// FinalF is the F-measure of the user's final query against the
+	// target.
+	FinalF float64
+}
+
+// ManualParams tunes the scripted manual explorer.
+type ManualParams struct {
+	// PageSize is how many returned tuples the user reviews per query
+	// before deciding how to adjust predicates (default 40).
+	PageSize int
+	// MaxQueries bounds the session (default 60).
+	MaxQueries int
+	// TargetF is the accuracy at which the user is satisfied
+	// (default 0.9).
+	TargetF float64
+	// AdjustNoise is the relative error of each predicate adjustment,
+	// modeling trial-and-error (default 0.8).
+	AdjustNoise float64
+	// StepFraction is how far toward the true boundary each adjustment
+	// moves (default 0.25 — users converge by cautious trial and error).
+	StepFraction float64
+}
+
+func (p *ManualParams) defaults() {
+	if p.PageSize <= 0 {
+		p.PageSize = 40
+	}
+	if p.MaxQueries <= 0 {
+		p.MaxQueries = 60
+	}
+	if p.TargetF <= 0 {
+		p.TargetF = 0.9
+	}
+	if p.AdjustNoise <= 0 {
+		p.AdjustNoise = 0.8
+	}
+	if p.StepFraction <= 0 {
+		p.StepFraction = 0.25
+	}
+}
+
+// SimulateManual runs a scripted manual exploration toward the target:
+//
+//  1. The user browses random tuples until the first relevant one is
+//     found (each browsed tuple is reviewed).
+//  2. They form an initial wide range query around it.
+//  3. Each round they run the query, skim a page of its results, and
+//     nudge every predicate boundary toward the true one with noise —
+//     modeling the widen/narrow cycle of real exploration — until their
+//     query is accurate enough or they give up.
+//
+// Multi-area targets repeat the process per area (the user hunts each
+// region separately and ORs the predicates).
+func SimulateManual(v *engine.View, target Target, params ManualParams, seed int64) ManualResult {
+	params.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	var res ManualResult
+
+	ev, err := NewEvaluator(v, target.Areas)
+	if err != nil {
+		return res
+	}
+	bounds := geom.NewRect(v.Dims())
+	var finalRects []geom.Rect
+
+	for _, area := range target.Areas {
+		// Step 1: browse until a relevant tuple from this area turns up.
+		var seedPoint geom.Point
+		for tries := 0; tries < 100000; tries++ {
+			rows := v.SampleAll(1, rng)
+			if len(rows) == 0 {
+				break
+			}
+			res.ReviewedObjects++
+			p := v.NormPoint(rows[0])
+			if area.Contains(p) {
+				seedPoint = p
+				break
+			}
+		}
+		if seedPoint == nil {
+			// Extremely selective area: the user asks a colleague for one
+			// example (we seed from the area center) after a long fruitless
+			// browse.
+			seedPoint = area.Center()
+		}
+
+		// Step 2: initial wide guess.
+		guess := geom.RectAround(seedPoint, 15, bounds)
+
+		// Step 3: iterative refinement.
+		for q := 0; q < params.MaxQueries; q++ {
+			res.Queries++
+			returned := v.Count(guess)
+			res.ReturnedObjects += returned
+			page := params.PageSize
+			if returned < page {
+				page = returned
+			}
+			res.ReviewedObjects += page
+
+			m := ev.Measure(append(append([]geom.Rect{}, finalRects...), guess))
+			if m.F >= params.TargetF {
+				break
+			}
+			// Nudge each face toward the truth with noise proportional to
+			// the remaining error.
+			for d := range guess {
+				guess[d].Lo = nudge(guess[d].Lo, area[d].Lo, params.StepFraction, params.AdjustNoise, rng)
+				guess[d].Hi = nudge(guess[d].Hi, area[d].Hi, params.StepFraction, params.AdjustNoise, rng)
+				if guess[d].Lo > guess[d].Hi {
+					guess[d].Lo, guess[d].Hi = guess[d].Hi, guess[d].Lo
+				}
+				guess[d].Lo = bounds[d].Clamp(guess[d].Lo)
+				guess[d].Hi = bounds[d].Clamp(guess[d].Hi)
+			}
+		}
+		finalRects = append(finalRects, guess.Clone())
+	}
+
+	res.FinalF = ev.Measure(finalRects).F
+	return res
+}
+
+// nudge moves cur a fraction of the way toward want, with multiplicative
+// noise on the step (occasionally overshooting or backtracking, the way
+// real predicate fiddling does).
+func nudge(cur, want, step0, noise float64, rng *rand.Rand) float64 {
+	step := (want - cur) * step0 * (1 + noise*(rng.Float64()*2-1))
+	next := cur + step
+	if math.IsNaN(next) || math.IsInf(next, 0) {
+		return cur
+	}
+	return next
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/explore"
+)
+
+// SimulatedUser labels samples against a ground-truth target query,
+// exactly as the paper simulates users: "Given a target query, we
+// simulate the user by executing the query to collect the exact target
+// set of relevant tuples. We rely on this set to label the new sample
+// set we extract in each iteration" (Section 6.1). It implements
+// explore.Oracle.
+type SimulatedUser struct {
+	target Target
+	// Reviewed counts every label request: the user's total reviewing
+	// effort.
+	Reviewed int
+}
+
+// NewSimulatedUser builds an oracle for the target.
+func NewSimulatedUser(target Target) *SimulatedUser {
+	return &SimulatedUser{target: target}
+}
+
+// Label implements explore.Oracle.
+func (u *SimulatedUser) Label(v *engine.View, row int) bool {
+	u.Reviewed++
+	return u.target.Contains(v.NormPoint(row))
+}
+
+var _ explore.Oracle = (*SimulatedUser)(nil)
+
+// Trace is the per-iteration accuracy record of one exploration session.
+type Trace struct {
+	// Samples is cumulative labeled samples after each iteration.
+	Samples []int
+	// F is the F-measure after each iteration.
+	F []float64
+	// IterDuration is the wall-clock system execution time of each
+	// iteration.
+	IterDuration []float64 // seconds
+}
+
+// SamplesToAccuracy returns the smallest cumulative sample count at which
+// the trace reached the given F-measure, and ok=false when it never did.
+func (t Trace) SamplesToAccuracy(f float64) (int, bool) {
+	for i, v := range t.F {
+		if v >= f {
+			return t.Samples[i], true
+		}
+	}
+	return 0, false
+}
+
+// MaxF returns the best F-measure the trace reached.
+func (t Trace) MaxF() float64 {
+	best := 0.0
+	for _, v := range t.F {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// AvgIterSeconds returns the mean per-iteration system execution time.
+func (t Trace) AvgIterSeconds() float64 {
+	if len(t.IterDuration) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range t.IterDuration {
+		sum += v
+	}
+	return sum / float64(len(t.IterDuration))
+}
+
+// RunTrace drives an explorer until it reaches stopF F-measure (or
+// maxIter iterations), evaluating accuracy after every iteration against
+// the target. evalView is the view accuracy is measured on — pass the
+// full-data view even when the explorer runs on a sampled view, mirroring
+// how the paper evaluates sampled-dataset runs against the real data.
+func RunTrace(e explore.Explorer, evalView *engine.View, target Target, stopF float64, maxIter int) (Trace, error) {
+	ev, err := NewEvaluator(evalView, target.Areas)
+	if err != nil {
+		return Trace{}, err
+	}
+	var tr Trace
+	stop := func(res *explore.IterationResult) bool {
+		m := ev.Measure(e.RelevantAreas())
+		tr.Samples = append(tr.Samples, res.TotalLabeled)
+		tr.F = append(tr.F, m.F)
+		tr.IterDuration = append(tr.IterDuration, res.Duration.Seconds())
+		return stopF > 0 && m.F >= stopF
+	}
+	if _, err := explore.RunUntil(e, stop, maxIter); err != nil {
+		return tr, err
+	}
+	return tr, nil
+}

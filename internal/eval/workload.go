@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// SizeClass categorizes relevant-area sizes exactly as Section 6.1 does:
+// the width of each attribute range as a percentage of its normalized
+// domain.
+type SizeClass int
+
+const (
+	// Small areas have per-dimension widths of 1-3% of the domain.
+	Small SizeClass = iota
+	// Medium areas have widths of 4-6%.
+	Medium
+	// Large areas have widths of 7-9%.
+	Large
+)
+
+// String implements fmt.Stringer.
+func (s SizeClass) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("SizeClass(%d)", int(s))
+	}
+}
+
+// WidthRange returns the normalized width interval of the class.
+func (s SizeClass) WidthRange() (lo, hi float64) {
+	switch s {
+	case Small:
+		return 1, 3
+	case Medium:
+		return 4, 6
+	default:
+		return 7, 9
+	}
+}
+
+// Target is a ground-truth user interest: relevant objects are exactly
+// those inside the union of the (normalized-space) areas. Targets with
+// one area correspond to conjunctive range queries; multiple areas form
+// disjunctive queries.
+type Target struct {
+	Areas []geom.Rect
+}
+
+// Contains reports whether a normalized point is relevant.
+func (t Target) Contains(p geom.Point) bool {
+	for _, a := range t.Areas {
+		if a.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Query renders the target as a raw-space query against the view, useful
+// for display and for the user-study simulator.
+func (t Target) Query(v *engine.View) engine.Query {
+	n := v.Normalizer()
+	areas := make([]geom.Rect, len(t.Areas))
+	for i, a := range t.Areas {
+		areas[i] = n.ToRawRect(a)
+	}
+	return engine.Query{
+		Table:   v.Table().Name(),
+		Attrs:   v.Attrs(),
+		Areas:   areas,
+		Domains: n.ToRawRect(geom.NewRect(v.Dims())),
+	}
+}
+
+// TargetSpec controls target generation.
+type TargetSpec struct {
+	// NumAreas is the number of disjoint relevant areas (the paper's
+	// query complexity knob: 1, 3, 5, 7).
+	NumAreas int
+	// Size is the per-area size class.
+	Size SizeClass
+	// ActiveDims, when non-zero, constrains only the first ActiveDims
+	// dimensions; the rest span the whole domain. This models the paper's
+	// multi-dimensional experiments where "target queries have
+	// conjunctions on two attributes" and the remaining exploration
+	// attributes are irrelevant (Section 6.3).
+	ActiveDims int
+	// MinRows is the minimum row count per area; areas in empty space
+	// would make the target unreachable. Default 10.
+	MinRows int
+	// DenseOnly requires each area's density to be at least the space's
+	// average (targets "on dense regions", Section 6.4).
+	DenseOnly bool
+	// MaxTries bounds placement attempts per area (default 2000).
+	MaxTries int
+}
+
+// GenerateTarget places NumAreas disjoint relevant areas in the view's
+// normalized space, each holding at least MinRows rows. Generation is
+// deterministic for a given seed.
+func GenerateTarget(v *engine.View, spec TargetSpec, seed int64) (Target, error) {
+	if spec.NumAreas < 1 {
+		return Target{}, fmt.Errorf("eval: NumAreas = %d", spec.NumAreas)
+	}
+	d := v.Dims()
+	active := spec.ActiveDims
+	if active <= 0 || active > d {
+		active = d
+	}
+	minRows := spec.MinRows
+	if minRows <= 0 {
+		minRows = 10
+	}
+	maxTries := spec.MaxTries
+	if maxTries <= 0 {
+		maxTries = 2000
+	}
+	loW, hiW := spec.Size.WidthRange()
+	rng := rand.New(rand.NewSource(seed))
+
+	avgDensity := float64(v.NumRows()) / geom.NewRect(d).Volume()
+
+	var areas []geom.Rect
+	for len(areas) < spec.NumAreas {
+		placed := false
+		for try := 0; try < maxTries; try++ {
+			r := make(geom.Rect, d)
+			for dim := 0; dim < d; dim++ {
+				if dim >= active {
+					r[dim] = geom.Interval{Lo: geom.NormMin, Hi: geom.NormMax}
+					continue
+				}
+				w := loW + rng.Float64()*(hiW-loW)
+				lo := rng.Float64() * (geom.NormMax - w)
+				r[dim] = geom.Interval{Lo: lo, Hi: lo + w}
+			}
+			// Disjoint from already placed areas (with a small margin so
+			// boundary slabs don't collide).
+			overlap := false
+			for _, prev := range areas {
+				if r.Expand(2, nil).Overlaps(prev) {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				continue
+			}
+			count := v.Count(r)
+			if count < minRows {
+				continue
+			}
+			if spec.DenseOnly && float64(count)/r.Volume() < avgDensity {
+				continue
+			}
+			areas = append(areas, r)
+			placed = true
+			break
+		}
+		if !placed {
+			return Target{}, fmt.Errorf("eval: could not place area %d/%d (size %v) after %d tries",
+				len(areas)+1, spec.NumAreas, spec.Size, maxTries)
+		}
+	}
+	return Target{Areas: areas}, nil
+}

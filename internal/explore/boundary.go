@@ -1,0 +1,111 @@
+package explore
+
+import (
+	"math"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// planBoundary builds the sampling requests of the boundary exploitation
+// phase (Section 5): for each face of each predicted relevant area, a
+// slab of half-width x around the boundary is sampled so the tree can
+// shrink or expand the area toward the user's true boundary.
+//
+// It returns the requests plus the slabs themselves (recorded for the
+// next iteration's non-overlapping-sampling-areas check).
+//
+// Three optimizations from Section 5.2 are applied, each gated by an
+// option:
+//
+//   - Adaptive sample size: each face's budget is scaled by pc_j, the
+//     fraction by which the boundary moved since the previous iteration,
+//     plus an error floor er — T_boundary = sum_j pc_j * (alpha_max/(k*2d))
+//   - er*(k*2d).
+//   - Non-overlapping sampling areas: a slab whose boundary did not move
+//     and which lies inside the previous iteration's sampled slabs is
+//     reduced to the error floor.
+//   - Whole-domain sampling: non-boundary dimensions of a slab span the
+//     entire domain, so irrelevant attributes get unskewed coverage and
+//     fall out of the tree.
+func (s *Session) planBoundary() ([]sampleRequest, []geom.Rect) {
+	areas := s.areas
+	k := len(areas)
+	if k == 0 {
+		return nil, nil
+	}
+	d := s.view.Dims()
+	faces := k * 2 * d
+	base := float64(s.opts.AlphaMax) / float64(faces)
+
+	var reqs []sampleRequest
+	var slabs []geom.Rect
+	for _, area := range areas {
+		prev, matched := matchArea(area, s.prevAreas)
+		for dim := 0; dim < d; dim++ {
+			for _, upper := range []bool{false, true} {
+				// pc_j: normalized boundary movement since last iteration.
+				pc := 1.0
+				if matched {
+					cur := area[dim].Lo
+					old := prev[dim].Lo
+					if upper {
+						cur, old = area[dim].Hi, prev[dim].Hi
+					}
+					pc = math.Abs(cur-old) / (geom.NormMax - geom.NormMin)
+					if pc > 1 {
+						pc = 1
+					}
+				}
+
+				slab := area.FaceSlab(dim, upper, s.opts.BoundaryX, s.bounds, s.opts.DomainSampling)
+				slabs = append(slabs, slab)
+
+				n := int(math.Ceil(base))
+				if s.opts.AdaptiveBoundary {
+					n = int(math.Round(pc*base)) + s.opts.BoundaryErr
+				}
+				if s.opts.NonOverlapSampling && pc < 1e-6 && s.coveredLastIteration(slab) {
+					// Unmoved boundary, already-sampled slab: only the
+					// error floor, to cover the case where the lack of
+					// movement was luck rather than an accurate fit.
+					n = s.opts.BoundaryErr
+				}
+				if n <= 0 {
+					continue
+				}
+				reqs = append(reqs, sampleRequest{rect: slab, n: n, phase: PhaseBoundary})
+			}
+		}
+	}
+	return reqs, slabs
+}
+
+// coveredLastIteration reports whether slab overlaps a slab sampled in
+// the previous iteration by at least OverlapSkipFrac of its volume.
+func (s *Session) coveredLastIteration(slab geom.Rect) bool {
+	for _, old := range s.lastSlabs {
+		if slab.OverlapFraction(old) >= s.opts.OverlapSkipFrac {
+			return true
+		}
+	}
+	return false
+}
+
+// matchArea pairs a current relevant area with the previous iteration's
+// area it most overlaps, so boundary movement can be measured between
+// "the same" area across iterations. ok is false when nothing overlaps
+// (a newly discovered area: every face is treated as fully changed).
+func matchArea(area geom.Rect, prev []geom.Rect) (geom.Rect, bool) {
+	var best geom.Rect
+	bestFrac := 0.0
+	for _, p := range prev {
+		if f := area.OverlapFraction(p); f > bestFrac {
+			bestFrac = f
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}

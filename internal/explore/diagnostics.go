@@ -1,0 +1,80 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// AreaInfo describes one predicted relevant area with the evidence behind
+// it, so a user can judge each disjunct of the final query before running
+// it ("this area is backed by 14 relevant labels; that one by 2").
+type AreaInfo struct {
+	// Area is the predicted relevant area in normalized space.
+	Area geom.Rect
+	// RawArea is the same area in raw attribute space (the query's
+	// coordinates).
+	RawArea geom.Rect
+	// Support is the number of labeled-relevant samples inside the area.
+	Support int
+	// Violations is the number of labeled-irrelevant samples inside the
+	// area (residual false positives the boundary phase has not yet
+	// carved away).
+	Violations int
+	// Selectivity is the fraction of all rows the area selects.
+	Selectivity float64
+}
+
+// Diagnostics returns per-area evidence for the current prediction,
+// ordered as RelevantAreas. It issues one count query per area.
+func (s *Session) Diagnostics() []AreaInfo {
+	areas := s.RelevantAreas()
+	if len(areas) == 0 {
+		return nil
+	}
+	norm := s.view.Normalizer()
+	total := float64(s.view.NumRows())
+	out := make([]AreaInfo, len(areas))
+	for i, a := range areas {
+		info := AreaInfo{Area: a, RawArea: norm.ToRawRect(a)}
+		for j, p := range s.points {
+			if !a.Contains(p) {
+				continue
+			}
+			if s.labels[j] {
+				info.Support++
+			} else {
+				info.Violations++
+			}
+		}
+		if total > 0 {
+			info.Selectivity = float64(s.view.Count(a)) / total
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// DiagnosticsString renders Diagnostics as a compact table with the
+// view's attribute names.
+func (s *Session) DiagnosticsString() string {
+	infos := s.Diagnostics()
+	if len(infos) == 0 {
+		return "no predicted areas\n"
+	}
+	attrs := s.view.Attrs()
+	var b strings.Builder
+	for i, info := range infos {
+		fmt.Fprintf(&b, "area %d: ", i+1)
+		for d, attr := range attrs {
+			if d > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s in [%.4g, %.4g]", attr, info.RawArea[d].Lo, info.RawArea[d].Hi)
+		}
+		fmt.Fprintf(&b, "\n        support %d relevant label(s), %d conflicting, selects %.2f%% of rows\n",
+			info.Support, info.Violations, info.Selectivity*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func TestDiagnostics(t *testing.T) {
+	v := testView(t, 20000, 401)
+	target := geom.R(30, 45, 50, 65)
+	s, err := NewSession(v, rectOracle(target), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, func(r *IterationResult) bool { return r.TotalLabeled >= 300 }, 30); err != nil {
+		t.Fatal(err)
+	}
+	infos := s.Diagnostics()
+	if len(infos) == 0 {
+		t.Skip("no areas formed with this seed")
+	}
+	if len(infos) != len(s.RelevantAreas()) {
+		t.Fatalf("diagnostics %d != areas %d", len(infos), len(s.RelevantAreas()))
+	}
+	var totalSupport int
+	for i, info := range infos {
+		if info.Support < 0 || info.Violations < 0 {
+			t.Errorf("area %d negative counts: %+v", i, info)
+		}
+		if info.Selectivity < 0 || info.Selectivity > 1 {
+			t.Errorf("area %d selectivity %v", i, info.Selectivity)
+		}
+		if info.RawArea.Dims() != info.Area.Dims() {
+			t.Errorf("area %d raw/norm dims differ", i)
+		}
+		totalSupport += info.Support
+	}
+	// The predicted areas must collectively hold a decent share of the
+	// relevant labels (the tree built them around those labels).
+	if totalSupport < s.Stats().TotalRelevant/2 {
+		t.Errorf("areas hold %d of %d relevant labels", totalSupport, s.Stats().TotalRelevant)
+	}
+	// Support should dominate violations: CART optimizes homogeneity.
+	var totalViolations int
+	for _, info := range infos {
+		totalViolations += info.Violations
+	}
+	if totalViolations > totalSupport {
+		t.Errorf("violations %d exceed support %d", totalViolations, totalSupport)
+	}
+}
+
+func TestDiagnosticsString(t *testing.T) {
+	v := testView(t, 20000, 402)
+	s, err := NewSession(v, rectOracle(geom.R(30, 45, 50, 65)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any areas exist.
+	if got := s.DiagnosticsString(); !strings.Contains(got, "no predicted areas") {
+		t.Errorf("empty diagnostics = %q", got)
+	}
+	if _, err := RunUntil(s, func(r *IterationResult) bool { return r.TotalLabeled >= 300 }, 30); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.RelevantAreas()) == 0 {
+		t.Skip("no areas formed")
+	}
+	got := s.DiagnosticsString()
+	for _, want := range []string{"area 1:", "a0 in [", "support"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package explore
+
+import (
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// clusteredView builds a 2-D view whose data concentrates around two
+// dense blobs, the skewed-space scenario of Section 3.1.
+func clusteredView(t testing.TB, n int, seed int64) *engine.View {
+	t.Helper()
+	specs := []dataset.ClusterSpec{
+		{Center: []float64{20, 20}, Std: 5, Weight: 1},
+		{Center: []float64{75, 75}, Std: 5, Weight: 1},
+	}
+	tab := dataset.GenerateClusters(n, 2, specs, 0.05, seed)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestClusteringDiscoveryFindsDenseTarget(t *testing.T) {
+	v := clusteredView(t, 20000, 1)
+	target := geom.R(15, 25, 15, 25) // sits on the first dense blob
+	opts := DefaultOptions()
+	opts.Discovery = DiscoveryClustering
+	s, err := NewSession(v, rectOracle(target), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, func(r *IterationResult) bool {
+		return s.discoveryHits > 0
+	}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.discoveryHits == 0 {
+		t.Error("clustering discovery never hit a dense-region target in 10 iterations")
+	}
+}
+
+func TestClusteringDiscoveryBeatsGridOnSkew(t *testing.T) {
+	// On a skewed space with a dense-region target, clustering discovery
+	// should need no more samples than grid discovery to first hit the
+	// target (Figure 10(c)'s qualitative claim). Compare first-hit effort
+	// over a few seeds.
+	sumGrid, sumCluster := 0, 0
+	for seed := int64(1); seed <= 3; seed++ {
+		v := clusteredView(t, 20000, seed)
+		target := geom.R(16, 24, 16, 24)
+		for _, strat := range []DiscoveryStrategy{DiscoveryGrid, DiscoveryClustering} {
+			opts := DefaultOptions()
+			opts.Seed = seed
+			opts.Discovery = strat
+			s, err := NewSession(v, rectOracle(target), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := RunUntil(s, func(r *IterationResult) bool {
+				return s.discoveryHits > 0
+			}, 60); err != nil {
+				t.Fatal(err)
+			}
+			if strat == DiscoveryGrid {
+				sumGrid += s.LabeledCount()
+			} else {
+				sumCluster += s.LabeledCount()
+			}
+		}
+	}
+	if sumCluster > sumGrid*2 {
+		t.Errorf("clustering needed %d samples vs grid %d on a dense target", sumCluster, sumGrid)
+	}
+}
+
+func TestHybridDiscoveryFallsBackToGrid(t *testing.T) {
+	// Target in a sparse corner: clustering levels concentrate on the
+	// blobs and exhaust; hybrid must fall back to the grid and still find
+	// it.
+	v := clusteredView(t, 20000, 5)
+	target := geom.R(40, 60, 40, 60) // between the blobs: sparse
+	opts := DefaultOptions()
+	opts.Discovery = DiscoveryHybrid
+	opts.MaxIterations = 400
+	s, err := NewSession(v, rectOracle(target), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, func(r *IterationResult) bool {
+		return s.discoveryHits > 0
+	}, 400); err != nil {
+		t.Fatal(err)
+	}
+	hd, ok := s.disc.(*hybridDiscovery)
+	if !ok {
+		t.Fatal("expected hybrid discovery")
+	}
+	if s.discoveryHits == 0 {
+		t.Error("hybrid discovery never found the sparse target")
+	}
+	if !hd.switched {
+		t.Log("hybrid found the target before switching to grid (acceptable)")
+	}
+}
+
+func TestGridDiscoveryZoomsIntoUnproductiveCells(t *testing.T) {
+	v := testView(t, 20000, 6)
+	opts := DefaultOptions()
+	opts.SamplesPerIteration = 0 // unbounded: one iteration per level sweep
+	s, err := NewSession(v, rectOracle(geom.R(10, 12, 10, 12)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbounded budget walks level 0 and every zoom level in one go.
+	gd := s.disc.(*gridDiscovery)
+	if gd.curLevel == 0 {
+		t.Errorf("discovery never descended past level 0 (samples %d)", res.NewSamples)
+	}
+	if res.NewSamples <= 16 {
+		t.Errorf("expected zooming to sample more than level 0's 16 cells, got %d", res.NewSamples)
+	}
+}
+
+func TestGridDiscoverySkipsEmptyCells(t *testing.T) {
+	// Data only in [0,25]^2 (normalized): the other 12 level-0 cells are
+	// empty and must not consume labels; zooming into them is pointless.
+	tab := dataset.GenerateClusters(3000, 2, []dataset.ClusterSpec{
+		{Center: []float64{12, 12}, Std: 4, Weight: 1},
+	}, 0, 7)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SamplesPerIteration = 0
+	opts.MaxZoomLevels = 1
+	s, err := NewSession(v, rectOracle(), opts) // nothing relevant
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-empty cells: a handful around the blob across two levels; far
+	// fewer than the 16+64 total cells.
+	if res.NewSamples > 30 {
+		t.Errorf("sampled %d times; empty cells apparently consumed effort", res.NewSamples)
+	}
+}
+
+func TestClusterDiscoveryRespectsRangeHint(t *testing.T) {
+	v := clusteredView(t, 20000, 8)
+	hint := geom.R(0, 50, 0, 50)
+	opts := DefaultOptions()
+	opts.Discovery = DiscoveryClustering
+	opts.RangeHint = hint
+	outside := 0
+	oracle := OracleFunc(func(view *engine.View, row int) bool {
+		if !hint.Contains(view.NormPoint(row)) {
+			outside++
+		}
+		return false
+	})
+	s, err := NewSession(v, oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster centroids are fit only on in-hint rows; their sampling
+	// balls can slightly poke out, so allow a modest fraction.
+	if s.LabeledCount() > 0 {
+		frac := float64(outside) / float64(s.LabeledCount())
+		if frac > 0.2 {
+			t.Errorf("%.0f%% of clustering-discovery samples outside hint", frac*100)
+		}
+	}
+}
+
+func TestNewDiscovererUnknownStrategy(t *testing.T) {
+	v := testView(t, 100, 9)
+	opts := DefaultOptions()
+	opts.Discovery = DiscoveryStrategy(42)
+	if _, err := NewSession(v, rectOracle(), opts); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
+
+func TestClusterLevelKOverride(t *testing.T) {
+	v := clusteredView(t, 5000, 10)
+	opts := DefaultOptions()
+	opts.Discovery = DiscoveryClustering
+	opts.ClusterLevelK = []int{2, 8}
+	s, err := NewSession(v, rectOracle(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := s.disc.(*clusterDiscovery)
+	if len(cd.levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(cd.levels))
+	}
+	if len(cd.levels[0]) != 2 || len(cd.levels[1]) != 8 {
+		t.Errorf("level sizes = %d,%d, want 2,8", len(cd.levels[0]), len(cd.levels[1]))
+	}
+	// Every level-1 node is the child of exactly one level-0 node.
+	childCount := 0
+	for i := range cd.levels[0] {
+		childCount += len(cd.levels[0][i].children)
+	}
+	if childCount != 8 {
+		t.Errorf("total children = %d, want 8", childCount)
+	}
+}
+
+func TestMisclassPerObjectVsClusteredQueries(t *testing.T) {
+	// With many false negatives and few discovery hits, the clustered
+	// strategy must plan fewer extraction queries.
+	v := testView(t, 20000, 11)
+	opts := DefaultOptions()
+	s, err := NewSession(v, rectOracle(geom.R(30, 44, 30, 44)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run until there are false negatives to plan around.
+	var fns []geom.Point
+	for i := 0; i < 60; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+		if s.tree != nil {
+			if fns = s.falseNegatives(); len(fns) > 1 {
+				break
+			}
+		}
+	}
+	if len(fns) < 2 {
+		t.Skip("never accumulated 2+ false negatives with this seed")
+	}
+	s.opts.Misclass = MisclassPerObject
+	perObj := s.planMisclass()
+	s.opts.Misclass = MisclassClustered
+	clustered := s.planMisclass()
+	if len(perObj) != len(fns) {
+		t.Errorf("per-object planned %d queries for %d FNs", len(perObj), len(fns))
+	}
+	if s.discoveryHits > 0 && s.discoveryHits < len(fns) && len(clustered) > len(perObj) {
+		t.Errorf("clustered planned %d queries, per-object %d", len(clustered), len(perObj))
+	}
+	// Total sample demand per FN is f in both strategies.
+	demand := func(reqs []sampleRequest) int {
+		n := 0
+		for _, r := range reqs {
+			n += r.n
+		}
+		return n
+	}
+	if demand(perObj) != len(fns)*s.opts.F {
+		t.Errorf("per-object demand = %d, want %d", demand(perObj), len(fns)*s.opts.F)
+	}
+	if demand(clustered) != len(fns)*s.opts.F {
+		t.Errorf("clustered demand = %d, want %d (f x cluster size summed)", demand(clustered), len(fns)*s.opts.F)
+	}
+}
+
+func TestPlanBoundaryShape(t *testing.T) {
+	v := testView(t, 20000, 12)
+	opts := DefaultOptions()
+	opts.AdaptiveBoundary = false
+	s, err := NewSession(v, rectOracle(geom.R(30, 45, 50, 65)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40 && len(s.areas) == 0; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.areas) == 0 {
+		t.Skip("no areas formed with this seed")
+	}
+	reqs, slabs := s.planBoundary()
+	wantFaces := len(s.areas) * 2 * v.Dims()
+	if len(slabs) != wantFaces {
+		t.Errorf("slabs = %d, want %d (one per face)", len(slabs), wantFaces)
+	}
+	if len(reqs) != wantFaces {
+		t.Errorf("non-adaptive requests = %d, want %d", len(reqs), wantFaces)
+	}
+	for _, rq := range reqs {
+		if rq.phase != PhaseBoundary {
+			t.Error("wrong phase on boundary request")
+		}
+		// With DomainSampling, exactly one dimension is narrow (2x width)
+		// and the rest span the domain.
+		narrow := 0
+		for d := 0; d < v.Dims(); d++ {
+			if rq.rect[d].Width() <= 2*s.opts.BoundaryX+1e-9 {
+				narrow++
+			}
+		}
+		if narrow == 0 {
+			t.Errorf("slab %v has no narrow dimension", rq.rect)
+		}
+	}
+}
+
+func TestPlanBoundaryAdaptiveShrinksBudget(t *testing.T) {
+	v := testView(t, 20000, 13)
+	opts := DefaultOptions()
+	s, err := NewSession(v, rectOracle(geom.R(30, 45, 50, 65)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60 && len(s.areas) == 0; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.areas) == 0 {
+		t.Skip("no areas formed")
+	}
+	// Pretend the previous areas equal the current ones: zero movement.
+	s.prevAreas = make([]geom.Rect, len(s.areas))
+	for i, a := range s.areas {
+		s.prevAreas[i] = a.Clone()
+	}
+	reqs, _ := s.planBoundary()
+	for _, rq := range reqs {
+		if rq.n > s.opts.BoundaryErr {
+			t.Errorf("unmoved boundary got %d samples, want <= er=%d", rq.n, s.opts.BoundaryErr)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Edge cases and failure injection for the session loop.
+
+func TestAllIrrelevantOracleTerminates(t *testing.T) {
+	// A user for whom nothing is relevant: the session must keep running
+	// without a classifier, exhaust the space gracefully, and predict an
+	// empty query.
+	v := testView(t, 2000, 101)
+	opts := DefaultOptions()
+	opts.MaxZoomLevels = 1
+	s, err := NewSession(v, rectOracle( /* no targets */ ), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunUntil(s, nil, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) >= 300 {
+		t.Error("session did not terminate on an exhausted space")
+	}
+	if got := s.RelevantAreas(); got != nil {
+		t.Errorf("predicted areas for an all-irrelevant user: %v", got)
+	}
+	q := s.FinalQuery()
+	if q.SQL() != "SELECT * FROM uniform WHERE FALSE;" {
+		t.Errorf("SQL = %q", q.SQL())
+	}
+}
+
+func TestAllRelevantOracle(t *testing.T) {
+	// Everything is relevant: no irrelevant class ever forms, so the tree
+	// cannot train; the session must not crash and must not claim areas.
+	v := testView(t, 2000, 102)
+	s, err := NewSession(v, OracleFunc(func(*engine.View, int) bool { return true }), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tree() != nil {
+		t.Error("tree trained with a single class")
+	}
+}
+
+func TestSingleRowTable(t *testing.T) {
+	tab := dataset.GenerateUniform(1, 2, 103)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(v, rectOracle(geom.NewRect(2)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewSamples != 1 {
+		t.Errorf("NewSamples = %d, want 1", res.NewSamples)
+	}
+}
+
+func TestTinyTargetNeverFoundStillTerminates(t *testing.T) {
+	// A target far smaller than the deepest zoom level can resolve: the
+	// session should sweep everything it can and stop, not spin.
+	v := testView(t, 3000, 104)
+	opts := DefaultOptions()
+	opts.MaxZoomLevels = 1
+	s, err := NewSession(v, rectOracle(geom.R(10, 10.01, 10, 10.01)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunUntil(s, nil, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) >= 500 {
+		t.Error("session spun on an unfindable target")
+	}
+}
+
+func TestPhaseDrivenBudget(t *testing.T) {
+	// SamplesPerIteration = 0 means no cap: the first iteration sweeps
+	// the entire discovery hierarchy.
+	v := testView(t, 20000, 105)
+	opts := DefaultOptions()
+	opts.SamplesPerIteration = 0
+	opts.MaxZoomLevels = 1
+	s, err := NewSession(v, rectOracle(geom.R(40, 55, 40, 55)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewSamples < 16 {
+		t.Errorf("unbounded first iteration sampled only %d", res.NewSamples)
+	}
+}
+
+func TestDegenerateRangeHint(t *testing.T) {
+	// A hint thinner than one cell still works: discovery explores the
+	// single overlapping cell chain.
+	v := testView(t, 20000, 106)
+	opts := DefaultOptions()
+	opts.RangeHint = geom.R(40, 42, 40, 42)
+	s, err := NewSession(v, rectOracle(geom.R(40, 42, 40, 42)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, nil, 30); err != nil {
+		t.Fatal(err)
+	}
+	if s.LabeledCount() == 0 {
+		t.Error("no samples labeled under a thin range hint")
+	}
+}
+
+func TestRelevantAreasAreMerged(t *testing.T) {
+	// The public RelevantAreas must return merged rectangles: strictly
+	// fewer or equal to the raw tree leaves.
+	v := testView(t, 20000, 107)
+	s, err := NewSession(v, rectOracle(geom.R(30, 45, 50, 65)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, func(r *IterationResult) bool { return r.TotalLabeled >= 300 }, 30); err != nil {
+		t.Fatal(err)
+	}
+	if s.tree == nil {
+		t.Skip("no tree formed")
+	}
+	raw := len(s.areas)
+	merged := len(s.RelevantAreas())
+	if merged > raw {
+		t.Errorf("merged %d > raw %d areas", merged, raw)
+	}
+}
+
+func TestIterationResultAccounting(t *testing.T) {
+	v := testView(t, 20000, 108)
+	s, err := NewSession(v, rectOracle(geom.R(30, 45, 50, 65)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cumulative := 0
+	for i := 0; i < 15; i++ {
+		res, err := s.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cumulative += res.NewSamples
+		if res.TotalLabeled != cumulative {
+			t.Fatalf("iteration %d: TotalLabeled=%d, cumulative=%d", i, res.TotalLabeled, cumulative)
+		}
+		sum := res.PhaseSamples[0] + res.PhaseSamples[1] + res.PhaseSamples[2]
+		if sum != res.NewSamples {
+			t.Fatalf("iteration %d: phase samples %v sum %d != NewSamples %d",
+				i, res.PhaseSamples, sum, res.NewSamples)
+		}
+		if res.NewRelevant > res.NewSamples {
+			t.Fatalf("iteration %d: more relevant than samples", i)
+		}
+		if res.Duration < res.TrainDuration {
+			t.Fatalf("iteration %d: train time exceeds total time", i)
+		}
+	}
+}
+
+// The session must work on 1-D exploration spaces.
+func TestOneDimensionalSpace(t *testing.T) {
+	tab := dataset.GenerateUniform(10000, 1, 109)
+	v, err := engine.NewView(tab, []string{"a0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(v, rectOracle(geom.R(30, 40)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, func(r *IterationResult) bool { return r.TotalLabeled >= 150 }, 20); err != nil {
+		t.Fatal(err)
+	}
+	areas := s.RelevantAreas()
+	if len(areas) == 0 {
+		t.Fatal("no 1-D areas found")
+	}
+	if f := geom.R(30, 40).OverlapFraction(areas[0]); f < 0.5 {
+		t.Errorf("1-D area overlap %v", f)
+	}
+}
+
+// The paper assumes a noise-free relevance system (§2.1); this test
+// documents graceful degradation beyond that assumption: with 5% label
+// noise the session must neither crash nor collapse — the predicted area
+// should still overlap the target substantially.
+func TestNoisyOracleDegradesGracefully(t *testing.T) {
+	v := testView(t, 20000, 301)
+	target := geom.R(30, 48, 50, 68)
+	flips := 0
+	rng := rand.New(rand.NewSource(301))
+	oracle := OracleFunc(func(view *engine.View, row int) bool {
+		truth := target.Contains(view.NormPoint(row))
+		if rng.Float64() < 0.05 {
+			flips++
+			return !truth
+		}
+		return truth
+	})
+	s, err := NewSession(v, oracle, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, func(r *IterationResult) bool { return r.TotalLabeled >= 600 }, 60); err != nil {
+		t.Fatal(err)
+	}
+	if flips == 0 {
+		t.Fatal("noise never injected")
+	}
+	best := 0.0
+	for _, a := range s.RelevantAreas() {
+		if f := target.OverlapFraction(a); f > best {
+			best = f
+		}
+	}
+	if best < 0.3 {
+		t.Errorf("best overlap under 5%% noise = %v; degradation too severe", best)
+	}
+}

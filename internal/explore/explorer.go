@@ -1,0 +1,120 @@
+package explore
+
+import (
+	"time"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Oracle supplies relevance labels: the human in the loop, or the
+// simulated user of the evaluation harness. Label is called at most once
+// per row per session; AIDE assumes a binary, non-noisy relevance system
+// where labels never change (Section 2.1).
+type Oracle interface {
+	// Label reports whether the given row of the view is relevant to the
+	// exploration task.
+	Label(v *engine.View, row int) bool
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(v *engine.View, row int) bool
+
+// Label implements Oracle.
+func (f OracleFunc) Label(v *engine.View, row int) bool { return f(v, row) }
+
+// Phase identifies which exploration phase extracted a sample.
+type Phase int
+
+const (
+	// PhaseDiscovery is relevant object discovery (Section 3).
+	PhaseDiscovery Phase = iota
+	// PhaseMisclass is misclassified exploitation (Section 4).
+	PhaseMisclass
+	// PhaseBoundary is boundary exploitation (Section 5).
+	PhaseBoundary
+	numPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseDiscovery:
+		return "discovery"
+	case PhaseMisclass:
+		return "misclassified"
+	case PhaseBoundary:
+		return "boundary"
+	default:
+		return "unknown"
+	}
+}
+
+// IterationResult summarizes one steering iteration.
+type IterationResult struct {
+	// Iteration is the 0-based iteration number.
+	Iteration int
+	// NewSamples is the number of freshly labeled tuples shown to the
+	// user this iteration.
+	NewSamples int
+	// NewRelevant counts how many of them the user labeled relevant.
+	NewRelevant int
+	// PhaseSamples breaks NewSamples down by extraction phase.
+	PhaseSamples [3]int
+	// TotalLabeled is the cumulative label count (the user effort so
+	// far).
+	TotalLabeled int
+	// RelevantAreas is the number of relevant areas the current
+	// classifier predicts.
+	RelevantAreas int
+	// Duration is the system execution time of the iteration: space
+	// exploration + sample extraction + classifier training, i.e. the
+	// user wait time (Section 6.1's efficiency metric). It excludes the
+	// user's own reviewing time.
+	Duration time.Duration
+	// TrainDuration is the classifier-training share of Duration.
+	TrainDuration time.Duration
+}
+
+// Explorer is the common surface of AIDE and the baseline strategies
+// (Random and Random-Grid, Section 6.2), letting the evaluation harness
+// drive them interchangeably.
+type Explorer interface {
+	// RunIteration executes one steering iteration.
+	RunIteration() (*IterationResult, error)
+	// RelevantAreas returns the current predicted relevant areas in
+	// normalized space (merged, may be empty).
+	RelevantAreas() []geom.Rect
+	// LabeledCount returns the cumulative number of labeled samples.
+	LabeledCount() int
+	// FinalQuery renders the current prediction as a raw-space query.
+	FinalQuery() engine.Query
+}
+
+// RunUntil drives an explorer until stop returns true or maxIter
+// iterations elapse, returning all iteration results. A nil stop runs to
+// maxIter. Iterations that cannot make progress (no new samples, e.g.
+// space exhausted) terminate the loop early.
+func RunUntil(e Explorer, stop func(*IterationResult) bool, maxIter int) ([]*IterationResult, error) {
+	var out []*IterationResult
+	idle := 0
+	for i := 0; i < maxIter; i++ {
+		res, err := e.RunIteration()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+		if stop != nil && stop(res) {
+			break
+		}
+		if res.NewSamples == 0 {
+			idle++
+			if idle >= 3 {
+				break // exploration space exhausted
+			}
+		} else {
+			idle = 0
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,295 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/cart"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Session is an AIDE exploration session: the full steering loop of
+// Figure 1 over one engine.View. Sessions are single-goroutine; create
+// one per exploration task.
+type Session struct {
+	view   *engine.View
+	oracle Oracle
+	opts   Options
+	rng    *rand.Rand
+	bounds geom.Rect // exploration bounds: RangeHint or the full domain
+
+	// Labeled training set. rows, points and labels are parallel.
+	labelOf map[int]bool
+	rows    []int
+	points  []geom.Point
+	labels  []bool
+	nPos    int
+
+	tree  *cart.Tree
+	areas []geom.Rect // current relevant areas (normalized, unmerged)
+
+	prevAreas []geom.Rect // relevant areas after the previous iteration
+	lastSlabs []geom.Rect // boundary slabs sampled in the previous iteration
+
+	disc          discoverer
+	discoveryHits int // relevant objects found by discovery: the paper's k indicator
+
+	iter  int
+	stats SessionStats
+}
+
+// SessionStats aggregates effort and timing over a session.
+type SessionStats struct {
+	// Iterations run so far.
+	Iterations int
+	// TotalLabeled is the user's total labeling effort.
+	TotalLabeled int
+	// TotalRelevant counts relevant labels among them.
+	TotalRelevant int
+	// PhaseSamples breaks TotalLabeled down by phase.
+	PhaseSamples [3]int
+	// PhaseQueries counts the sample-extraction queries each phase issued
+	// (one per sampling area: grid cell / cluster, misclassified object or
+	// cluster of them, boundary slab). The clustered misclassified
+	// exploitation exists precisely to shrink this number (Section 4.2).
+	PhaseQueries [3]int
+	// ExecTime is the cumulative system execution time (user wait time).
+	ExecTime time.Duration
+	// TrainTime is the classifier-training share of ExecTime.
+	TrainTime time.Duration
+}
+
+// sampleRequest is one planned sample-extraction query.
+type sampleRequest struct {
+	rect  geom.Rect
+	n     int
+	phase Phase
+}
+
+// NewSession creates a session over the view. The oracle provides labels;
+// opts tunes every knob (start from DefaultOptions).
+func NewSession(view *engine.View, oracle Oracle, opts Options) (*Session, error) {
+	if view == nil {
+		return nil, fmt.Errorf("explore: nil view")
+	}
+	if oracle == nil {
+		return nil, fmt.Errorf("explore: nil oracle")
+	}
+	if err := opts.validate(view.Dims()); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		view:    view,
+		oracle:  oracle,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		labelOf: make(map[int]bool),
+	}
+	if opts.RangeHint != nil {
+		s.bounds = opts.RangeHint.Clone()
+	} else {
+		s.bounds = geom.NewRect(view.Dims())
+	}
+	var err error
+	s.disc, err = newDiscoverer(s)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// View returns the session's view.
+func (s *Session) View() *engine.View { return s.view }
+
+// Options returns the session's (validated) options.
+func (s *Session) Options() Options { return s.opts }
+
+// Stats returns cumulative session statistics.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// LabeledCount implements Explorer.
+func (s *Session) LabeledCount() int { return len(s.rows) }
+
+// Tree returns the current classifier, or nil before one exists.
+func (s *Session) Tree() *cart.Tree { return s.tree }
+
+// RunIteration implements Explorer: it plans the iteration's sample set
+// from the three phases (Equation 2: S_i = T_discovery + T_misclass +
+// T_boundary), extracts and labels the samples, and retrains the
+// classifier.
+func (s *Session) RunIteration() (*IterationResult, error) {
+	start := time.Now()
+	res := &IterationResult{Iteration: s.iter}
+
+	budget := s.opts.SamplesPerIteration
+	if budget == 0 {
+		budget = math.MaxInt32
+	}
+
+	// Phases 2 and 3 need a classifier; the first iteration is discovery
+	// only (Section 3: "no other phases are applied in the first
+	// iteration").
+	if s.tree != nil {
+		var reqs []sampleRequest
+		if !s.opts.DisableMisclass {
+			reqs = append(reqs, s.planMisclass()...)
+		}
+		var slabs []geom.Rect
+		if !s.opts.DisableBoundary {
+			var breqs []sampleRequest
+			breqs, slabs = s.planBoundary()
+			reqs = append(reqs, breqs...)
+		}
+		reqs = trimRequests(reqs, budget)
+		for _, rq := range reqs {
+			s.stats.PhaseQueries[rq.phase]++
+			for _, row := range s.view.SampleRect(rq.rect, rq.n, s.rng) {
+				s.labelRow(row, rq.phase, res)
+			}
+		}
+		s.lastSlabs = slabs
+	}
+
+	// Remaining effort goes to discovery ("we used the remaining of 20
+	// samples to sample unexplored yet grid cells", Section 6.2).
+	if remaining := budget - res.NewSamples; remaining > 0 {
+		s.disc.step(s, remaining, res)
+	}
+
+	// Retrain the classifier on the grown training set.
+	trainStart := time.Now()
+	s.prevAreas = s.areas
+	if s.nPos > 0 && s.nPos < len(s.rows) {
+		tree, err := cart.Train(s.points, s.labels, s.opts.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("explore: training classifier: %w", err)
+		}
+		s.tree = tree
+		s.areas = tree.RelevantAreas(s.bounds)
+	} else {
+		s.tree = nil
+		s.areas = nil
+	}
+	res.TrainDuration = time.Since(trainStart)
+	res.Duration = time.Since(start)
+	res.TotalLabeled = len(s.rows)
+	res.RelevantAreas = len(s.areas)
+
+	s.iter++
+	s.stats.Iterations++
+	s.stats.TotalLabeled = len(s.rows)
+	s.stats.ExecTime += res.Duration
+	s.stats.TrainTime += res.TrainDuration
+	return res, nil
+}
+
+// labelRow shows one tuple to the oracle unless it was already labeled.
+// It returns the label and whether it consumed user effort.
+func (s *Session) labelRow(row int, phase Phase, res *IterationResult) (relevant, isNew bool) {
+	if lab, ok := s.labelOf[row]; ok {
+		return lab, false
+	}
+	lab := s.oracle.Label(s.view, row)
+	s.labelOf[row] = lab
+	s.rows = append(s.rows, row)
+	s.points = append(s.points, s.view.NormPoint(row))
+	s.labels = append(s.labels, lab)
+	if lab {
+		s.nPos++
+		res.NewRelevant++
+		s.stats.TotalRelevant++
+	}
+	res.NewSamples++
+	res.PhaseSamples[phase]++
+	s.stats.PhaseSamples[phase]++
+	return lab, true
+}
+
+// LabeledPoints returns copies of the labeled samples' normalized points
+// and their labels, in labeling order — the data a front-end plots.
+func (s *Session) LabeledPoints() ([]geom.Point, []bool) {
+	points := make([]geom.Point, len(s.points))
+	for i, p := range s.points {
+		points[i] = p.Clone()
+	}
+	labels := make([]bool, len(s.labels))
+	copy(labels, s.labels)
+	return points, labels
+}
+
+// RelevantAreas implements Explorer: the current prediction as merged
+// normalized rectangles.
+func (s *Session) RelevantAreas() []geom.Rect {
+	if len(s.areas) == 0 {
+		return nil
+	}
+	return cart.MergeAreas(s.areas)
+}
+
+// FinalQuery implements Explorer: it translates the classifier into the
+// data-extraction query of Section 2.2, in raw attribute space.
+func (s *Session) FinalQuery() engine.Query {
+	norm := s.view.Normalizer()
+	merged := s.RelevantAreas()
+	areas := make([]geom.Rect, len(merged))
+	for i, a := range merged {
+		areas[i] = norm.ToRawRect(a)
+	}
+	domains := norm.ToRawRect(geom.NewRect(s.view.Dims()))
+	return engine.Query{
+		Table:   s.view.Table().Name(),
+		Attrs:   s.view.Attrs(),
+		Areas:   areas,
+		Domains: domains,
+	}
+}
+
+// trimRequests enforces the per-iteration budget over planned requests,
+// preserving request order (misclassified exploitation is planned before
+// boundary exploitation, matching the paper's priority). Counts shrink
+// proportionally; requests that fall to zero are dropped.
+func trimRequests(reqs []sampleRequest, budget int) []sampleRequest {
+	total := 0
+	for _, r := range reqs {
+		total += r.n
+	}
+	if total <= budget {
+		return reqs
+	}
+	scale := float64(budget) / float64(total)
+	out := make([]sampleRequest, 0, len(reqs))
+	used := 0
+	for _, r := range reqs {
+		n := int(math.Floor(float64(r.n) * scale))
+		if n <= 0 {
+			continue
+		}
+		if used+n > budget {
+			n = budget - used
+		}
+		if n <= 0 {
+			break
+		}
+		r.n = n
+		out = append(out, r)
+		used += n
+	}
+	// Distribute leftover budget to the earliest requests.
+	for i := 0; used < budget && i < len(out); i++ {
+		out[i].n++
+		used++
+	}
+	// A budget smaller than the request count can starve everything in
+	// the proportional pass; fall back to the highest-priority request.
+	if len(out) == 0 && budget > 0 && len(reqs) > 0 {
+		first := reqs[0]
+		if first.n > budget {
+			first.n = budget
+		}
+		out = append(out, first)
+	}
+	return out
+}

@@ -1,0 +1,573 @@
+package explore
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// testView builds a uniform 2-D view with n rows.
+func testView(t testing.TB, n int, seed int64) *engine.View {
+	t.Helper()
+	tab := dataset.GenerateUniform(n, 2, seed)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// rectOracle labels rows relevant when their normalized point falls in
+// any target rect.
+func rectOracle(targets ...geom.Rect) Oracle {
+	return OracleFunc(func(v *engine.View, row int) bool {
+		p := v.NormPoint(row)
+		for _, r := range targets {
+			if r.Contains(p) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	v := testView(t, 100, 1)
+	if _, err := NewSession(nil, rectOracle(), DefaultOptions()); err == nil {
+		t.Error("nil view should error")
+	}
+	if _, err := NewSession(v, nil, DefaultOptions()); err == nil {
+		t.Error("nil oracle should error")
+	}
+	opts := DefaultOptions()
+	opts.RangeHint = geom.R(0, 10) // wrong dims
+	if _, err := NewSession(v, rectOracle(), opts); err == nil {
+		t.Error("RangeHint dim mismatch should error")
+	}
+	opts = DefaultOptions()
+	opts.DistanceHint = -1
+	if _, err := NewSession(v, rectOracle(), opts); err == nil {
+		t.Error("negative DistanceHint should error")
+	}
+	opts = DefaultOptions()
+	opts.SamplesPerIteration = -1
+	if _, err := NewSession(v, rectOracle(), opts); err == nil {
+		t.Error("negative SamplesPerIteration should error")
+	}
+}
+
+func TestOptionsValidateFillsDefaults(t *testing.T) {
+	var o Options
+	if err := o.validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if o.Beta0 != 4 || o.F != 10 || o.AlphaMax != 10 || o.MaxIterations != 200 {
+		t.Errorf("defaults not filled: %+v", o)
+	}
+}
+
+func TestFirstIterationIsDiscoveryOnly(t *testing.T) {
+	v := testView(t, 5000, 2)
+	s, err := NewSession(v, rectOracle(geom.R(40, 60, 40, 60)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iteration != 0 {
+		t.Errorf("iteration = %d", res.Iteration)
+	}
+	if res.PhaseSamples[PhaseMisclass] != 0 || res.PhaseSamples[PhaseBoundary] != 0 {
+		t.Errorf("first iteration used non-discovery phases: %v", res.PhaseSamples)
+	}
+	if res.NewSamples == 0 || res.NewSamples > 20 {
+		t.Errorf("NewSamples = %d, want 1..20", res.NewSamples)
+	}
+	if res.NewSamples != res.PhaseSamples[PhaseDiscovery] {
+		t.Error("discovery should account for all first-iteration samples")
+	}
+}
+
+func TestSessionConvergesOnEasyTarget(t *testing.T) {
+	v := testView(t, 20000, 3)
+	target := geom.R(30, 45, 50, 65) // 15-wide: bigger than Large, easy
+	s, err := NewSession(v, rectOracle(target), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunUntil(s, func(r *IterationResult) bool {
+		return r.TotalLabeled >= 600
+	}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no iterations ran")
+	}
+	areas := s.RelevantAreas()
+	if len(areas) == 0 {
+		t.Fatal("no relevant areas predicted")
+	}
+	// The biggest predicted area should overlap the target substantially.
+	bestOverlap := 0.0
+	for _, a := range areas {
+		if f := target.OverlapFraction(a); f > bestOverlap {
+			bestOverlap = f
+		}
+	}
+	if bestOverlap < 0.5 {
+		t.Errorf("best overlap with target = %v, want > 0.5 (areas: %v)", bestOverlap, areas)
+	}
+}
+
+func TestSessionUsesAllThreePhases(t *testing.T) {
+	v := testView(t, 20000, 4)
+	s, err := NewSession(v, rectOracle(geom.R(30, 45, 50, 65)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, func(r *IterationResult) bool {
+		return r.TotalLabeled >= 400
+	}, 40); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	for p := PhaseDiscovery; p < numPhases; p++ {
+		if st.PhaseSamples[p] == 0 {
+			t.Errorf("phase %v contributed no samples: %v", p, st.PhaseSamples)
+		}
+	}
+	if st.TotalLabeled != s.LabeledCount() {
+		t.Error("stats TotalLabeled disagrees with LabeledCount")
+	}
+	if st.ExecTime <= 0 {
+		t.Error("ExecTime not recorded")
+	}
+}
+
+func TestSessionDeterministicForSeed(t *testing.T) {
+	run := func() []geom.Rect {
+		v := testView(t, 10000, 5)
+		s, err := NewSession(v, rectOracle(geom.R(20, 35, 20, 35)), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunUntil(s, nil, 15); err != nil {
+			t.Fatal(err)
+		}
+		return s.RelevantAreas()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different area counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Errorf("area %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSessionRespectsBudget(t *testing.T) {
+	v := testView(t, 20000, 6)
+	opts := DefaultOptions()
+	opts.SamplesPerIteration = 7
+	s, err := NewSession(v, rectOracle(geom.R(30, 45, 50, 65)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		res, err := s.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NewSamples > 7 {
+			t.Fatalf("iteration %d used %d samples, budget 7", i, res.NewSamples)
+		}
+	}
+}
+
+func TestPhaseDisableFlags(t *testing.T) {
+	v := testView(t, 20000, 7)
+	opts := DefaultOptions()
+	opts.DisableMisclass = true
+	opts.DisableBoundary = true
+	s, err := NewSession(v, rectOracle(geom.R(30, 45, 50, 65)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, nil, 20); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.PhaseSamples[PhaseMisclass] != 0 || st.PhaseSamples[PhaseBoundary] != 0 {
+		t.Errorf("disabled phases still sampled: %v", st.PhaseSamples)
+	}
+	if st.PhaseSamples[PhaseDiscovery] == 0 {
+		t.Error("discovery should still run")
+	}
+}
+
+func TestRangeHintRestrictsExploration(t *testing.T) {
+	v := testView(t, 20000, 8)
+	hint := geom.R(0, 50, 0, 50)
+	opts := DefaultOptions()
+	opts.RangeHint = hint
+	var outside int
+	oracle := OracleFunc(func(view *engine.View, row int) bool {
+		p := view.NormPoint(row)
+		if !hint.Contains(p) {
+			outside++
+		}
+		return geom.R(20, 35, 20, 35).Contains(p)
+	})
+	s, err := NewSession(v, oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, nil, 20); err != nil {
+		t.Fatal(err)
+	}
+	// A small tolerance: boundary slabs at the hint edge may poke out by
+	// the slab half-width.
+	if frac := float64(outside) / float64(s.LabeledCount()); frac > 0.05 {
+		t.Errorf("%.1f%% of samples outside the range hint", frac*100)
+	}
+}
+
+func TestDistanceHintStartsDeeper(t *testing.T) {
+	v := testView(t, 20000, 9)
+	opts := DefaultOptions()
+	opts.DistanceHint = 5 // relevant areas at least 5 wide -> level 3 (width 3.125)
+	s, err := NewSession(v, rectOracle(geom.R(20, 26, 20, 26)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, ok := s.disc.(*gridDiscovery)
+	if !ok {
+		t.Fatal("expected grid discovery")
+	}
+	if gd.curLevel != 3 {
+		t.Errorf("start level = %d, want 3", gd.curLevel)
+	}
+	if len(gd.frontier) != 32*32 {
+		t.Errorf("frontier = %d cells, want 1024", len(gd.frontier))
+	}
+}
+
+func TestFinalQuerySQL(t *testing.T) {
+	v := testView(t, 20000, 10)
+	s, err := NewSession(v, rectOracle(geom.R(30, 45, 50, 65)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(s, func(r *IterationResult) bool { return r.TotalLabeled >= 300 }, 30); err != nil {
+		t.Fatal(err)
+	}
+	q := s.FinalQuery()
+	if q.Table != "uniform" {
+		t.Errorf("table = %q", q.Table)
+	}
+	sql := q.SQL()
+	if !strings.Contains(sql, "SELECT * FROM uniform WHERE") {
+		t.Errorf("SQL = %q", sql)
+	}
+	if !strings.Contains(sql, "a0 >=") {
+		t.Errorf("SQL missing predicates: %q", sql)
+	}
+	// The query should execute against the view.
+	rows, err := q.Execute(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Error("final query selects nothing")
+	}
+}
+
+func TestTrimRequests(t *testing.T) {
+	reqs := []sampleRequest{
+		{n: 10, phase: PhaseMisclass},
+		{n: 10, phase: PhaseBoundary},
+	}
+	got := trimRequests(reqs, 30)
+	if len(got) != 2 || got[0].n != 10 || got[1].n != 10 {
+		t.Errorf("under-budget requests were modified: %+v", got)
+	}
+	got = trimRequests(reqs, 10)
+	total := 0
+	for _, r := range got {
+		total += r.n
+	}
+	if total != 10 {
+		t.Errorf("trimmed total = %d, want 10", total)
+	}
+	// Order preserved: misclassified stays first.
+	if len(got) > 0 && got[0].phase != PhaseMisclass {
+		t.Error("trim reordered requests")
+	}
+	// Tiny budget keeps at least something.
+	got = trimRequests(reqs, 1)
+	total = 0
+	for _, r := range got {
+		total += r.n
+	}
+	if total != 1 {
+		t.Errorf("trimmed to %d, want 1", total)
+	}
+}
+
+func TestTrimRequestsZeroBudget(t *testing.T) {
+	got := trimRequests([]sampleRequest{{n: 5}}, 0)
+	for _, r := range got {
+		if r.n > 0 {
+			t.Errorf("zero budget produced requests: %+v", got)
+		}
+	}
+}
+
+func TestMatchArea(t *testing.T) {
+	cur := geom.R(10, 20, 10, 20)
+	prev := []geom.Rect{
+		geom.R(50, 60, 50, 60),
+		geom.R(12, 22, 10, 20), // strong overlap
+	}
+	m, ok := matchArea(cur, prev)
+	if !ok || !m.Equal(prev[1]) {
+		t.Errorf("matchArea = %v, %v", m, ok)
+	}
+	_, ok = matchArea(cur, []geom.Rect{geom.R(50, 60, 50, 60)})
+	if ok {
+		t.Error("non-overlapping areas should not match")
+	}
+	_, ok = matchArea(cur, nil)
+	if ok {
+		t.Error("empty prev should not match")
+	}
+}
+
+func TestExplorerInterfacesAndStrings(t *testing.T) {
+	if DiscoveryGrid.String() != "grid" || DiscoveryClustering.String() != "clustering" || DiscoveryHybrid.String() != "hybrid" {
+		t.Error("DiscoveryStrategy.String wrong")
+	}
+	if DiscoveryStrategy(99).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+	if MisclassClustered.String() != "clustered" || MisclassPerObject.String() != "per-object" {
+		t.Error("MisclassStrategy.String wrong")
+	}
+	if PhaseDiscovery.String() != "discovery" || PhaseMisclass.String() != "misclassified" || PhaseBoundary.String() != "boundary" {
+		t.Error("Phase.String wrong")
+	}
+	if Phase(9).String() != "unknown" {
+		t.Error("unknown phase should render 'unknown'")
+	}
+}
+
+func TestRunUntilStopsWhenIdle(t *testing.T) {
+	// A tiny table exhausts quickly; RunUntil must terminate early.
+	v := testView(t, 30, 11)
+	opts := DefaultOptions()
+	opts.MaxZoomLevels = 1
+	s, err := NewSession(v, rectOracle(geom.R(0, 50, 0, 50)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunUntil(s, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) >= 100 {
+		t.Errorf("RunUntil did not stop on idle (%d iterations)", len(results))
+	}
+	if s.LabeledCount() > 30 {
+		t.Error("labeled more rows than exist")
+	}
+}
+
+func TestLabelRowDedup(t *testing.T) {
+	v := testView(t, 100, 12)
+	calls := 0
+	oracle := OracleFunc(func(view *engine.View, row int) bool {
+		calls++
+		return false
+	})
+	s, err := NewSession(v, oracle, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &IterationResult{}
+	s.labelRow(5, PhaseDiscovery, res)
+	s.labelRow(5, PhaseDiscovery, res)
+	if calls != 1 {
+		t.Errorf("oracle called %d times for one row", calls)
+	}
+	if res.NewSamples != 1 {
+		t.Errorf("NewSamples = %d, want 1", res.NewSamples)
+	}
+}
+
+func TestFalseNegativesAndPositives(t *testing.T) {
+	v := testView(t, 5000, 13)
+	target := geom.R(40, 55, 40, 55)
+	s, err := NewSession(v, rectOracle(target), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run until a tree exists.
+	for i := 0; i < 30 && s.tree == nil; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.tree == nil {
+		t.Skip("no tree formed (target never hit with this seed)")
+	}
+	fns := s.falseNegatives()
+	fps := s.falsePositives()
+	// All false negatives must be labeled relevant and predicted not.
+	for _, p := range fns {
+		if !s.tree.Predict(p) == false {
+			t.Error("false negative predicted relevant")
+		}
+	}
+	_ = fps // count varies; just exercise the path
+}
+
+func TestBaselineRandomConverges(t *testing.T) {
+	v := testView(t, 10000, 14)
+	target := geom.R(20, 60, 20, 60) // huge target: random sampling finds it fast
+	r, err := NewRandom(v, rectOracle(target), 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(r, func(res *IterationResult) bool { return res.TotalLabeled >= 300 }, 30); err != nil {
+		t.Fatal(err)
+	}
+	areas := r.RelevantAreas()
+	if len(areas) == 0 {
+		t.Fatal("random baseline predicted nothing")
+	}
+	best := 0.0
+	for _, a := range areas {
+		if f := target.OverlapFraction(a); f > best {
+			best = f
+		}
+	}
+	if best < 0.4 {
+		t.Errorf("random baseline best overlap %v", best)
+	}
+	q := r.FinalQuery()
+	if q.Table != "uniform" || len(q.Areas) == 0 {
+		t.Error("random baseline FinalQuery malformed")
+	}
+}
+
+func TestBaselineRandomGridSpreadsSamples(t *testing.T) {
+	v := testView(t, 10000, 15)
+	rg, err := NewRandomGrid(v, rectOracle(geom.R(20, 40, 20, 40)), 16, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rg.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewSamples != 16 {
+		t.Fatalf("NewSamples = %d, want 16", res.NewSamples)
+	}
+	// 16 samples from 16 level-0 cells: each sampled point should be in a
+	// distinct cell.
+	cells := map[string]bool{}
+	for row := range rg.labelOf {
+		p := v.NormPoint(row)
+		cells[rg.g.CellOf(0, p).Key()] = true
+	}
+	if len(cells) < 12 {
+		t.Errorf("samples concentrated in %d cells, want spread", len(cells))
+	}
+	if rg.LabeledCount() != 16 {
+		t.Error("LabeledCount wrong")
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	v := testView(t, 100, 16)
+	if _, err := NewRandom(nil, rectOracle(), 20, 1); err == nil {
+		t.Error("nil view should error")
+	}
+	if _, err := NewRandomGrid(v, nil, 20, 4, 1); err == nil {
+		t.Error("nil oracle should error")
+	}
+	// Zero perIter and beta default sanely.
+	r, err := NewRandom(v, rectOracle(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.perIter != 20 {
+		t.Error("perIter default not applied")
+	}
+	rg, err := NewRandomGrid(v, rectOracle(), 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.perIter != 20 {
+		t.Error("perIter default not applied")
+	}
+}
+
+func TestOracleFuncAdapter(t *testing.T) {
+	v := testView(t, 10, 17)
+	f := OracleFunc(func(view *engine.View, row int) bool { return row%2 == 0 })
+	if !f.Label(v, 2) || f.Label(v, 3) {
+		t.Error("OracleFunc adapter broken")
+	}
+}
+
+func TestRunUntilPropagatesErrors(t *testing.T) {
+	e := &errExplorer{}
+	if _, err := RunUntil(e, nil, 5); err == nil {
+		t.Error("RunUntil should propagate explorer errors")
+	}
+}
+
+type errExplorer struct{}
+
+func (e *errExplorer) RunIteration() (*IterationResult, error) {
+	return nil, errTest
+}
+func (e *errExplorer) RelevantAreas() []geom.Rect { return nil }
+func (e *errExplorer) LabeledCount() int          { return 0 }
+func (e *errExplorer) FinalQuery() engine.Query   { return engine.Query{} }
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+// Sanity: the random source is used, not global rand.
+func TestNoGlobalRandDependence(t *testing.T) {
+	rand.Seed(1) //nolint:staticcheck // intentionally perturbing global state
+	v := testView(t, 5000, 18)
+	s1, _ := NewSession(v, rectOracle(geom.R(10, 30, 10, 30)), DefaultOptions())
+	r1, err := s1.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rand.Seed(99) //nolint:staticcheck
+	s2, _ := NewSession(v, rectOracle(geom.R(10, 30, 10, 30)), DefaultOptions())
+	r2, err := s2.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.NewSamples != r2.NewSamples || r1.NewRelevant != r2.NewRelevant {
+		t.Error("session depends on global rand state")
+	}
+}

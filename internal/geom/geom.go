@@ -1,0 +1,492 @@
+// Package geom provides the geometric primitives used throughout AIDE:
+// points in a d-dimensional exploration space, axis-aligned
+// hyper-rectangles, domain normalization to the canonical [0,100] range,
+// and distance functions.
+//
+// All of AIDE's exploration phases (grid discovery, misclassified
+// exploitation, boundary exploitation) reason about regions of the data
+// space as hyper-rectangles, mirroring the decision-tree areas described
+// in Section 5.1 of the paper.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// NormMin and NormMax bound the canonical normalized domain. The paper
+// normalizes every attribute domain to [0,100] so that distances are
+// comparable across attributes (Section 3, footnote 2).
+const (
+	NormMin = 0.0
+	NormMax = 100.0
+)
+
+// Point is a location in a d-dimensional exploration space.
+type Point []float64
+
+// Clone returns a copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Dist returns the Euclidean distance between p and q.
+// It panics if the dimensionalities differ.
+func (p Point) Dist(q Point) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(q)))
+	}
+	var sum float64
+	for i := range p {
+		d := p[i] - q[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// ChebyshevDist returns the L-infinity distance between p and q: the
+// maximum per-dimension absolute difference. AIDE's sampling areas are
+// defined "within distance y along each dimension" (Section 4.2), which
+// is a Chebyshev ball, i.e. a hyper-rectangle.
+func (p Point) ChebyshevDist(q Point) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(q)))
+	}
+	var m float64
+	for i := range p {
+		d := math.Abs(p[i] - q[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Interval is a closed numeric range [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi-Lo; zero or negative widths denote empty or degenerate
+// intervals.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether v lies in [Lo, Hi].
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Clamp returns v restricted to [Lo, Hi].
+func (iv Interval) Clamp(v float64) float64 {
+	if v < iv.Lo {
+		return iv.Lo
+	}
+	if v > iv.Hi {
+		return iv.Hi
+	}
+	return v
+}
+
+// Intersect returns the overlap of two intervals and whether it is
+// non-empty.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	lo := math.Max(iv.Lo, other.Lo)
+	hi := math.Min(iv.Hi, other.Hi)
+	if lo > hi {
+		return Interval{}, false
+	}
+	return Interval{lo, hi}, true
+}
+
+// Rect is an axis-aligned hyper-rectangle: one Interval per dimension.
+// A Rect with zero dimensions is considered empty.
+type Rect []Interval
+
+// NewRect allocates a d-dimensional rectangle covering the whole
+// normalized domain [NormMin, NormMax] in every dimension.
+func NewRect(d int) Rect {
+	r := make(Rect, d)
+	for i := range r {
+		r[i] = Interval{NormMin, NormMax}
+	}
+	return r
+}
+
+// R builds a Rect from (lo, hi) pairs: R(0,10, 20,30) is the 2-D rect
+// [0,10]x[20,30]. It panics on an odd number of arguments.
+func R(pairs ...float64) Rect {
+	if len(pairs)%2 != 0 {
+		panic("geom: R requires lo,hi pairs")
+	}
+	r := make(Rect, len(pairs)/2)
+	for i := range r {
+		r[i] = Interval{Lo: pairs[2*i], Hi: pairs[2*i+1]}
+	}
+	return r
+}
+
+// RectAround returns the Chebyshev ball of radius y around center, clipped
+// to bounds. This is the "random samples within a normalized distance y on
+// each dimension" sampling area of Section 4.2.
+func RectAround(center Point, y float64, bounds Rect) Rect {
+	r := make(Rect, len(center))
+	for i := range center {
+		r[i] = Interval{center[i] - y, center[i] + y}
+		if bounds != nil {
+			if got, ok := r[i].Intersect(bounds[i]); ok {
+				r[i] = got
+			} else {
+				r[i] = Interval{bounds[i].Clamp(center[i]), bounds[i].Clamp(center[i])}
+			}
+		}
+	}
+	return r
+}
+
+// Dims returns the dimensionality of the rectangle.
+func (r Rect) Dims() int { return len(r) }
+
+// Clone returns a deep copy of r.
+func (r Rect) Clone() Rect {
+	q := make(Rect, len(r))
+	copy(q, r)
+	return q
+}
+
+// Contains reports whether p lies inside r (boundaries inclusive).
+func (r Rect) Contains(p Point) bool {
+	if len(p) != len(r) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(r)))
+	}
+	for i := range r {
+		if !r[i].Contains(p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEmpty reports whether any dimension has negative width (the rectangle
+// contains no points). Zero-width dimensions still contain boundary points
+// and are not considered empty.
+func (r Rect) IsEmpty() bool {
+	if len(r) == 0 {
+		return true
+	}
+	for i := range r {
+		if r[i].Lo > r[i].Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Volume returns the product of the dimension widths.
+func (r Rect) Volume() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	v := 1.0
+	for i := range r {
+		v *= r[i].Width()
+	}
+	return v
+}
+
+// Center returns the midpoint of the rectangle, the "virtual center" used
+// by grid-based object discovery (Section 3).
+func (r Rect) Center() Point {
+	c := make(Point, len(r))
+	for i := range r {
+		c[i] = (r[i].Lo + r[i].Hi) / 2
+	}
+	return c
+}
+
+// Intersect returns the overlap of two rectangles and whether it is
+// non-empty.
+func (r Rect) Intersect(other Rect) (Rect, bool) {
+	if len(r) != len(other) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(r), len(other)))
+	}
+	out := make(Rect, len(r))
+	for i := range r {
+		iv, ok := r[i].Intersect(other[i])
+		if !ok {
+			return nil, false
+		}
+		out[i] = iv
+	}
+	return out, true
+}
+
+// Overlaps reports whether two rectangles share any point.
+func (r Rect) Overlaps(other Rect) bool {
+	_, ok := r.Intersect(other)
+	return ok
+}
+
+// OverlapFraction returns the volume of the intersection divided by the
+// volume of r. It returns 0 when r has zero volume. The non-overlapping
+// sampling-area optimization (Section 5.2) skips slabs whose overlap
+// fraction with the previous iteration's slab is high.
+func (r Rect) OverlapFraction(other Rect) float64 {
+	vol := r.Volume()
+	if vol == 0 {
+		return 0
+	}
+	inter, ok := r.Intersect(other)
+	if !ok {
+		return 0
+	}
+	return inter.Volume() / vol
+}
+
+// Expand grows the rectangle by delta on every side of every dimension,
+// clipping to bounds when bounds is non-nil.
+func (r Rect) Expand(delta float64, bounds Rect) Rect {
+	out := make(Rect, len(r))
+	for i := range r {
+		out[i] = Interval{r[i].Lo - delta, r[i].Hi + delta}
+		if bounds != nil {
+			if iv, ok := out[i].Intersect(bounds[i]); ok {
+				out[i] = iv
+			}
+		}
+	}
+	return out
+}
+
+// FaceSlab returns the sampling slab around one face of the rectangle:
+// dimension dim, upper face when upper is true. The slab spans
+// [boundary-x, boundary+x] in dim. When wholeDomain is true the remaining
+// dimensions cover the full bounds (the irrelevant-attribute
+// optimization of Section 5.2); otherwise they keep the rectangle's own
+// extents.
+func (r Rect) FaceSlab(dim int, upper bool, x float64, bounds Rect, wholeDomain bool) Rect {
+	out := make(Rect, len(r))
+	for i := range r {
+		switch {
+		case i == dim:
+			b := r[i].Lo
+			if upper {
+				b = r[i].Hi
+			}
+			out[i] = Interval{b - x, b + x}
+		case wholeDomain:
+			out[i] = bounds[i]
+		default:
+			out[i] = r[i]
+		}
+		if bounds != nil {
+			if iv, ok := out[i].Intersect(bounds[i]); ok {
+				out[i] = iv
+			} else {
+				// Face lies entirely outside bounds; collapse to the
+				// nearest boundary value so the slab stays valid.
+				v := bounds[i].Clamp(out[i].Lo)
+				out[i] = Interval{v, v}
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether two rectangles have identical intervals.
+func (r Rect) Equal(other Rect) bool {
+	if len(r) != len(other) {
+		return false
+	}
+	for i := range r {
+		if r[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rectangle as "[lo,hi]x[lo,hi]...".
+func (r Rect) String() string {
+	var b strings.Builder
+	for i := range r {
+		if i > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "[%.3g,%.3g]", r[i].Lo, r[i].Hi)
+	}
+	return b.String()
+}
+
+// Normalizer maps raw attribute values into the canonical [0,100]
+// normalized space and back. One Normalizer covers all d dimensions of an
+// exploration task.
+type Normalizer struct {
+	mins   []float64
+	widths []float64 // raw max-min per dimension; zero means constant attribute
+}
+
+// NewNormalizer builds a Normalizer for attributes with the given raw
+// [min,max] domains. It returns an error when the slices disagree in
+// length or a domain is inverted.
+func NewNormalizer(mins, maxs []float64) (*Normalizer, error) {
+	if len(mins) != len(maxs) {
+		return nil, fmt.Errorf("geom: %d mins vs %d maxs", len(mins), len(maxs))
+	}
+	n := &Normalizer{mins: make([]float64, len(mins)), widths: make([]float64, len(mins))}
+	for i := range mins {
+		if maxs[i] < mins[i] {
+			return nil, fmt.Errorf("geom: inverted domain on dimension %d: [%g,%g]", i, mins[i], maxs[i])
+		}
+		n.mins[i] = mins[i]
+		n.widths[i] = maxs[i] - mins[i]
+	}
+	return n, nil
+}
+
+// Dims returns the number of dimensions the normalizer covers.
+func (n *Normalizer) Dims() int { return len(n.mins) }
+
+// ToNorm maps a raw point into normalized space. Constant attributes map
+// to the domain midpoint.
+func (n *Normalizer) ToNorm(raw Point) Point {
+	out := make(Point, len(raw))
+	for i := range raw {
+		out[i] = n.ToNormValue(i, raw[i])
+	}
+	return out
+}
+
+// ToNormValue maps one raw attribute value into [0,100].
+func (n *Normalizer) ToNormValue(dim int, v float64) float64 {
+	if n.widths[dim] == 0 {
+		return (NormMin + NormMax) / 2
+	}
+	return (v - n.mins[dim]) / n.widths[dim] * (NormMax - NormMin)
+}
+
+// ToRaw maps a normalized point back into raw attribute space.
+func (n *Normalizer) ToRaw(norm Point) Point {
+	out := make(Point, len(norm))
+	for i := range norm {
+		out[i] = n.ToRawValue(i, norm[i])
+	}
+	return out
+}
+
+// ToRawValue maps one normalized value back to the raw domain.
+func (n *Normalizer) ToRawValue(dim int, v float64) float64 {
+	return n.mins[dim] + v/(NormMax-NormMin)*n.widths[dim]
+}
+
+// ToRawRect converts a normalized rectangle to raw coordinates.
+func (n *Normalizer) ToRawRect(r Rect) Rect {
+	out := make(Rect, len(r))
+	for i := range r {
+		out[i] = Interval{n.ToRawValue(i, r[i].Lo), n.ToRawValue(i, r[i].Hi)}
+	}
+	return out
+}
+
+// ToNormRect converts a raw rectangle to normalized coordinates.
+func (n *Normalizer) ToNormRect(r Rect) Rect {
+	out := make(Rect, len(r))
+	for i := range r {
+		out[i] = Interval{n.ToNormValue(i, r[i].Lo), n.ToNormValue(i, r[i].Hi)}
+	}
+	return out
+}
+
+// UnionVolume returns the volume of the union of the rectangles, computed
+// by inclusion-exclusion on the pairwise-disjoint decomposition along a
+// sweep of the first dimension. For the small rectangle counts AIDE deals
+// with (≤ tens of relevant areas) an exact O(2^n) inclusion-exclusion is
+// fine for n ≤ 20; beyond that we fall back to a Monte-Carlo estimate
+// driven by a deterministic low-discrepancy sequence.
+func UnionVolume(rects []Rect) float64 {
+	switch {
+	case len(rects) == 0:
+		return 0
+	case len(rects) <= 20:
+		return unionVolumeExact(rects)
+	default:
+		return unionVolumeMC(rects)
+	}
+}
+
+func unionVolumeExact(rects []Rect) float64 {
+	n := len(rects)
+	var total float64
+	// Inclusion-exclusion over non-empty subsets.
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var inter Rect
+		ok := true
+		bits := 0
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			bits++
+			if inter == nil {
+				inter = rects[i].Clone()
+				continue
+			}
+			inter, ok = inter.Intersect(rects[i])
+		}
+		if !ok {
+			continue
+		}
+		v := inter.Volume()
+		if bits%2 == 1 {
+			total += v
+		} else {
+			total -= v
+		}
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// unionVolumeMC estimates the union volume with a Halton-sequence sample
+// over the bounding box of the rectangles.
+func unionVolumeMC(rects []Rect) float64 {
+	d := rects[0].Dims()
+	bound := rects[0].Clone()
+	for _, r := range rects[1:] {
+		for i := 0; i < d; i++ {
+			bound[i].Lo = math.Min(bound[i].Lo, r[i].Lo)
+			bound[i].Hi = math.Max(bound[i].Hi, r[i].Hi)
+		}
+	}
+	const samples = 200000
+	primes := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	hit := 0
+	p := make(Point, d)
+	for s := 1; s <= samples; s++ {
+		for i := 0; i < d; i++ {
+			u := halton(s, primes[i%len(primes)])
+			p[i] = bound[i].Lo + u*bound[i].Width()
+		}
+		for _, r := range rects {
+			if r.Contains(p) {
+				hit++
+				break
+			}
+		}
+	}
+	return bound.Volume() * float64(hit) / float64(samples)
+}
+
+// halton returns element i of the base-b Halton low-discrepancy sequence.
+func halton(i, b int) float64 {
+	f := 1.0
+	r := 0.0
+	for i > 0 {
+		f /= float64(b)
+		r += f * float64(i%b)
+		i /= b
+	}
+	return r
+}

@@ -1,0 +1,445 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := p.Dist(q); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := p.Dist(p); got != 0 {
+		t.Errorf("self Dist = %v, want 0", got)
+	}
+}
+
+func TestPointDistDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Point{1}.Dist(Point{1, 2})
+}
+
+func TestChebyshevDist(t *testing.T) {
+	p := Point{0, 0, 0}
+	q := Point{1, -7, 3}
+	if got := p.ChebyshevDist(q); got != 7 {
+		t.Errorf("ChebyshevDist = %v, want 7", got)
+	}
+}
+
+func TestPointClone(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{2, 5}
+	if iv.Width() != 3 {
+		t.Errorf("Width = %v, want 3", iv.Width())
+	}
+	for _, tc := range []struct {
+		v    float64
+		want bool
+	}{{2, true}, {5, true}, {3.3, true}, {1.999, false}, {5.001, false}} {
+		if got := iv.Contains(tc.v); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+	if got := iv.Clamp(-1); got != 2 {
+		t.Errorf("Clamp(-1) = %v, want 2", got)
+	}
+	if got := iv.Clamp(100); got != 5 {
+		t.Errorf("Clamp(100) = %v, want 5", got)
+	}
+	if got := iv.Clamp(3); got != 3 {
+		t.Errorf("Clamp(3) = %v, want 3", got)
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := Interval{0, 10}
+	b := Interval{5, 20}
+	got, ok := a.Intersect(b)
+	if !ok || got != (Interval{5, 10}) {
+		t.Errorf("Intersect = %v,%v, want {5 10},true", got, ok)
+	}
+	_, ok = a.Intersect(Interval{11, 12})
+	if ok {
+		t.Error("disjoint intervals should not intersect")
+	}
+	// Touching intervals intersect in a single point.
+	got, ok = a.Intersect(Interval{10, 12})
+	if !ok || got != (Interval{10, 10}) {
+		t.Errorf("touching Intersect = %v,%v", got, ok)
+	}
+}
+
+func TestNewRectCoversNormalizedDomain(t *testing.T) {
+	r := NewRect(3)
+	if r.Dims() != 3 {
+		t.Fatalf("Dims = %d", r.Dims())
+	}
+	for i := range r {
+		if r[i] != (Interval{NormMin, NormMax}) {
+			t.Errorf("dim %d = %v", i, r[i])
+		}
+	}
+	if got := r.Volume(); got != 1e6 {
+		t.Errorf("Volume = %v, want 1e6", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{{0, 10}, {20, 30}}
+	if !r.Contains(Point{5, 25}) {
+		t.Error("interior point should be contained")
+	}
+	if !r.Contains(Point{0, 30}) {
+		t.Error("corner should be contained")
+	}
+	if r.Contains(Point{11, 25}) {
+		t.Error("outside point should not be contained")
+	}
+}
+
+func TestRectCenterAndVolume(t *testing.T) {
+	r := Rect{{0, 10}, {20, 40}}
+	c := r.Center()
+	if c[0] != 5 || c[1] != 30 {
+		t.Errorf("Center = %v", c)
+	}
+	if got := r.Volume(); got != 200 {
+		t.Errorf("Volume = %v, want 200", got)
+	}
+}
+
+func TestRectIntersectAndOverlaps(t *testing.T) {
+	a := Rect{{0, 10}, {0, 10}}
+	b := Rect{{5, 15}, {5, 15}}
+	inter, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("rects should intersect")
+	}
+	want := Rect{{5, 10}, {5, 10}}
+	if !inter.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", inter, want)
+	}
+	c := Rect{{20, 30}, {0, 10}}
+	if a.Overlaps(c) {
+		t.Error("disjoint rects should not overlap")
+	}
+}
+
+func TestRectOverlapFraction(t *testing.T) {
+	a := Rect{{0, 10}, {0, 10}}
+	b := Rect{{5, 15}, {0, 10}}
+	if got := a.OverlapFraction(b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("OverlapFraction = %v, want 0.5", got)
+	}
+	zero := Rect{{3, 3}, {0, 10}}
+	if got := zero.OverlapFraction(a); got != 0 {
+		t.Errorf("zero-volume OverlapFraction = %v, want 0", got)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := Rect{{5, 10}, {5, 10}}
+	bounds := NewRect(2)
+	got := r.Expand(10, bounds)
+	want := Rect{{0, 20}, {0, 20}}
+	if !got.Equal(want) {
+		t.Errorf("Expand = %v, want %v", got, want)
+	}
+	unbounded := r.Expand(10, nil)
+	if !unbounded.Equal(Rect{{-5, 20}, {-5, 20}}) {
+		t.Errorf("Expand nil bounds = %v", unbounded)
+	}
+}
+
+func TestFaceSlab(t *testing.T) {
+	r := Rect{{20, 40}, {0, 10}}
+	bounds := NewRect(2)
+	// Upper face of dim 1 (dosage=10 in the paper's Figure 6 example),
+	// whole-domain sampling on the other dimension.
+	slab := r.FaceSlab(1, true, 1, bounds, true)
+	want := Rect{{0, 100}, {9, 11}}
+	if !slab.Equal(want) {
+		t.Errorf("FaceSlab = %v, want %v", slab, want)
+	}
+	// Without whole-domain sampling the other dims keep the rect extent.
+	slab = r.FaceSlab(1, true, 1, bounds, false)
+	want = Rect{{20, 40}, {9, 11}}
+	if !slab.Equal(want) {
+		t.Errorf("FaceSlab narrow = %v, want %v", slab, want)
+	}
+	// Lower face at the domain edge clips to bounds.
+	slab = r.FaceSlab(1, false, 1, bounds, false)
+	want = Rect{{20, 40}, {0, 1}}
+	if !slab.Equal(want) {
+		t.Errorf("FaceSlab at edge = %v, want %v", slab, want)
+	}
+}
+
+func TestRectAround(t *testing.T) {
+	bounds := NewRect(2)
+	r := RectAround(Point{50, 0}, 5, bounds)
+	want := Rect{{45, 55}, {0, 5}}
+	if !r.Equal(want) {
+		t.Errorf("RectAround = %v, want %v", r, want)
+	}
+	// Center outside bounds collapses to the nearest boundary.
+	r = RectAround(Point{50, 200}, 5, bounds)
+	if r[1] != (Interval{100, 100}) {
+		t.Errorf("RectAround outside = %v", r)
+	}
+}
+
+func TestRectIsEmpty(t *testing.T) {
+	if (Rect{}).IsEmpty() != true {
+		t.Error("zero-dim rect should be empty")
+	}
+	if (Rect{{0, 1}}).IsEmpty() {
+		t.Error("valid rect should not be empty")
+	}
+	if !(Rect{{1, 0}}).IsEmpty() {
+		t.Error("inverted rect should be empty")
+	}
+	if (Rect{{1, 1}}).IsEmpty() {
+		t.Error("degenerate rect still contains its boundary")
+	}
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	n, err := NewNormalizer([]float64{-10, 0}, []float64{10, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := Point{5, 250}
+	norm := n.ToNorm(raw)
+	if math.Abs(norm[0]-75) > 1e-9 || math.Abs(norm[1]-25) > 1e-9 {
+		t.Errorf("ToNorm = %v", norm)
+	}
+	back := n.ToRaw(norm)
+	for i := range raw {
+		if math.Abs(back[i]-raw[i]) > 1e-9 {
+			t.Errorf("round trip dim %d: %v -> %v", i, raw[i], back[i])
+		}
+	}
+}
+
+func TestNormalizerConstantAttribute(t *testing.T) {
+	n, err := NewNormalizer([]float64{7}, []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.ToNormValue(0, 7); got != 50 {
+		t.Errorf("constant attr ToNormValue = %v, want 50", got)
+	}
+}
+
+func TestNormalizerErrors(t *testing.T) {
+	if _, err := NewNormalizer([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewNormalizer([]float64{5}, []float64{4}); err == nil {
+		t.Error("inverted domain should error")
+	}
+}
+
+func TestNormalizerRects(t *testing.T) {
+	n, err := NewNormalizer([]float64{0, 0}, []float64{200, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := Rect{{0, 50}, {0, 100}}
+	raw := n.ToRawRect(norm)
+	want := Rect{{0, 100}, {0, 50}}
+	if !raw.Equal(want) {
+		t.Errorf("ToRawRect = %v, want %v", raw, want)
+	}
+	back := n.ToNormRect(raw)
+	if !back.Equal(norm) {
+		t.Errorf("ToNormRect = %v, want %v", back, norm)
+	}
+}
+
+func TestUnionVolumeDisjoint(t *testing.T) {
+	rects := []Rect{
+		{{0, 10}, {0, 10}},
+		{{20, 30}, {0, 10}},
+	}
+	if got := UnionVolume(rects); math.Abs(got-200) > 1e-9 {
+		t.Errorf("UnionVolume = %v, want 200", got)
+	}
+}
+
+func TestUnionVolumeOverlapping(t *testing.T) {
+	rects := []Rect{
+		{{0, 10}, {0, 10}},
+		{{5, 15}, {0, 10}},
+	}
+	if got := UnionVolume(rects); math.Abs(got-150) > 1e-9 {
+		t.Errorf("UnionVolume = %v, want 150", got)
+	}
+}
+
+func TestUnionVolumeNested(t *testing.T) {
+	rects := []Rect{
+		{{0, 10}, {0, 10}},
+		{{2, 4}, {2, 4}},
+	}
+	if got := UnionVolume(rects); math.Abs(got-100) > 1e-9 {
+		t.Errorf("UnionVolume = %v, want 100", got)
+	}
+}
+
+func TestUnionVolumeEmpty(t *testing.T) {
+	if got := UnionVolume(nil); got != 0 {
+		t.Errorf("UnionVolume(nil) = %v", got)
+	}
+}
+
+func TestUnionVolumeMonteCarloPath(t *testing.T) {
+	// More than 20 rects triggers the Monte-Carlo estimator. Use 21
+	// disjoint unit squares so the exact answer is 21.
+	var rects []Rect
+	for i := 0; i < 21; i++ {
+		lo := float64(i * 2)
+		rects = append(rects, Rect{{lo, lo + 1}, {0, 1}})
+	}
+	got := UnionVolume(rects)
+	if math.Abs(got-21) > 1.5 {
+		t.Errorf("Monte-Carlo UnionVolume = %v, want ~21", got)
+	}
+}
+
+// Property: normalization round-trips within floating point tolerance.
+func TestQuickNormalizerRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(5)
+		mins := make([]float64, d)
+		maxs := make([]float64, d)
+		for i := range mins {
+			mins[i] = rng.Float64()*200 - 100
+			maxs[i] = mins[i] + rng.Float64()*100 + 0.001
+		}
+		n, err := NewNormalizer(mins, maxs)
+		if err != nil {
+			return false
+		}
+		p := make(Point, d)
+		for i := range p {
+			p[i] = mins[i] + rng.Float64()*(maxs[i]-mins[i])
+		}
+		back := n.ToRaw(n.ToNorm(p))
+		for i := range p {
+			if math.Abs(back[i]-p[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the intersection of two rects is contained in both.
+func TestQuickRectIntersectContained(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		mk := func() Rect {
+			r := make(Rect, d)
+			for i := range r {
+				a := rng.Float64() * 100
+				b := rng.Float64() * 100
+				if a > b {
+					a, b = b, a
+				}
+				r[i] = Interval{a, b}
+			}
+			return r
+		}
+		a, b := mk(), mk()
+		inter, ok := a.Intersect(b)
+		if !ok {
+			return true
+		}
+		// Every sampled point of the intersection is in both rects.
+		for s := 0; s < 10; s++ {
+			p := make(Point, d)
+			for i := range p {
+				p[i] = inter[i].Lo + rng.Float64()*inter[i].Width()
+			}
+			if !a.Contains(p) || !b.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union volume is at least the max individual volume and at most
+// the sum of volumes.
+func TestQuickUnionVolumeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		d := 1 + rng.Intn(3)
+		var rects []Rect
+		var sum, maxVol float64
+		for j := 0; j < n; j++ {
+			r := make(Rect, d)
+			for i := range r {
+				a := rng.Float64() * 100
+				w := rng.Float64() * 20
+				r[i] = Interval{a, a + w}
+			}
+			rects = append(rects, r)
+			v := r.Volume()
+			sum += v
+			if v > maxVol {
+				maxVol = v
+			}
+		}
+		u := UnionVolume(rects)
+		return u >= maxVol-1e-9 && u <= sum+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalton(t *testing.T) {
+	// First base-2 Halton values: 1/2, 1/4, 3/4, 1/8...
+	want := []float64{0.5, 0.25, 0.75, 0.125}
+	for i, w := range want {
+		if got := halton(i+1, 2); math.Abs(got-w) > 1e-12 {
+			t.Errorf("halton(%d,2) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestRectString(t *testing.T) {
+	r := Rect{{0, 10}, {5, 6}}
+	if got := r.String(); got != "[0,10]x[5,6]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,249 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func mustGrid(t *testing.T, dims, beta0 int) *Grid {
+	t.Helper()
+	g, err := New(dims, beta0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("dims=0 should error")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("beta0=0 should error")
+	}
+}
+
+func TestBetaAndWidth(t *testing.T) {
+	g := mustGrid(t, 2, 4)
+	if g.Beta(0) != 4 || g.Beta(1) != 8 || g.Beta(2) != 16 {
+		t.Errorf("Beta progression wrong: %d %d %d", g.Beta(0), g.Beta(1), g.Beta(2))
+	}
+	if g.Width(0) != 25 {
+		t.Errorf("Width(0) = %v, want 25", g.Width(0))
+	}
+	if g.Width(1) != 12.5 {
+		t.Errorf("Width(1) = %v, want 12.5", g.Width(1))
+	}
+	if g.Dims() != 2 {
+		t.Error("Dims wrong")
+	}
+}
+
+func TestLevelForWidth(t *testing.T) {
+	g := mustGrid(t, 2, 4)
+	if got := g.LevelForWidth(25); got != 0 {
+		t.Errorf("LevelForWidth(25) = %d, want 0", got)
+	}
+	if got := g.LevelForWidth(24); got != 1 {
+		t.Errorf("LevelForWidth(24) = %d, want 1", got)
+	}
+	if got := g.LevelForWidth(4); got != 3 {
+		t.Errorf("LevelForWidth(4) = %d, want 3 (width 3.125)", got)
+	}
+	// Degenerate hint terminates.
+	if got := g.LevelForWidth(0); got < 30 {
+		t.Errorf("LevelForWidth(0) = %d, want cap at >30", got)
+	}
+}
+
+func TestCellRectAndCenter(t *testing.T) {
+	g := mustGrid(t, 2, 4)
+	c := Cell{Level: 0, Coord: []int{1, 2}}
+	r := g.Rect(c)
+	want := geom.R(25, 50, 50, 75)
+	if !r.Equal(want) {
+		t.Errorf("Rect = %v, want %v", r, want)
+	}
+	center := g.Center(c)
+	if center[0] != 37.5 || center[1] != 62.5 {
+		t.Errorf("Center = %v", center)
+	}
+}
+
+func TestChildren(t *testing.T) {
+	g := mustGrid(t, 2, 4)
+	c := Cell{Level: 0, Coord: []int{1, 2}}
+	kids := g.Children(c)
+	if len(kids) != 4 {
+		t.Fatalf("children = %d, want 4", len(kids))
+	}
+	// Children tile the parent's rect exactly.
+	parent := g.Rect(c)
+	var vol float64
+	for _, k := range kids {
+		if k.Level != 1 {
+			t.Errorf("child level = %d", k.Level)
+		}
+		kr := g.Rect(k)
+		inter, ok := parent.Intersect(kr)
+		if !ok || !inter.Equal(kr) {
+			t.Errorf("child %v not inside parent", kr)
+		}
+		vol += kr.Volume()
+	}
+	if math.Abs(vol-parent.Volume()) > 1e-9 {
+		t.Errorf("children volume %v != parent %v", vol, parent.Volume())
+	}
+}
+
+func TestCellsAt(t *testing.T) {
+	g := mustGrid(t, 2, 4)
+	cells := g.CellsAt(0)
+	if len(cells) != 16 {
+		t.Fatalf("CellsAt(0) = %d cells, want 16", len(cells))
+	}
+	if g.NumCells(0) != 16 || g.NumCells(1) != 64 {
+		t.Error("NumCells wrong")
+	}
+	// All distinct keys; union of rects covers the domain.
+	seen := map[string]bool{}
+	var vol float64
+	for _, c := range cells {
+		k := c.Key()
+		if seen[k] {
+			t.Errorf("duplicate cell %s", k)
+		}
+		seen[k] = true
+		vol += g.Rect(c).Volume()
+	}
+	if math.Abs(vol-1e4) > 1e-6 {
+		t.Errorf("total volume = %v, want 10000", vol)
+	}
+}
+
+func TestCellsIn(t *testing.T) {
+	g := mustGrid(t, 2, 4)
+	// Rect covering the lower-left quadrant overlaps cells (0..1, 0..1).
+	cells := g.CellsIn(0, geom.R(0, 49, 0, 49))
+	if len(cells) != 4 {
+		t.Fatalf("CellsIn = %d cells, want 4", len(cells))
+	}
+	// A thin rect inside one cell returns exactly that cell.
+	cells = g.CellsIn(0, geom.R(30, 30, 60, 60))
+	if len(cells) != 1 || cells[0].Coord[0] != 1 || cells[0].Coord[1] != 2 {
+		t.Errorf("CellsIn thin = %v", cells)
+	}
+	// An out-of-domain rect yields nothing.
+	cells = g.CellsIn(0, geom.R(150, 160, 0, 10))
+	if cells != nil {
+		t.Errorf("CellsIn out of domain = %v", cells)
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	g := mustGrid(t, 2, 4)
+	c := g.CellOf(0, geom.Point{30, 60})
+	if c.Coord[0] != 1 || c.Coord[1] != 2 {
+		t.Errorf("CellOf = %v", c.Coord)
+	}
+	// Domain max clamps into the last cell.
+	c = g.CellOf(0, geom.Point{100, 100})
+	if c.Coord[0] != 3 || c.Coord[1] != 3 {
+		t.Errorf("CellOf(100,100) = %v", c.Coord)
+	}
+	c = g.CellOf(0, geom.Point{-5, 0})
+	if c.Coord[0] != 0 {
+		t.Errorf("CellOf(-5,0) = %v", c.Coord)
+	}
+}
+
+func TestKeyUniqueAcrossLevels(t *testing.T) {
+	a := Cell{Level: 0, Coord: []int{1, 2}}
+	b := Cell{Level: 1, Coord: []int{1, 2}}
+	if a.Key() == b.Key() {
+		t.Error("keys should differ across levels")
+	}
+	if a.Key() != "0:1:2" {
+		t.Errorf("Key = %q", a.Key())
+	}
+}
+
+func TestCellsInPanicsOnDimMismatch(t *testing.T) {
+	g := mustGrid(t, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.CellsIn(0, geom.R(0, 1))
+}
+
+// Property: CellOf(p) returns a cell whose rect contains p (interior
+// points).
+func TestQuickCellOfContains(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(4)
+		g, err := New(dims, 1+rng.Intn(6))
+		if err != nil {
+			return false
+		}
+		level := rng.Intn(3)
+		p := make(geom.Point, dims)
+		for i := range p {
+			p[i] = rng.Float64() * 100
+		}
+		c := g.CellOf(level, p)
+		return g.Rect(c).Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every cell returned by CellsIn overlaps the query rect, and
+// cells containing a random in-rect point are included.
+func TestQuickCellsInComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := New(2, 4)
+		if err != nil {
+			return false
+		}
+		a0, b0 := rng.Float64()*100, rng.Float64()*100
+		if a0 > b0 {
+			a0, b0 = b0, a0
+		}
+		a1, b1 := rng.Float64()*100, rng.Float64()*100
+		if a1 > b1 {
+			a1, b1 = b1, a1
+		}
+		rect := geom.R(a0, b0, a1, b1)
+		cells := g.CellsIn(1, rect)
+		keys := map[string]bool{}
+		for _, c := range cells {
+			if !g.Rect(c).Overlaps(rect) {
+				return false
+			}
+			keys[c.Key()] = true
+		}
+		// Random point inside rect must land in a returned cell.
+		for s := 0; s < 5; s++ {
+			p := geom.Point{
+				rect[0].Lo + rng.Float64()*rect[0].Width(),
+				rect[1].Lo + rng.Float64()*rect[1].Width(),
+			}
+			if !keys[g.CellOf(1, p).Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package kmeans implements Lloyd's k-means clustering with k-means++
+// seeding. AIDE uses it in two places: the skew-aware object-discovery
+// optimization partitions the data space into clusters and samples around
+// centroids instead of grid-cell centers (Section 3.1), and the
+// clustering-based misclassified exploitation groups false negatives so
+// one sample-extraction query serves a whole cluster (Section 4.2).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Result holds the output of a clustering run.
+type Result struct {
+	// Centroids are the k cluster centers (k may be reduced when fewer
+	// distinct points exist).
+	Centroids []geom.Point
+	// Assign maps each input point index to its centroid index.
+	Assign []int
+	// Sizes[i] is the number of points assigned to centroid i.
+	Sizes []int
+	// Inertia is the total squared distance of points to their centroids.
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// Radius returns the maximum Chebyshev distance from the centroid to any
+// member of cluster c: the per-cluster sampling radius used by
+// clustering-based discovery ("gamma < delta, where delta is the radius
+// of the cluster", Section 3.1).
+func (r *Result) Radius(points []geom.Point, c int) float64 {
+	var m float64
+	for i, a := range r.Assign {
+		if a != c {
+			continue
+		}
+		if d := r.Centroids[c].ChebyshevDist(points[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Members returns the indexes of points assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BoundingRect returns the axis-aligned bounding box of cluster c's
+// members expanded by y on every side and clipped to bounds. This is the
+// sampling area of clustering-based misclassified exploitation: "we
+// collect samples within a distance y from the farthest cluster member in
+// each dimension" (Section 4.2). It returns ok=false for an empty
+// cluster.
+func (r *Result) BoundingRect(points []geom.Point, c int, y float64, bounds geom.Rect) (geom.Rect, bool) {
+	var box geom.Rect
+	for i, a := range r.Assign {
+		if a != c {
+			continue
+		}
+		p := points[i]
+		if box == nil {
+			box = make(geom.Rect, len(p))
+			for d := range p {
+				box[d] = geom.Interval{Lo: p[d], Hi: p[d]}
+			}
+			continue
+		}
+		for d := range p {
+			if p[d] < box[d].Lo {
+				box[d].Lo = p[d]
+			}
+			if p[d] > box[d].Hi {
+				box[d].Hi = p[d]
+			}
+		}
+	}
+	if box == nil {
+		return nil, false
+	}
+	return box.Expand(y, bounds), true
+}
+
+// Params controls a clustering run.
+type Params struct {
+	// K is the requested number of clusters; it is reduced to the number
+	// of distinct points when larger.
+	K int
+	// MaxIters bounds Lloyd iterations (default 50 when zero).
+	MaxIters int
+	// Tol stops early when centroid movement falls below it (default 1e-6).
+	Tol float64
+}
+
+// Cluster partitions points into K clusters. The run is deterministic for
+// a given rng state. It returns an error for empty input or K < 1.
+func Cluster(points []geom.Point, params Params, rng *rand.Rand) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if params.K < 1 {
+		return nil, fmt.Errorf("kmeans: K = %d", params.K)
+	}
+	if params.MaxIters <= 0 {
+		params.MaxIters = 50
+	}
+	if params.Tol <= 0 {
+		params.Tol = 1e-6
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("kmeans: point %d has %d dims, want %d", i, len(p), d)
+		}
+	}
+
+	cents := seedPlusPlus(points, params.K, rng)
+	k := len(cents)
+	assign := make([]int, len(points))
+	sizes := make([]int, k)
+
+	iters := 0
+	for iters < params.MaxIters {
+		iters++
+		// Assignment step.
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range cents {
+				if dist := sqDist(p, cent); dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			assign[i] = best
+			sizes[best]++
+		}
+		// Update step.
+		next := make([]geom.Point, k)
+		for c := range next {
+			next[c] = make(geom.Point, d)
+		}
+		for i, p := range points {
+			c := next[assign[i]]
+			for j := range p {
+				c[j] += p[j]
+			}
+		}
+		moved := 0.0
+		for c := range next {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at the farthest point from its
+				// old centroid to keep k stable.
+				next[c] = farthestPoint(points, cents).Clone()
+				sizes[c] = 0
+				moved = math.Inf(1)
+				continue
+			}
+			for j := range next[c] {
+				next[c][j] /= float64(sizes[c])
+			}
+			moved += math.Sqrt(sqDist(cents[c], next[c]))
+		}
+		cents = next
+		if moved < params.Tol {
+			break
+		}
+	}
+
+	// Final assignment with the converged centroids.
+	res := &Result{Centroids: cents, Assign: assign, Sizes: make([]int, k)}
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range cents {
+			if dist := sqDist(p, cent); dist < bestD {
+				best, bestD = c, dist
+			}
+		}
+		res.Assign[i] = best
+		res.Sizes[best]++
+		res.Inertia += bestD
+	}
+	res.Iters = iters
+	return res, nil
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ strategy:
+// subsequent centers are drawn with probability proportional to squared
+// distance from the nearest existing center. Duplicated points cannot
+// yield more centers than distinct values, so the returned slice may be
+// shorter than k.
+func seedPlusPlus(points []geom.Point, k int, rng *rand.Rand) []geom.Point {
+	cents := []geom.Point{points[rng.Intn(len(points))].Clone()}
+	dist := make([]float64, len(points))
+	for len(cents) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range cents {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			dist[i] = best
+			total += best
+		}
+		if total == 0 {
+			break // fewer distinct points than k
+		}
+		pick := rng.Float64() * total
+		idx := 0
+		for i, w := range dist {
+			pick -= w
+			if pick <= 0 {
+				idx = i
+				break
+			}
+		}
+		cents = append(cents, points[idx].Clone())
+	}
+	return cents
+}
+
+// farthestPoint returns the point with maximum distance to its nearest
+// centroid.
+func farthestPoint(points []geom.Point, cents []geom.Point) geom.Point {
+	bestIdx, bestD := 0, -1.0
+	for i, p := range points {
+		near := math.Inf(1)
+		for _, c := range cents {
+			if d := sqDist(p, c); d < near {
+				near = d
+			}
+		}
+		if near > bestD {
+			bestD = near
+			bestIdx = i
+		}
+	}
+	return points[bestIdx]
+}
+
+func sqDist(a, b geom.Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,246 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// blobs generates n points around each of the given centers.
+func blobs(centers []geom.Point, n int, std float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var out []geom.Point
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make(geom.Point, len(c))
+			for j := range p {
+				p[j] = c[j] + rng.NormFloat64()*std
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestClusterErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Cluster(nil, Params{K: 2}, rng); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Cluster([]geom.Point{{1}}, Params{K: 0}, rng); err == nil {
+		t.Error("K=0 should error")
+	}
+	if _, err := Cluster([]geom.Point{{1}, {1, 2}}, Params{K: 1}, rng); err == nil {
+		t.Error("ragged points should error")
+	}
+}
+
+func TestClusterSeparatesBlobs(t *testing.T) {
+	centers := []geom.Point{{10, 10}, {90, 90}, {10, 90}}
+	points := blobs(centers, 100, 2, 5)
+	rng := rand.New(rand.NewSource(2))
+	res, err := Cluster(points, Params{K: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("centroids = %d", len(res.Centroids))
+	}
+	// Each true center should have a centroid within distance 3.
+	for _, c := range centers {
+		best := math.Inf(1)
+		for _, got := range res.Centroids {
+			if d := c.Dist(got); d < best {
+				best = d
+			}
+		}
+		if best > 3 {
+			t.Errorf("no centroid near %v (closest %.2f away)", c, best)
+		}
+	}
+	// All points in one blob share an assignment.
+	for b := 0; b < 3; b++ {
+		want := res.Assign[b*100]
+		for i := b * 100; i < (b+1)*100; i++ {
+			if res.Assign[i] != want {
+				t.Errorf("blob %d split across clusters", b)
+				break
+			}
+		}
+	}
+	if res.Sizes[res.Assign[0]] != 100 {
+		t.Errorf("cluster size = %d, want 100", res.Sizes[res.Assign[0]])
+	}
+}
+
+func TestClusterFewerDistinctPointsThanK(t *testing.T) {
+	points := []geom.Point{{1, 1}, {1, 1}, {2, 2}}
+	rng := rand.New(rand.NewSource(3))
+	res, err := Cluster(points, Params{K: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) > 2 {
+		t.Errorf("got %d centroids for 2 distinct points", len(res.Centroids))
+	}
+}
+
+func TestClusterSinglePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	res, err := Cluster([]geom.Point{{5, 5}}, Params{K: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids[0][0] != 5 || res.Inertia != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestMembersAndRadius(t *testing.T) {
+	points := []geom.Point{{0, 0}, {2, 0}, {100, 100}}
+	rng := rand.New(rand.NewSource(5))
+	res, err := Cluster(points, Params{K: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the cluster containing point 0.
+	c := res.Assign[0]
+	members := res.Members(c)
+	if len(members) != 2 {
+		t.Fatalf("members = %v", members)
+	}
+	// Centroid is (1,0); Chebyshev radius is 1.
+	if r := res.Radius(points, c); math.Abs(r-1) > 1e-9 {
+		t.Errorf("Radius = %v, want 1", r)
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	points := []geom.Point{{10, 10}, {20, 30}, {90, 90}}
+	rng := rand.New(rand.NewSource(6))
+	res, err := Cluster(points, Params{K: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Assign[0]
+	bounds := geom.NewRect(2)
+	box, ok := res.BoundingRect(points, c, 5, bounds)
+	if !ok {
+		t.Fatal("cluster should be non-empty")
+	}
+	want := geom.R(5, 25, 5, 35)
+	if !box.Equal(want) {
+		t.Errorf("BoundingRect = %v, want %v", box, want)
+	}
+	// Empty cluster id beyond range returns ok=false.
+	if _, ok := res.BoundingRect(points, 99, 5, bounds); ok {
+		t.Error("nonexistent cluster should return ok=false")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	points := blobs([]geom.Point{{20, 20}, {80, 80}}, 50, 3, 7)
+	a, err := Cluster(points, Params{K: 2}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(points, Params{K: 2}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestMaxItersRespected(t *testing.T) {
+	points := blobs([]geom.Point{{20, 20}, {80, 80}}, 50, 3, 8)
+	rng := rand.New(rand.NewSource(12))
+	res, err := Cluster(points, Params{K: 2, MaxIters: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters > 1 {
+		t.Errorf("Iters = %d, want <= 1", res.Iters)
+	}
+}
+
+// Property: every point is assigned to its nearest centroid, and inertia
+// equals the sum of squared nearest distances.
+func TestQuickAssignmentOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		d := 1 + rng.Intn(3)
+		points := make([]geom.Point, n)
+		for i := range points {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = rng.Float64() * 100
+			}
+			points[i] = p
+		}
+		k := 1 + rng.Intn(4)
+		res, err := Cluster(points, Params{K: k}, rng)
+		if err != nil {
+			return false
+		}
+		var wantInertia float64
+		for i, p := range points {
+			best, bestD := -1, math.Inf(1)
+			for c, cent := range res.Centroids {
+				if dist := sqDist(p, cent); dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if sqDist(p, res.Centroids[res.Assign[i]]) > bestD+1e-9 {
+				return false
+			}
+			_ = best
+			wantInertia += bestD
+		}
+		return math.Abs(res.Inertia-wantInertia) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sizes sum to the number of points and match Assign.
+func TestQuickSizesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		points := make([]geom.Point, n)
+		for i := range points {
+			points[i] = geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		res, err := Cluster(points, Params{K: 1 + rng.Intn(5)}, rng)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, len(res.Centroids))
+		total := 0
+		for _, a := range res.Assign {
+			if a < 0 || a >= len(res.Centroids) {
+				return false
+			}
+			counts[a]++
+		}
+		for c, got := range res.Sizes {
+			if got != counts[c] {
+				return false
+			}
+			total += got
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a Go client for the exploration service. It wraps the
+// sequential label protocol so a caller loops:
+//
+//	id, _ := c.CreateSession(ctx, service.CreateSessionRequest{View: "sdss"})
+//	for {
+//		sample, err := c.NextSample(ctx, id)
+//		if errors.Is(err, service.ErrSessionDone) { break }
+//		...show sample.Values to the user...
+//		c.SubmitLabel(ctx, id, sample.Row, relevant)
+//	}
+//	q, _ := c.PredictedQuery(ctx, id)
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for a server at baseURL (e.g.
+// "http://localhost:8080"). httpClient may be nil for
+// http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// CreateSession starts a new exploration session.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (string, error) {
+	var resp CreateSessionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// NextSample fetches the next tuple awaiting a label. It returns
+// ErrSessionDone once the session has finished.
+func (c *Client) NextSample(ctx context.Context, id string) (Sample, error) {
+	var s Sample
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/sample", nil, &s); err != nil {
+		return Sample{}, err
+	}
+	if s.Done {
+		return Sample{}, ErrSessionDone
+	}
+	return s, nil
+}
+
+// SubmitLabel answers the outstanding sample.
+func (c *Client) SubmitLabel(ctx context.Context, id string, row int, relevant bool) error {
+	return c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/label",
+		LabelRequest{Row: row, Relevant: relevant}, nil)
+}
+
+// Status returns the session's progress snapshot.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/status", nil, &st)
+	return st, err
+}
+
+// PredictedQuery returns the current predicted query.
+func (c *Client) PredictedQuery(ctx context.Context, id string) (QueryResponse, error) {
+	var q QueryResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/query", nil, &q)
+	return q, err
+}
+
+// Close stops and discards the session.
+func (c *Client) Close(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Views lists the views the server exposes.
+func (c *Client) ViewNames(ctx context.Context) ([]string, error) {
+	var resp struct {
+		Views []string `json:"views"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/views", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Views, nil
+}
+
+// Status mirrors the server's progress snapshot (the SQL field carries a
+// nested QueryResponse payload; prefer PredictedQuery).
+type Status struct {
+	Iteration     int     `json:"iteration"`
+	TotalLabeled  int     `json:"total_labeled"`
+	TotalRelevant int     `json:"total_relevant"`
+	RelevantAreas int     `json:"relevant_areas"`
+	Done          bool    `json:"done"`
+	WaitSeconds   float64 `json:"avg_wait_seconds"`
+}
+
+// do executes one JSON request/response exchange.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("service: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return fmt.Errorf("service: %s %s: %s", method, path, msg)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: decoding response: %w", err)
+	}
+	return nil
+}

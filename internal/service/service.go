@@ -1,0 +1,458 @@
+// Package service exposes AIDE exploration sessions over HTTP+JSON — the
+// middleware role AIDE plays in the paper's system architecture, where a
+// front-end shows samples to the user and the steering logic runs behind
+// it. Each session runs in its own goroutine; the human-in-the-loop
+// protocol is sequential, matching the framework's oracle:
+//
+//	POST   /v1/sessions                 create a session        -> {id}
+//	GET    /v1/sessions/{id}/sample     next tuple to label     -> {row, values} (long-poll)
+//	POST   /v1/sessions/{id}/label      submit a label          <- {row, relevant}
+//	GET    /v1/sessions/{id}/status     progress snapshot
+//	GET    /v1/sessions/{id}/query      current predicted query
+//	DELETE /v1/sessions/{id}            stop and discard
+//
+// The Client type wraps the protocol for Go callers.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/explore"
+)
+
+// Server routes exploration-session requests over a set of registered
+// views. It implements http.Handler.
+type Server struct {
+	mu       sync.Mutex
+	views    map[string]*engine.View
+	sessions map[string]*liveSession
+	// SampleWait bounds how long GET /sample blocks waiting for the
+	// session to propose a tuple (default 30s).
+	SampleWait time.Duration
+}
+
+// NewServer creates a server over the given named views.
+func NewServer(views map[string]*engine.View) *Server {
+	vs := make(map[string]*engine.View, len(views))
+	for k, v := range views {
+		vs[k] = v
+	}
+	return &Server{
+		views:      vs,
+		sessions:   make(map[string]*liveSession),
+		SampleWait: 30 * time.Second,
+	}
+}
+
+// Views lists the registered view names.
+func (s *Server) Views() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.views))
+	for k := range s.views {
+		out = append(out, k)
+	}
+	return out
+}
+
+// labelRequest is one pending "please label this tuple" exchange between
+// the session goroutine and HTTP handlers.
+type labelRequest struct {
+	row   int
+	reply chan bool
+}
+
+// sessionStatus is the progress snapshot handlers serve; the session
+// goroutine replaces it after every iteration.
+type sessionStatus struct {
+	Iteration     int     `json:"iteration"`
+	TotalLabeled  int     `json:"total_labeled"`
+	TotalRelevant int     `json:"total_relevant"`
+	RelevantAreas int     `json:"relevant_areas"`
+	Done          bool    `json:"done"`
+	SQL           string  `json:"sql"`
+	WaitSeconds   float64 `json:"avg_wait_seconds"`
+}
+
+// liveSession is one running exploration.
+type liveSession struct {
+	id      string
+	view    string
+	cancel  context.CancelFunc
+	ctx     context.Context
+	pending chan labelRequest
+	current chan labelRequest // holds the request being labeled, capacity 1
+
+	mu     sync.Mutex
+	status sessionStatus
+	err    error
+}
+
+func (ls *liveSession) snapshot() (sessionStatus, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.status, ls.err
+}
+
+// CreateSessionRequest is the body of POST /v1/sessions.
+type CreateSessionRequest struct {
+	// View names a view registered with the server.
+	View string `json:"view"`
+	// Seed drives the session's randomness.
+	Seed int64 `json:"seed"`
+	// SamplesPerIteration caps labels per iteration (0: default 20).
+	SamplesPerIteration int `json:"samples_per_iteration,omitempty"`
+	// Discovery is "grid", "clustering" or "hybrid" ("" = grid).
+	Discovery string `json:"discovery,omitempty"`
+	// DistanceHint, when positive, is the minimum relevant-area width
+	// promise (normalized units).
+	DistanceHint float64 `json:"distance_hint,omitempty"`
+	// MaxIterations bounds the session (0: default 200).
+	MaxIterations int `json:"max_iterations,omitempty"`
+}
+
+// CreateSessionResponse is the reply to POST /v1/sessions.
+type CreateSessionResponse struct {
+	ID string `json:"id"`
+}
+
+// Sample is one tuple awaiting a label.
+type Sample struct {
+	Row    int                `json:"row"`
+	Values map[string]float64 `json:"values"`
+	// Done reports the session has finished; Row is invalid.
+	Done bool `json:"done"`
+}
+
+// LabelRequest is the body of POST /v1/sessions/{id}/label.
+type LabelRequest struct {
+	Row      int  `json:"row"`
+	Relevant bool `json:"relevant"`
+}
+
+// QueryResponse is the reply to GET /v1/sessions/{id}/query.
+type QueryResponse struct {
+	SQL   string     `json:"sql"`
+	Areas [][]Bounds `json:"areas"`
+	Attrs []string   `json:"attrs"`
+	Table string     `json:"table"`
+}
+
+// Bounds is one attribute range of a predicted area.
+type Bounds struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/v1/")
+	switch {
+	case path == "sessions" && r.Method == http.MethodPost:
+		s.createSession(w, r)
+	case strings.HasPrefix(path, "sessions/"):
+		rest := strings.TrimPrefix(path, "sessions/")
+		parts := strings.SplitN(rest, "/", 2)
+		id := parts[0]
+		action := ""
+		if len(parts) == 2 {
+			action = parts[1]
+		}
+		s.dispatchSession(w, r, id, action)
+	case path == "views" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string][]string{"views": s.Views()})
+	default:
+		httpError(w, http.StatusNotFound, "no such endpoint")
+	}
+}
+
+func (s *Server) dispatchSession(w http.ResponseWriter, r *http.Request, id, action string) {
+	s.mu.Lock()
+	ls := s.sessions[id]
+	s.mu.Unlock()
+	if ls == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	switch {
+	case action == "" && r.Method == http.MethodDelete:
+		s.deleteSession(w, id, ls)
+	case action == "sample" && r.Method == http.MethodGet:
+		s.nextSample(w, r, ls)
+	case action == "label" && r.Method == http.MethodPost:
+		s.label(w, r, ls)
+	case action == "status" && r.Method == http.MethodGet:
+		st, err := ls.snapshot()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case action == "query" && r.Method == http.MethodGet:
+		st, _ := ls.snapshot()
+		var resp QueryResponse
+		if err := json.Unmarshal([]byte(st.SQL), &resp); err != nil {
+			// SQL field holds the marshaled QueryResponse; see runSession.
+			httpError(w, http.StatusInternalServerError, "no query available yet")
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "unsupported method or action")
+	}
+}
+
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	view := s.views[req.View]
+	s.mu.Unlock()
+	if view == nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown view %q", req.View))
+		return
+	}
+
+	opts := explore.DefaultOptions()
+	opts.Seed = req.Seed
+	if req.SamplesPerIteration > 0 {
+		opts.SamplesPerIteration = req.SamplesPerIteration
+	}
+	if req.MaxIterations > 0 {
+		opts.MaxIterations = req.MaxIterations
+	}
+	if req.DistanceHint > 0 {
+		opts.DistanceHint = req.DistanceHint
+	}
+	switch req.Discovery {
+	case "", "grid":
+		opts.Discovery = explore.DiscoveryGrid
+	case "clustering":
+		opts.Discovery = explore.DiscoveryClustering
+	case "hybrid":
+		opts.Discovery = explore.DiscoveryHybrid
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown discovery strategy %q", req.Discovery))
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ls := &liveSession{
+		id:      newID(),
+		view:    req.View,
+		ctx:     ctx,
+		cancel:  cancel,
+		pending: make(chan labelRequest),
+	}
+	oracle := explore.OracleFunc(func(v *engine.View, row int) bool {
+		reply := make(chan bool, 1)
+		select {
+		case ls.pending <- labelRequest{row: row, reply: reply}:
+		case <-ctx.Done():
+			return false
+		}
+		select {
+		case lab := <-reply:
+			return lab
+		case <-ctx.Done():
+			return false
+		}
+	})
+	sess, err := explore.NewSession(view, oracle, opts)
+	if err != nil {
+		cancel()
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	s.sessions[ls.id] = ls
+	s.mu.Unlock()
+
+	go runSession(ls, sess, view, opts.MaxIterations)
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{ID: ls.id})
+}
+
+// runSession drives the steering loop until cancellation, exhaustion or
+// the iteration cap, keeping the status snapshot current.
+func runSession(ls *liveSession, sess *explore.Session, view *engine.View, maxIter int) {
+	defer ls.cancel()
+	update := func(res *explore.IterationResult, done bool) {
+		q := sess.FinalQuery()
+		qr := QueryResponse{SQL: q.SQL(), Attrs: q.Attrs, Table: q.Table}
+		for _, a := range q.Areas {
+			bounds := make([]Bounds, len(a))
+			for d := range a {
+				bounds[d] = Bounds{Lo: a[d].Lo, Hi: a[d].Hi}
+			}
+			qr.Areas = append(qr.Areas, bounds)
+		}
+		payload, _ := json.Marshal(qr)
+		st := sess.Stats()
+		status := sessionStatus{
+			TotalLabeled:  st.TotalLabeled,
+			TotalRelevant: st.TotalRelevant,
+			Iteration:     st.Iterations,
+			Done:          done,
+			SQL:           string(payload),
+		}
+		if res != nil {
+			status.RelevantAreas = res.RelevantAreas
+		}
+		if st.Iterations > 0 {
+			status.WaitSeconds = st.ExecTime.Seconds() / float64(st.Iterations)
+		}
+		ls.mu.Lock()
+		ls.status = status
+		ls.mu.Unlock()
+	}
+	update(nil, false)
+
+	idle := 0
+	for i := 0; i < maxIter; i++ {
+		if ls.ctx.Err() != nil {
+			break
+		}
+		res, err := sess.RunIteration()
+		if err != nil {
+			ls.mu.Lock()
+			ls.err = err
+			ls.mu.Unlock()
+			break
+		}
+		done := false
+		if res.NewSamples == 0 {
+			idle++
+			done = idle >= 3
+		} else {
+			idle = 0
+		}
+		update(res, done || i == maxIter-1)
+		if done {
+			break
+		}
+	}
+	// Mark done on exit regardless of why.
+	ls.mu.Lock()
+	ls.status.Done = true
+	ls.mu.Unlock()
+}
+
+func (s *Server) nextSample(w http.ResponseWriter, r *http.Request, ls *liveSession) {
+	wait := s.SampleWait
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case req := <-ls.pending:
+		// Park the request for the matching POST /label.
+		ls.mu.Lock()
+		if ls.current == nil {
+			ls.current = make(chan labelRequest, 1)
+		}
+		cur := ls.current
+		ls.mu.Unlock()
+		cur <- req
+		view := s.viewOf(ls)
+		values := map[string]float64{}
+		if view != nil {
+			full := view.FullRow(req.row)
+			for i, name := range view.Table().Schema().Names() {
+				values[name] = full[i]
+			}
+		}
+		writeJSON(w, http.StatusOK, Sample{Row: req.row, Values: values})
+	case <-ls.ctx.Done():
+		writeJSON(w, http.StatusOK, Sample{Done: true})
+	case <-r.Context().Done():
+		httpError(w, http.StatusRequestTimeout, "client went away")
+	case <-timer.C:
+		st, _ := ls.snapshot()
+		if st.Done {
+			writeJSON(w, http.StatusOK, Sample{Done: true})
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, "no sample pending; retry")
+	}
+}
+
+func (s *Server) label(w http.ResponseWriter, r *http.Request, ls *liveSession) {
+	var req LabelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	ls.mu.Lock()
+	cur := ls.current
+	ls.mu.Unlock()
+	if cur == nil {
+		httpError(w, http.StatusConflict, "no sample outstanding; GET /sample first")
+		return
+	}
+	select {
+	case pending := <-cur:
+		if pending.row != req.Row {
+			// Put it back: the label names the wrong tuple.
+			cur <- pending
+			httpError(w, http.StatusConflict, fmt.Sprintf("outstanding sample is row %d, not %d", pending.row, req.Row))
+			return
+		}
+		pending.reply <- req.Relevant
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	default:
+		httpError(w, http.StatusConflict, "no sample outstanding; GET /sample first")
+	}
+}
+
+func (s *Server) deleteSession(w http.ResponseWriter, id string, ls *liveSession) {
+	ls.cancel()
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) viewOf(ls *liveSession) *engine.View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.views[ls.view]
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable; fall back to a constant
+		// would collide, so panic loudly.
+		panic(fmt.Sprintf("service: crypto/rand: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ErrSessionDone is returned by Client.NextSample when the session has
+// finished.
+var ErrSessionDone = errors.New("service: session done")

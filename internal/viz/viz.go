@@ -1,0 +1,146 @@
+// Package viz renders 2-D exploration state as ASCII art for terminal
+// front-ends: the data density, the labeled samples, and the predicted
+// relevant areas — a poor man's version of the scatter displays IDE
+// front-ends draw over AIDE.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Canvas is a character grid over the normalized [0,100]^2 space of two
+// chosen exploration dimensions. Draw order matters: later marks
+// overwrite earlier ones.
+type Canvas struct {
+	w, h  int
+	cells []byte
+	dimX  int
+	dimY  int
+}
+
+// NewCanvas creates a w x h canvas projecting dimensions dimX
+// (horizontal) and dimY (vertical, top = high values).
+func NewCanvas(w, h, dimX, dimY int) (*Canvas, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("viz: canvas %dx%d too small", w, h)
+	}
+	if dimX == dimY || dimX < 0 || dimY < 0 {
+		return nil, fmt.Errorf("viz: bad projection dims %d,%d", dimX, dimY)
+	}
+	c := &Canvas{w: w, h: h, dimX: dimX, dimY: dimY, cells: make([]byte, w*h)}
+	for i := range c.cells {
+		c.cells[i] = ' '
+	}
+	return c, nil
+}
+
+// cellOf maps a normalized point to canvas coordinates.
+func (c *Canvas) cellOf(p geom.Point) (int, int, bool) {
+	if c.dimX >= len(p) || c.dimY >= len(p) {
+		return 0, 0, false
+	}
+	if p[c.dimX] < geom.NormMin || p[c.dimX] > geom.NormMax ||
+		p[c.dimY] < geom.NormMin || p[c.dimY] > geom.NormMax {
+		return 0, 0, false
+	}
+	x := int(p[c.dimX] / (geom.NormMax - geom.NormMin) * float64(c.w))
+	y := int(p[c.dimY] / (geom.NormMax - geom.NormMin) * float64(c.h))
+	if x >= c.w {
+		x = c.w - 1
+	}
+	if y >= c.h {
+		y = c.h - 1
+	}
+	if x < 0 || y < 0 {
+		return 0, 0, false
+	}
+	return x, c.h - 1 - y, true // invert: top row = high values
+}
+
+// Plot marks a normalized point with the given rune.
+func (c *Canvas) Plot(p geom.Point, mark byte) {
+	if x, y, ok := c.cellOf(p); ok {
+		c.cells[y*c.w+x] = mark
+	}
+}
+
+// PlotSamples marks labeled samples: '+' for relevant, '.' for
+// irrelevant.
+func (c *Canvas) PlotSamples(points []geom.Point, labels []bool) {
+	for i, p := range points {
+		mark := byte('.')
+		if i < len(labels) && labels[i] {
+			mark = '+'
+		}
+		c.Plot(p, mark)
+	}
+}
+
+// Outline traces the border of a normalized rectangle with '#'
+// characters (corners included), leaving the interior untouched so
+// samples stay visible.
+func (c *Canvas) Outline(r geom.Rect) {
+	if c.dimX >= len(r) || c.dimY >= len(r) {
+		return
+	}
+	x0, y0, ok0 := c.cellOf(point2(r, c.dimX, c.dimY, r[c.dimX].Lo, r[c.dimY].Lo))
+	x1, y1, ok1 := c.cellOf(point2(r, c.dimX, c.dimY, r[c.dimX].Hi, r[c.dimY].Hi))
+	if !ok0 || !ok1 {
+		return
+	}
+	if y1 > y0 {
+		y0, y1 = y1, y0 // y is inverted
+	}
+	for x := x0; x <= x1; x++ {
+		c.cells[y0*c.w+x] = '#'
+		c.cells[y1*c.w+x] = '#'
+	}
+	for y := y1; y <= y0; y++ {
+		c.cells[y*c.w+x0] = '#'
+		c.cells[y*c.w+x1] = '#'
+	}
+}
+
+// point2 builds a point with the two projected dims set; other dims are
+// zero (ignored by cellOf).
+func point2(r geom.Rect, dimX, dimY int, vx, vy float64) geom.Point {
+	p := make(geom.Point, len(r))
+	p[dimX] = vx
+	p[dimY] = vy
+	return p
+}
+
+// String renders the canvas with a simple border.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", c.w))
+	b.WriteString("+\n")
+	for y := 0; y < c.h; y++ {
+		b.WriteByte('|')
+		b.Write(c.cells[y*c.w : (y+1)*c.w])
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", c.w))
+	b.WriteString("+\n")
+	return b.String()
+}
+
+// Render draws a complete exploration snapshot: labeled samples plus the
+// outlines of the predicted areas, projected on dims (dimX, dimY), and
+// returns the ASCII art with a legend.
+func Render(w, h, dimX, dimY int, points []geom.Point, labels []bool, areas []geom.Rect) (string, error) {
+	c, err := NewCanvas(w, h, dimX, dimY)
+	if err != nil {
+		return "", err
+	}
+	c.PlotSamples(points, labels)
+	for _, a := range areas {
+		c.Outline(a)
+	}
+	return c.String() + "legend: + relevant sample   . irrelevant sample   # predicted area\n", nil
+}

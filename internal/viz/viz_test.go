@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func TestNewCanvasValidation(t *testing.T) {
+	if _, err := NewCanvas(1, 10, 0, 1); err == nil {
+		t.Error("too-small canvas should error")
+	}
+	if _, err := NewCanvas(10, 10, 1, 1); err == nil {
+		t.Error("equal projection dims should error")
+	}
+	if _, err := NewCanvas(10, 10, -1, 0); err == nil {
+		t.Error("negative dim should error")
+	}
+}
+
+func TestPlotPlacesMarks(t *testing.T) {
+	c, err := NewCanvas(10, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Plot(geom.Point{0, 0}, 'a')     // bottom-left
+	c.Plot(geom.Point{100, 100}, 'd') // clamped corner (same cell as 'b')
+	c.Plot(geom.Point{99, 99}, 'b')   // top-right, overwrites 'd'
+	c.Plot(geom.Point{50, 50}, 'c')   // middle
+	s := c.String()
+	lines := strings.Split(s, "\n")
+	// Border rows are first/last; row 1 is the top (high y).
+	if !strings.Contains(lines[10], "a") {
+		t.Errorf("bottom row missing 'a': %q", lines[10])
+	}
+	if !strings.Contains(lines[1], "b") {
+		t.Errorf("top row missing 'b': %q", lines[1])
+	}
+	if !strings.Contains(lines[5], "c") {
+		t.Errorf("middle row missing 'c': %q", lines[5])
+	}
+}
+
+func TestPlotIgnoresBadPoints(t *testing.T) {
+	c, _ := NewCanvas(5, 5, 0, 1)
+	c.Plot(geom.Point{-10, 50}, 'x') // out of domain
+	c.Plot(geom.Point{50}, 'x')      // too few dims
+	if strings.Contains(c.String(), "x") {
+		t.Error("bad points should not be drawn")
+	}
+}
+
+func TestPlotSamplesMarks(t *testing.T) {
+	c, _ := NewCanvas(20, 10, 0, 1)
+	points := []geom.Point{{10, 10}, {90, 90}}
+	labels := []bool{true, false}
+	c.PlotSamples(points, labels)
+	s := c.String()
+	if !strings.Contains(s, "+") || !strings.Contains(s, ".") {
+		t.Errorf("sample marks missing:\n%s", s)
+	}
+}
+
+func TestOutlineDrawsBorderOnly(t *testing.T) {
+	c, _ := NewCanvas(20, 20, 0, 1)
+	c.Outline(geom.R(20, 80, 20, 80))
+	s := c.String()
+	if !strings.Contains(s, "#") {
+		t.Fatalf("no outline drawn:\n%s", s)
+	}
+	// Interior cell (center) must stay blank.
+	lines := strings.Split(s, "\n")
+	mid := lines[10]
+	if mid[10] != ' ' {
+		t.Errorf("interior filled: %q", mid)
+	}
+}
+
+func TestRender(t *testing.T) {
+	points := []geom.Point{{30, 30}, {31, 33}, {70, 70}}
+	labels := []bool{true, true, false}
+	areas := []geom.Rect{geom.R(25, 40, 25, 40)}
+	s, err := Render(40, 20, 0, 1, points, labels, areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"+", ".", "#", "legend:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(0, 0, 0, 1, nil, nil, nil); err == nil {
+		t.Error("bad canvas size should error")
+	}
+}
+
+func TestOutlineSkipsLowDimRect(t *testing.T) {
+	c, _ := NewCanvas(10, 10, 0, 2)
+	c.Outline(geom.R(0, 50)) // 1-D rect, projection needs dim 2
+	if strings.Contains(c.String(), "#") {
+		t.Error("low-dim rect should be skipped")
+	}
+}
