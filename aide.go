@@ -45,6 +45,7 @@ import (
 	"github.com/explore-by-example/aide/internal/eval"
 	"github.com/explore-by-example/aide/internal/explore"
 	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/obs"
 	"github.com/explore-by-example/aide/internal/service"
 )
 
@@ -159,6 +160,25 @@ type (
 // ErrSessionDone is returned by ServiceClient.NextSample when a remote
 // session has finished.
 var ErrSessionDone = service.ErrSessionDone
+
+// Observability: the process-wide metrics registry and per-session
+// iteration tracing (attach a TraceRecorder with Session.SetRecorder).
+type (
+	// MetricsRegistry holds named counters, gauges and latency histograms.
+	MetricsRegistry = obs.Registry
+	// TraceRecorder keeps a bounded ring of per-iteration trace trees.
+	TraceRecorder = obs.Recorder
+	// SpanData is one finished span in JSON-ready form.
+	SpanData = obs.SpanData
+)
+
+// DefaultMetrics returns the process-wide registry every instrumented
+// layer (engine, explore, service) reports into.
+func DefaultMetrics() *MetricsRegistry { return obs.Default }
+
+// NewTraceRecorder creates a recorder keeping the last capacity
+// iteration traces (<= 0: 64).
+func NewTraceRecorder(capacity int) *TraceRecorder { return obs.NewRecorder(capacity) }
 
 // NewServiceServer creates an HTTP exploration server over named views.
 func NewServiceServer(views map[string]*View) *ServiceServer {

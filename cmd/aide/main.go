@@ -16,29 +16,43 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
 	aide "github.com/explore-by-example/aide"
+	"github.com/explore-by-example/aide/internal/obs"
 	"github.com/explore-by-example/aide/internal/viz"
 )
 
 func main() {
 	var (
-		kind    = flag.String("dataset", "sdss", "built-in dataset: sdss, auction (ignored with -csv)")
-		csvPath = flag.String("csv", "", "load a CSV file (numeric columns, header row) instead")
-		attrs   = flag.String("attrs", "", "comma-separated exploration attributes (default: first two columns)")
-		rows    = flag.Int("rows", 50_000, "rows to generate for built-in datasets")
-		iters   = flag.Int("iters", 50, "maximum iterations")
-		budget  = flag.Int("budget", 10, "samples per iteration")
-		seed    = flag.Int64("seed", 1, "random seed")
-		showViz = flag.Bool("viz", false, "draw an ASCII map of samples and predicted areas each iteration (2-D only)")
-		state   = flag.String("state", "", "session state file: resumed when it exists, saved on exit")
+		kind      = flag.String("dataset", "sdss", "built-in dataset: sdss, auction (ignored with -csv)")
+		csvPath   = flag.String("csv", "", "load a CSV file (numeric columns, header row) instead")
+		attrs     = flag.String("attrs", "", "comma-separated exploration attributes (default: first two columns)")
+		rows      = flag.Int("rows", 50_000, "rows to generate for built-in datasets")
+		iters     = flag.Int("iters", 50, "maximum iterations")
+		budget    = flag.Int("budget", 10, "samples per iteration")
+		seed      = flag.Int64("seed", 1, "random seed")
+		showViz   = flag.Bool("viz", false, "draw an ASCII map of samples and predicted areas each iteration (2-D only)")
+		state     = flag.String("state", "", "session state file: resumed when it exists, saved on exit")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		verbose   = flag.Bool("v", false, "log per-iteration diagnostics to stderr")
 	)
 	flag.Parse()
-	if err := run(*kind, *csvPath, *attrs, *rows, *iters, *budget, *seed, *showViz, *state, os.Stdin, os.Stdout); err != nil {
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger, err := obs.NewLogger(*logFormat, os.Stderr, level)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "aide: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	if err := run(*kind, *csvPath, *attrs, *rows, *iters, *budget, *seed, *showViz, *state, os.Stdin, os.Stdout); err != nil {
+		logger.Error("session failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -143,6 +157,15 @@ func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, sho
 		fmt.Fprintf(stdout, "\n-- iteration %d: %d samples (%d relevant), %d total labeled, %d predicted area(s), wait %s\n",
 			res.Iteration, res.NewSamples, res.NewRelevant, res.TotalLabeled,
 			res.RelevantAreas, res.Duration.Round(1e6))
+		slog.Debug("iteration",
+			"iteration", res.Iteration,
+			"new_samples", res.NewSamples,
+			"new_relevant", res.NewRelevant,
+			"total_labeled", res.TotalLabeled,
+			"areas", res.RelevantAreas,
+			"duration", res.Duration,
+			"train_duration", res.TrainDuration,
+		)
 		if q := session.FinalQuery(); len(q.Areas) > 0 {
 			fmt.Fprintln(stdout, "   current prediction:", q.SQL())
 		}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"github.com/explore-by-example/aide/internal/bench"
+	"github.com/explore-by-example/aide/internal/obs"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced scale for a fast pass")
 		verbose  = flag.Bool("v", false, "stream per-session progress")
 		csvDir   = flag.String("csvdir", "", "also write each report as <id>.csv into this directory")
+		metrics  = flag.String("metrics", "", "after all runs, dump internal counters as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -86,6 +88,32 @@ func main() {
 			}
 		}
 	}
+
+	if *metrics != "" {
+		if err := dumpMetrics(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "aidebench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the cumulative internal counters (engine work,
+// steering-loop effort, timing histograms) accumulated over every run,
+// so BENCH_*.json trajectories can be correlated with where the engine
+// actually spent its effort.
+func dumpMetrics(path string) error {
+	if path == "-" {
+		return obs.Default.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSV dumps one report into dir/<id>.csv.

@@ -3,7 +3,7 @@
 // the middleware role AIDE plays in the paper's architecture.
 //
 //	aideserver -listen :8080 -sdss 100000 -auction 50000
-//	aideserver -listen :8080 -csv items=items.csv
+//	aideserver -listen :8080 -csv items=items.csv -log-format json -pprof
 //
 // Protocol (see the service package for details):
 //
@@ -12,20 +12,35 @@
 //	POST   /v1/sessions/{id}/label     {"row":123,"relevant":true}
 //	GET    /v1/sessions/{id}/status
 //	GET    /v1/sessions/{id}/query
+//	GET    /v1/sessions/{id}/trace     per-iteration trace spans
 //	DELETE /v1/sessions/{id}
+//	GET    /v1/views                   view metadata (rows, attrs)
+//	GET    /v1/metrics                 process metrics (expvar-style)
+//	GET    /healthz                    liveness probe
+//	GET    /debug/pprof/...            profiling (only with -pprof)
+//
+// The server logs one structured line per request (with a request id),
+// evicts sessions idle longer than -session-ttl, and shuts down
+// gracefully on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/explore-by-example/aide/internal/dataset"
 	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/obs"
 	"github.com/explore-by-example/aide/internal/service"
 )
 
@@ -50,16 +65,31 @@ func main() {
 		auctionRows = flag.Int("auction", 0, "rows of the built-in AuctionMark view (0 to disable)")
 		seed        = flag.Int64("seed", 1, "dataset generation seed")
 		attrs       = flag.String("sdss-attrs", "rowc,colc", "exploration attributes of the SDSS view")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this")
 		csvs        = csvFlags{}
 	)
 	flag.Var(csvs, "csv", "register a CSV view as name=path (repeatable; numeric columns, header row)")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(*logFormat, os.Stderr, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aideserver: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	views := map[string]*engine.View{}
 	if *sdssRows > 0 {
 		v, err := engine.NewView(dataset.GenerateSDSS(*sdssRows, *seed), splitAttrs(*attrs))
 		if err != nil {
-			log.Fatalf("aideserver: sdss view: %v", err)
+			fatal("building sdss view", "err", err)
 		}
 		views["sdss"] = v
 	}
@@ -67,38 +97,71 @@ func main() {
 		tab := dataset.GenerateAuction(*auctionRows, *seed)
 		v, err := engine.NewView(tab, []string{"current_price", "num_bids"})
 		if err != nil {
-			log.Fatalf("aideserver: auction view: %v", err)
+			fatal("building auction view", "err", err)
 		}
 		views["auction"] = v
 	}
 	for name, path := range csvs {
 		f, err := os.Open(path)
 		if err != nil {
-			log.Fatalf("aideserver: %v", err)
+			fatal("opening csv", "path", path, "err", err)
 		}
 		tab, err := dataset.ReadCSV(f, name, nil)
 		f.Close()
 		if err != nil {
-			log.Fatalf("aideserver: reading %s: %v", path, err)
+			fatal("reading csv", "path", path, "err", err)
 		}
 		v, err := engine.NewView(tab, tab.Schema().Names())
 		if err != nil {
-			log.Fatalf("aideserver: csv view %s: %v", name, err)
+			fatal("building csv view", "name", name, "err", err)
 		}
 		views[name] = v
 	}
 	if len(views) == 0 {
-		log.Fatal("aideserver: no views configured (use -sdss, -auction or -csv)")
+		fatal("no views configured (use -sdss, -auction or -csv)")
 	}
 
 	srv := service.NewServer(views)
+	srv.SessionTTL = *sessionTTL
+
+	mux := http.NewServeMux()
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	mux.Handle("/", srv)
+
 	httpSrv := &http.Server{
 		Addr:              *listen,
-		Handler:           srv,
+		Handler:           service.WithRequestLog(logger, mux),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("aideserver: serving %d view(s) %v on %s", len(views), srv.Views(), *listen)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	srv.StartJanitor(ctx, time.Minute)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("serving", "views", srv.Views(), "listen", *listen,
+		"session_ttl", sessionTTL.String(), "pprof", *pprofOn)
+
+	select {
+	case err := <-errc:
+		fatal("listen", "err", err)
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fatal("shutdown", "err", err)
+		}
+		logger.Info("bye")
+	}
 }
 
 func splitAttrs(s string) []string {

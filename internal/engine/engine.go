@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"slices"
 	"sync/atomic"
+	"time"
 
 	"github.com/explore-by-example/aide/internal/dataset"
 	"github.com/explore-by-example/aide/internal/geom"
@@ -217,6 +218,7 @@ func (v *View) MatchesAny(rects []geom.Rect, row int) bool {
 
 // Count returns the number of rows inside rect (normalized space).
 func (v *View) Count(rect geom.Rect) int {
+	defer observeQuery(time.Now())
 	v.stats.Queries.Add(1)
 	n := 0
 	v.scanRect(rect, func(int) bool { n++; return true })
@@ -226,6 +228,7 @@ func (v *View) Count(rect geom.Rect) int {
 // RowsIn returns all row ids inside rect (normalized space), in
 // unspecified order.
 func (v *View) RowsIn(rect geom.Rect) []int {
+	defer observeQuery(time.Now())
 	v.stats.Queries.Add(1)
 	var out []int
 	v.scanRect(rect, func(r int) bool { out = append(out, r); return true })
@@ -236,8 +239,12 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 // for each; fn returning false stops the scan. Rows of cells fully
 // contained in rect are emitted without per-row verification.
 func (v *View) scanRect(rect geom.Rect, fn func(row int) bool) {
+	obsPathGrid.Inc()
 	examined := int64(0)
-	defer func() { v.stats.RowsExamined.Add(examined) }()
+	defer func() {
+		v.stats.RowsExamined.Add(examined)
+		obsRowsExamined.Add(examined)
+	}()
 	v.grid.visitCells(rect, func(rows []int32, full bool) bool {
 		examined += int64(len(rows))
 		for _, r := range rows {

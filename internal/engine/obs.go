@@ -1,0 +1,26 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// Process-wide engine metrics, resolved once. Per-view counts remain in
+// View.Stats; these aggregate across every view so /v1/metrics reflects
+// total engine work regardless of how many views a server hosts.
+var (
+	obsQueries      = obs.GetCounter("engine.queries")
+	obsRowsExamined = obs.GetCounter("engine.rows_examined")
+	obsSampleCalls  = obs.GetCounter("engine.sample_calls")
+	obsPathIndex    = obs.GetCounter("engine.path_index")
+	obsPathGrid     = obs.GetCounter("engine.path_grid")
+	obsQuerySeconds = obs.GetHistogram("engine.query_seconds")
+)
+
+// observeQuery records one engine query: call as
+// `defer observeQuery(time.Now())` at the top of each query entry point.
+func observeQuery(start time.Time) {
+	obsQueries.Inc()
+	obsQuerySeconds.Observe(time.Since(start).Seconds())
+}

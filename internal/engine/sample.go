@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math/rand"
+	"time"
 
 	"github.com/explore-by-example/aide/internal/geom"
 )
@@ -17,6 +18,8 @@ import (
 // cells are verified individually. Sampling is exact-uniform over the
 // matching rows (not over cells), so skewed data does not bias results.
 func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
+	defer observeQuery(time.Now())
+	obsSampleCalls.Inc()
 	v.stats.Queries.Add(1)
 	if n <= 0 {
 		return nil
@@ -25,8 +28,10 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 	// of boundary-exploitation slabs with whole-domain sampling) is a
 	// range scan of that attribute's sorted index — no grid walk.
 	if dim := v.singleConstrainedDim(rect); dim >= 0 {
+		obsPathIndex.Inc()
 		lo, hi := v.sortedRange(dim, rect[dim])
 		v.stats.RowsExamined.Add(int64(hi - lo))
+		obsRowsExamined.Add(int64(hi - lo))
 		matched := hi - lo
 		if matched == 0 {
 			return nil
@@ -55,6 +60,7 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 		return out
 	}
 
+	obsPathGrid.Inc()
 	var full [][]int32 // verified-by-construction candidate blocks
 	fullTotal := 0
 	var partial []int // verified matching rows from boundary cells
@@ -75,6 +81,7 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 		return true
 	})
 	v.stats.RowsExamined.Add(examined)
+	obsRowsExamined.Add(examined)
 
 	total := fullTotal + len(partial)
 	if total == 0 {
@@ -131,6 +138,8 @@ func (v *View) SampleNear(center geom.Point, y float64, n int, rng *rand.Rand) [
 // SampleAll returns n rows drawn uniformly from the entire view, the
 // primitive behind the Random baseline of Section 6.2.
 func (v *View) SampleAll(n int, rng *rand.Rand) []int {
+	defer observeQuery(time.Now())
+	obsSampleCalls.Inc()
 	v.stats.Queries.Add(1)
 	total := v.NumRows()
 	if total == 0 || n <= 0 {

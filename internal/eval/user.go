@@ -3,7 +3,12 @@ package eval
 import (
 	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/explore"
+	"github.com/explore-by-example/aide/internal/obs"
 )
+
+// obsFMeasure tracks the most recent F-measure any evaluated session
+// reached: the effectiveness trajectory (Section 2.3) as a live gauge.
+var obsFMeasure = obs.GetGauge("explore.f_measure")
 
 // SimulatedUser labels samples against a ground-truth target query,
 // exactly as the paper simulates users: "Given a target query, we
@@ -92,6 +97,7 @@ func RunTrace(e explore.Explorer, evalView *engine.View, target Target, stopF fl
 		tr.Samples = append(tr.Samples, res.TotalLabeled)
 		tr.F = append(tr.F, m.F)
 		tr.IterDuration = append(tr.IterDuration, res.Duration.Seconds())
+		obsFMeasure.Set(m.F)
 		return stopF > 0 && m.F >= stopF
 	}
 	if _, err := explore.RunUntil(e, stop, maxIter); err != nil {

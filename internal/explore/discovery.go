@@ -110,7 +110,7 @@ func (d *gridDiscovery) step(s *Session, budget int, res *IterationResult) {
 		gamma := frac * d.g.Width(cell.Level) / 2
 
 		s.stats.PhaseQueries[PhaseDiscovery]++
-		row := s.view.SampleOneNearCenter(d.g.Center(cell), gamma, s.rng)
+		row := s.sampleOneNearCenter(d.g.Center(cell), gamma)
 		relevant := false
 		if row >= 0 {
 			var isNew bool
@@ -259,7 +259,7 @@ func (d *clusterDiscovery) step(s *Session, budget int, res *IterationResult) {
 			gamma = 0.5 // degenerate single-point cluster
 		}
 		s.stats.PhaseQueries[PhaseDiscovery]++
-		row := s.view.SampleOneNearCenter(node.center, gamma, s.rng)
+		row := s.sampleOneNearCenter(node.center, gamma)
 		relevant := false
 		if row >= 0 {
 			var isNew bool

@@ -1,0 +1,38 @@
+package explore
+
+import (
+	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// Process-wide steering-loop metrics, resolved once.
+var (
+	obsIterations       = obs.GetCounter("explore.iterations")
+	obsSamplesProposed  = obs.GetCounter("explore.samples_proposed")
+	obsLabelsReceived   = obs.GetCounter("explore.labels_received")
+	obsLabelsRelevant   = obs.GetCounter("explore.labels_relevant")
+	obsAreasPredicted   = obs.GetGauge("explore.areas_predicted")
+	obsIterationSeconds = obs.GetHistogram("explore.iteration_seconds")
+	obsTrainSeconds     = obs.GetHistogram("explore.train_seconds")
+)
+
+// SetRecorder attaches a trace recorder to the session: every subsequent
+// RunIteration publishes one root span ("iteration") with child spans for
+// the steering phases, CART retraining, and each sample-extraction query.
+// A nil recorder (the default) disables tracing at zero cost.
+func (s *Session) SetRecorder(r *obs.Recorder) { s.rec = r }
+
+// Recorder returns the attached trace recorder, or nil.
+func (s *Session) Recorder() *obs.Recorder { return s.rec }
+
+// sampleOneNearCenter wraps View.SampleOneNearCenter with a per-query
+// trace span under the current phase span. Discovery calls this for its
+// per-cell (or per-cluster) retrieval queries.
+func (s *Session) sampleOneNearCenter(center geom.Point, gamma float64) int {
+	qs := s.phaseSpan.Child("engine.sample_near")
+	row := s.view.SampleOneNearCenter(center, gamma, s.rng)
+	qs.SetAttr("gamma", gamma)
+	qs.SetAttr("hit", row >= 0)
+	qs.End()
+	return row
+}

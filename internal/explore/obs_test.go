@@ -1,0 +1,130 @@
+package explore
+
+import (
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// TestIterationSpanTree scripts a 3-iteration session and asserts the
+// trace shape: one root span per iteration, a discovery child in the
+// first, phase/train children once a classifier exists, and engine-query
+// leaves under the phases.
+func TestIterationSpanTree(t *testing.T) {
+	tab := dataset.GenerateUniform(5_000, 2, 1)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := geom.R(20, 70, 25, 75)
+	oracle := OracleFunc(func(v *engine.View, row int) bool {
+		return target.Contains(v.NormPoint(row))
+	})
+	opts := DefaultOptions()
+	opts.Seed = 3
+	opts.SamplesPerIteration = 15
+	s, err := NewSession(v, oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(16)
+	s.SetRecorder(rec)
+	if s.Recorder() != rec {
+		t.Fatal("Recorder() did not return the attached recorder")
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spans := rec.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d root spans, want 3", len(spans))
+	}
+	for i, sp := range spans {
+		if sp.Name != "iteration" {
+			t.Errorf("span %d name = %q", i, sp.Name)
+		}
+		if sp.Attrs["iteration"] != i {
+			t.Errorf("span %d iteration attr = %v", i, sp.Attrs["iteration"])
+		}
+		if len(sp.Children) == 0 {
+			t.Fatalf("span %d has no children", i)
+		}
+		names := map[string]int{}
+		for _, c := range sp.Children {
+			names[c.Name]++
+		}
+		// Every iteration retrains (or clears) the classifier.
+		if names["train"] != 1 {
+			t.Errorf("span %d children = %v, want one train span", i, names)
+		}
+		if sp.Attrs["new_samples"] == nil || sp.Attrs["total_labeled"] == nil {
+			t.Errorf("span %d missing summary attrs: %v", i, sp.Attrs)
+		}
+	}
+	// Iteration 0 is discovery-only, and its discovery span carries the
+	// per-cell engine queries as leaves.
+	first := spans[0]
+	var disc *obs.SpanData
+	for i := range first.Children {
+		if first.Children[i].Name == "discovery" {
+			disc = &first.Children[i]
+		}
+	}
+	if disc == nil {
+		t.Fatal("first iteration has no discovery span")
+	}
+	if len(disc.Children) == 0 {
+		t.Error("discovery span has no engine query children")
+	}
+	for _, q := range disc.Children {
+		if q.Name != "engine.sample_near" {
+			t.Errorf("discovery leaf = %q", q.Name)
+		}
+	}
+	// By iteration 3 a classifier exists, so later iterations should show
+	// misclassified/boundary exploitation somewhere.
+	foundPhase := false
+	for _, sp := range spans[1:] {
+		for _, c := range sp.Children {
+			if c.Name == "misclassified" || c.Name == "boundary" {
+				foundPhase = true
+				for _, q := range c.Children {
+					if q.Name != "engine.sample_rect" {
+						t.Errorf("%s leaf = %q", c.Name, q.Name)
+					}
+				}
+			}
+		}
+	}
+	if !foundPhase {
+		t.Error("no misclassified/boundary phase spans after iteration 0")
+	}
+}
+
+// TestSessionWithoutRecorder ensures tracing stays off (and free of
+// panics) when no recorder is attached.
+func TestSessionWithoutRecorder(t *testing.T) {
+	tab := dataset.GenerateUniform(1_000, 2, 1)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFunc(func(*engine.View, int) bool { return false })
+	s, err := NewSession(v, oracle, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Recorder() != nil {
+		t.Error("recorder should default to nil")
+	}
+}

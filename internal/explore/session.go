@@ -9,6 +9,7 @@ import (
 	"github.com/explore-by-example/aide/internal/cart"
 	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/obs"
 )
 
 // Session is an AIDE exploration session: the full steering loop of
@@ -36,6 +37,9 @@ type Session struct {
 
 	disc          discoverer
 	discoveryHits int // relevant objects found by discovery: the paper's k indicator
+
+	rec       *obs.Recorder // per-iteration trace sink (nil: tracing off)
+	phaseSpan *obs.Span     // active phase span while a phase executes
 
 	iter  int
 	stats SessionStats
@@ -124,6 +128,9 @@ func (s *Session) RunIteration() (*IterationResult, error) {
 	start := time.Now()
 	res := &IterationResult{Iteration: s.iter}
 
+	root := s.rec.Start("iteration")
+	root.SetAttr("iteration", s.iter)
+
 	budget := s.opts.SamplesPerIteration
 	if budget == 0 {
 		budget = math.MaxInt32
@@ -144,27 +151,49 @@ func (s *Session) RunIteration() (*IterationResult, error) {
 			reqs = append(reqs, breqs...)
 		}
 		reqs = trimRequests(reqs, budget)
+		// Requests arrive grouped by phase (misclassified before
+		// boundary); one child span covers each contiguous phase run.
+		curPhase := Phase(-1)
 		for _, rq := range reqs {
+			if rq.phase != curPhase {
+				s.phaseSpan.End()
+				s.phaseSpan = root.Child(rq.phase.String())
+				curPhase = rq.phase
+			}
 			s.stats.PhaseQueries[rq.phase]++
-			for _, row := range s.view.SampleRect(rq.rect, rq.n, s.rng) {
+			qs := s.phaseSpan.Child("engine.sample_rect")
+			rows := s.view.SampleRect(rq.rect, rq.n, s.rng)
+			qs.SetAttr("requested", rq.n)
+			qs.SetAttr("returned", len(rows))
+			qs.End()
+			for _, row := range rows {
 				s.labelRow(row, rq.phase, res)
 			}
 		}
+		s.phaseSpan.End()
+		s.phaseSpan = nil
 		s.lastSlabs = slabs
 	}
 
 	// Remaining effort goes to discovery ("we used the remaining of 20
 	// samples to sample unexplored yet grid cells", Section 6.2).
 	if remaining := budget - res.NewSamples; remaining > 0 {
+		s.phaseSpan = root.Child(PhaseDiscovery.String())
+		before := res.NewSamples
 		s.disc.step(s, remaining, res)
+		s.phaseSpan.SetAttr("samples", res.NewSamples-before)
+		s.phaseSpan.End()
+		s.phaseSpan = nil
 	}
 
 	// Retrain the classifier on the grown training set.
 	trainStart := time.Now()
+	ts := root.Child("train")
 	s.prevAreas = s.areas
 	if s.nPos > 0 && s.nPos < len(s.rows) {
 		tree, err := cart.Train(s.points, s.labels, s.opts.Tree)
 		if err != nil {
+			root.End()
 			return nil, fmt.Errorf("explore: training classifier: %w", err)
 		}
 		s.tree = tree
@@ -173,6 +202,8 @@ func (s *Session) RunIteration() (*IterationResult, error) {
 		s.tree = nil
 		s.areas = nil
 	}
+	ts.SetAttr("training_set", len(s.rows))
+	ts.End()
 	res.TrainDuration = time.Since(trainStart)
 	res.Duration = time.Since(start)
 	res.TotalLabeled = len(s.rows)
@@ -183,16 +214,31 @@ func (s *Session) RunIteration() (*IterationResult, error) {
 	s.stats.TotalLabeled = len(s.rows)
 	s.stats.ExecTime += res.Duration
 	s.stats.TrainTime += res.TrainDuration
+
+	obsIterations.Inc()
+	obsIterationSeconds.Observe(res.Duration.Seconds())
+	obsTrainSeconds.Observe(res.TrainDuration.Seconds())
+	obsAreasPredicted.Set(float64(res.RelevantAreas))
+	root.SetAttr("new_samples", res.NewSamples)
+	root.SetAttr("new_relevant", res.NewRelevant)
+	root.SetAttr("total_labeled", res.TotalLabeled)
+	root.SetAttr("areas", res.RelevantAreas)
+	root.End()
 	return res, nil
 }
 
 // labelRow shows one tuple to the oracle unless it was already labeled.
 // It returns the label and whether it consumed user effort.
 func (s *Session) labelRow(row int, phase Phase, res *IterationResult) (relevant, isNew bool) {
+	obsSamplesProposed.Inc()
 	if lab, ok := s.labelOf[row]; ok {
 		return lab, false
 	}
 	lab := s.oracle.Label(s.view, row)
+	obsLabelsReceived.Inc()
+	if lab {
+		obsLabelsRelevant.Inc()
+	}
 	s.labelOf[row] = lab
 	s.rows = append(s.rows, row)
 	s.points = append(s.points, s.view.NormPoint(row))

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a slog.Logger for the given -log-format flag value:
+// "text" (human-readable, the default) or "json" (machine-ingestable
+// structured lines). Unknown formats are an error so flag typos fail
+// loudly instead of silently switching handlers.
+func NewLogger(format string, w io.Writer, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve inside the goroutine: get-or-create must be safe
+			// under contention too.
+			c := r.Counter("test.counter")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("test.counter").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.25)
+	g.Add(-0.75)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	// Uniform 1..1000 observations scaled into (0,10]: quantiles should
+	// land near q*10.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 5005.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 5}, {0.95, 9.5}, {0.99, 9.9},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 0.2 {
+			t.Errorf("q%v = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramOverflowAndEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	h.Observe(100) // overflow bucket
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow quantile = %v, want last bound 2", got)
+	}
+	s := h.Summary()
+	if s.Count != 1 || s.Sum != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(off+j) * 1e-6)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(7)
+	r.Gauge("a.gauge").Set(1.5)
+	r.Histogram("c.lat").Observe(0.002)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if decoded["b.count"] != float64(7) {
+		t.Errorf("b.count = %v", decoded["b.count"])
+	}
+	if decoded["a.gauge"] != 1.5 {
+		t.Errorf("a.gauge = %v", decoded["a.gauge"])
+	}
+	hist, ok := decoded["c.lat"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Errorf("c.lat = %v", decoded["c.lat"])
+	}
+	// Keys are emitted sorted.
+	if ai, bi := strings.Index(b.String(), "a.gauge"), strings.Index(b.String(), "b.count"); ai > bi {
+		t.Errorf("keys not sorted:\n%s", b.String())
+	}
+}

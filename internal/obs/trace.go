@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed operation in a trace tree: an exploration iteration
+// at the root, with children for the three steering phases, classifier
+// retraining, and each engine query. Spans are built by a single
+// goroutine and become visible to readers only when the root span Ends
+// and is published into its Recorder, so building needs no locks.
+//
+// All methods are nil-safe: instrumented code can call them
+// unconditionally and pay nothing when tracing is off.
+type Span struct {
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+	rec      *Recorder // set on roots only
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Child starts a child span. It returns nil when s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// SetAttr annotates the span; later values for the same key win at
+// snapshot time.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span. Ending a root span publishes the whole tree
+// into its Recorder; the tree must not be mutated afterwards.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	if s.rec != nil {
+		s.rec.publish(s)
+	}
+}
+
+// Recorder keeps a bounded ring buffer of the most recent finished root
+// spans — one recorder per exploration session, capacity bounding memory
+// no matter how long the session runs.
+type Recorder struct {
+	mu    sync.Mutex
+	cap   int
+	ring  []*Span
+	next  int
+	total int64
+}
+
+// NewRecorder creates a recorder keeping the last capacity root spans
+// (capacity <= 0 defaults to 64).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Start begins a new root span. It returns nil when r is nil, and the
+// span's End publishes it into the ring.
+func (r *Recorder) Start(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), rec: r}
+}
+
+func (r *Recorder) publish(s *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, s)
+	} else {
+		r.ring[r.next] = s
+		r.next = (r.next + 1) % r.cap
+	}
+	r.total++
+}
+
+// Total returns how many root spans have ever been published.
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// SpanData is the exported, JSON-ready form of a finished span.
+type SpanData struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanData     `json:"children,omitempty"`
+}
+
+// Snapshot returns the recorded root spans oldest-first. The returned
+// data is a deep copy, safe to serve while the session keeps running.
+func (r *Recorder) Snapshot() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanData, 0, len(r.ring))
+	// Oldest-first: ring[next:] then ring[:next] once the ring wrapped.
+	for i := 0; i < len(r.ring); i++ {
+		s := r.ring[(r.next+i)%len(r.ring)]
+		out = append(out, s.data())
+	}
+	return out
+}
+
+// data converts a finished span tree to SpanData.
+func (s *Span) data() SpanData {
+	d := SpanData{
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(s.end.Sub(s.start)) / float64(time.Millisecond),
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.Key] = a.Value
+		}
+	}
+	if len(s.children) > 0 {
+		d.Children = make([]SpanData, len(s.children))
+		for i, c := range s.children {
+			if c.end.IsZero() {
+				// A child left unended inherits its parent's end.
+				c.end = s.end
+			}
+			d.Children[i] = c.data()
+		}
+	}
+	return d
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	r := NewRecorder(8)
+	root := r.Start("iteration")
+	root.SetAttr("iteration", 3)
+	c1 := root.Child("discovery")
+	q := c1.Child("engine.sample")
+	q.SetAttr("rows", 5)
+	q.End()
+	c1.End()
+	c2 := root.Child("train")
+	c2.End()
+	root.End()
+
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d spans, want 1", len(snap))
+	}
+	got := snap[0]
+	if got.Name != "iteration" || got.Attrs["iteration"] != 3 {
+		t.Errorf("root = %+v", got)
+	}
+	if len(got.Children) != 2 || got.Children[0].Name != "discovery" || got.Children[1].Name != "train" {
+		t.Fatalf("children = %+v", got.Children)
+	}
+	leaf := got.Children[0].Children
+	if len(leaf) != 1 || leaf[0].Name != "engine.sample" || leaf[0].Attrs["rows"] != 5 {
+		t.Errorf("query span = %+v", leaf)
+	}
+	if got.DurationMS < 0 {
+		t.Errorf("duration = %v", got.DurationMS)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot not serializable: %v", err)
+	}
+}
+
+func TestRecorderRingBound(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		s := r.Start("iter")
+		s.SetAttr("i", i)
+		s.End()
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(snap))
+	}
+	// Oldest-first of the last three: 7, 8, 9.
+	for i, want := range []int{7, 8, 9} {
+		if snap[i].Attrs["i"] != want {
+			t.Errorf("snap[%d].i = %v, want %d", i, snap[i].Attrs["i"], want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("total = %d, want 10", r.Total())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	s := r.Start("x") // nil recorder -> nil span
+	if s != nil {
+		t.Fatal("nil recorder should yield nil span")
+	}
+	// All operations on a nil span are no-ops.
+	c := s.Child("y")
+	c.SetAttr("k", 1)
+	c.End()
+	s.End()
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil recorder snapshot = %v", got)
+	}
+	if r.Total() != 0 {
+		t.Errorf("nil recorder total = %d", r.Total())
+	}
+}
+
+func TestUnendedChildInheritsRootEnd(t *testing.T) {
+	r := NewRecorder(1)
+	root := r.Start("iter")
+	root.Child("left-open") // never ended
+	root.End()
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Children) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Children[0].DurationMS < 0 {
+		t.Errorf("child duration negative: %v", snap[0].Children[0].DurationMS)
+	}
+}

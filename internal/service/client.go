@@ -83,15 +83,51 @@ func (c *Client) Close(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
 }
 
-// Views lists the views the server exposes.
-func (c *Client) ViewNames(ctx context.Context) ([]string, error) {
+// Views lists the views the server exposes, with row counts and
+// exploration attributes.
+func (c *Client) Views(ctx context.Context) ([]ViewInfo, error) {
 	var resp struct {
-		Views []string `json:"views"`
+		Views []ViewInfo `json:"views"`
 	}
 	if err := c.do(ctx, http.MethodGet, "/v1/views", nil, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Views, nil
+}
+
+// ViewNames lists the names of the views the server exposes.
+func (c *Client) ViewNames(ctx context.Context) ([]string, error) {
+	infos, err := c.Views(ctx)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(infos))
+	for i, v := range infos {
+		names[i] = v.Name
+	}
+	return names, nil
+}
+
+// Trace returns the session's recent per-iteration trace spans.
+func (c *Client) Trace(ctx context.Context, id string) (TraceResponse, error) {
+	var tr TraceResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/trace", nil, &tr)
+	return tr, err
+}
+
+// Metrics returns the server's metric snapshot: counters and gauges as
+// numbers, histograms as objects with count/sum/p50/p95/p99.
+func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
+	var m map[string]any
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Health reports whether the server answers its liveness probe.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
 // Status mirrors the server's progress snapshot (the SQL field carries a

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// requestIDKey is the context key the middleware stores request ids
+// under.
+type requestIDKey struct{}
+
+// RequestIDFrom returns the request id the middleware assigned, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status code for logging/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so long-poll responses stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// WithRequestLog wraps next with request-ID assignment and structured
+// request logging. Each request gets an id — taken from an incoming
+// X-Request-ID header or freshly generated — which is echoed in the
+// response header, stored in the request context, and attached to the
+// completion log line together with method, path, status and duration.
+func WithRequestLog(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", time.Since(start)),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}

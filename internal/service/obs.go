@@ -1,0 +1,29 @@
+package service
+
+import (
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// Process-wide service metrics, resolved once. Per-endpoint series are
+// looked up through the registry at request time (an RWMutex read), kept
+// out of the per-sample hot paths.
+var (
+	obsInflight        = obs.GetGauge("service.http.inflight")
+	obsHTTPErrors      = obs.GetCounter("service.http.errors")
+	obsSampleWait      = obs.GetHistogram("service.sample_wait_seconds")
+	obsSessionsCreated = obs.GetCounter("service.sessions_created")
+	obsSessionsDeleted = obs.GetCounter("service.sessions_deleted")
+	obsSessionsExpired = obs.GetCounter("service.sessions_expired")
+	obsSessionsActive  = obs.GetGauge("service.sessions_active")
+	obsSessionErrors   = obs.GetCounter("service.session_errors")
+)
+
+// httpRequests returns the request counter of one endpoint.
+func httpRequests(endpoint string) *obs.Counter {
+	return obs.GetCounter("service.http.requests." + endpoint)
+}
+
+// httpSeconds returns the latency histogram of one endpoint.
+func httpSeconds(endpoint string) *obs.Histogram {
+	return obs.GetHistogram("service.http.seconds." + endpoint)
+}

@@ -1,0 +1,264 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// driveSession runs a short scripted exploration over HTTP and returns
+// the session id (still live).
+func driveSession(t *testing.T, c *Client, v *engine.View, labels int) string {
+	t.Helper()
+	ctx := context.Background()
+	id, err := c.CreateSession(ctx, CreateSessionRequest{
+		View: "uniform", Seed: 5, SamplesPerIteration: 10, MaxIterations: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := geom.R(20, 70, 25, 75)
+	for i := 0; i < labels; i++ {
+		sample, err := c.NextSample(ctx, id)
+		if errors.Is(err, ErrSessionDone) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := v.Normalizer().ToNorm(geom.Point{sample.Values["a0"], sample.Values["a1"]})
+		if err := c.SubmitLabel(ctx, id, sample.Row, target.Contains(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return id
+}
+
+func TestMetricsAndTraceEndpoints(t *testing.T) {
+	srv, v := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	id := driveSession(t, c, v, 35)
+	defer c.Close(ctx, id)
+
+	// /v1/metrics: valid JSON with nonzero engine + service counters.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"engine.queries", "engine.rows_examined", "engine.sample_calls",
+		"explore.iterations", "explore.labels_received",
+		"service.sessions_created", "service.http.requests.sample",
+	} {
+		v, ok := m[name].(float64)
+		if !ok || v <= 0 {
+			t.Errorf("metric %s = %v, want > 0", name, m[name])
+		}
+	}
+	// Histograms render as summaries.
+	hist, ok := m["engine.query_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("engine.query_seconds = %v", m["engine.query_seconds"])
+	}
+	if cnt, _ := hist["count"].(float64); cnt <= 0 {
+		t.Errorf("engine.query_seconds count = %v", hist["count"])
+	}
+	for _, q := range []string{"p50", "p95", "p99", "sum"} {
+		if _, ok := hist[q]; !ok {
+			t.Errorf("engine.query_seconds missing %s: %v", q, hist)
+		}
+	}
+
+	// /v1/sessions/{id}/trace: per-iteration spans with phase children.
+	tr, err := c.Trace(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != id || tr.View != "uniform" {
+		t.Errorf("trace header = %+v", tr)
+	}
+	if tr.Total == 0 || len(tr.Spans) == 0 {
+		t.Fatalf("no spans recorded: %+v", tr)
+	}
+	phases := map[string]bool{}
+	for _, sp := range tr.Spans {
+		if sp.Name != "iteration" {
+			t.Errorf("root span = %q", sp.Name)
+		}
+		for _, ch := range sp.Children {
+			phases[ch.Name] = true
+		}
+	}
+	if !phases["discovery"] || !phases["train"] {
+		t.Errorf("phase spans seen = %v, want discovery and train", phases)
+	}
+
+	// Unknown session id 404s.
+	resp, err := ts.Client().Get(ts.URL + "/v1/sessions/nosuch/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("trace of unknown session = %d", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndViewsMetadata(t *testing.T) {
+	srv, v := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := c.Views(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("views = %+v", infos)
+	}
+	if infos[0].Name != "uniform" || infos[0].Rows != v.NumRows() {
+		t.Errorf("view info = %+v", infos[0])
+	}
+	if len(infos[0].Attrs) != 2 || infos[0].Attrs[0] != "a0" {
+		t.Errorf("view attrs = %v", infos[0].Attrs)
+	}
+}
+
+func TestSessionJanitor(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	id, err := c.CreateSession(ctx, CreateSessionRequest{View: "uniform", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh sessions survive a long-TTL sweep.
+	if n := srv.ExpireIdle(time.Hour); n != 0 {
+		t.Errorf("expired %d fresh sessions", n)
+	}
+	if _, err := c.Status(ctx, id); err != nil {
+		t.Errorf("session gone after no-op sweep: %v", err)
+	}
+
+	// A zero TTL makes everything idle: the session must be evicted and
+	// its goroutine unblocked (cancelled).
+	before := obsSessionsExpired.Value()
+	if n := srv.ExpireIdle(0); n != 1 {
+		t.Fatalf("expired %d sessions, want 1", n)
+	}
+	if got := obsSessionsExpired.Value(); got != before+1 {
+		t.Errorf("sessions_expired went %d -> %d", before, got)
+	}
+	if _, err := c.Status(ctx, id); err == nil {
+		t.Error("evicted session still reachable")
+	}
+
+	// The background janitor does the same on a timer.
+	id2, err := c.CreateSession(ctx, CreateSessionRequest{View: "uniform", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SessionTTL = time.Nanosecond
+	jctx, jcancel := context.WithCancel(context.Background())
+	defer jcancel()
+	srv.StartJanitor(jctx, 5*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.Status(ctx, id2); err != nil {
+			return // evicted
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("janitor never evicted the idle session")
+}
+
+func TestRequestLogMiddleware(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	ts := httptest.NewServer(WithRequestLog(logger, srv))
+	defer ts.Close()
+
+	// A generated request id is echoed back and logged.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	genID := resp.Header.Get("X-Request-ID")
+	if genID == "" {
+		t.Fatal("no X-Request-ID assigned")
+	}
+
+	// A caller-supplied id is preserved.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/views", nil)
+	req.Header.Set("X-Request-ID", "my-id-42")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "my-id-42" {
+		t.Errorf("request id = %q, want my-id-42", got)
+	}
+
+	// Log lines are JSON with the expected fields.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), logBuf.String())
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &entry); err != nil {
+		t.Fatalf("log line not JSON: %v", err)
+	}
+	if entry["request_id"] != "my-id-42" || entry["path"] != "/v1/views" ||
+		entry["method"] != http.MethodGet || entry["status"] != float64(200) {
+		t.Errorf("log entry = %v", entry)
+	}
+}
+
+func TestStatusWriterCapturesErrors(t *testing.T) {
+	// An error response increments service.http.errors.
+	tab := dataset.GenerateUniform(1_000, 2, 1)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(map[string]*engine.View{"u": v})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	before := obsHTTPErrors.Value()
+	resp, err := ts.Client().Get(ts.URL + "/bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := obsHTTPErrors.Value(); got != before+1 {
+		t.Errorf("http.errors went %d -> %d, want +1", before, got)
+	}
+}

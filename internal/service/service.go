@@ -9,7 +9,14 @@
 //	POST   /v1/sessions/{id}/label      submit a label          <- {row, relevant}
 //	GET    /v1/sessions/{id}/status     progress snapshot
 //	GET    /v1/sessions/{id}/query      current predicted query
+//	GET    /v1/sessions/{id}/trace      recent per-iteration trace spans
 //	DELETE /v1/sessions/{id}            stop and discard
+//	GET    /v1/views                    registered views (rows, attrs)
+//	GET    /v1/metrics                  process metrics (expvar-style JSON)
+//	GET    /healthz                     liveness probe
+//
+// Sessions idle longer than SessionTTL are evicted by the janitor
+// (StartJanitor) so abandoned long-poll sessions do not leak.
 //
 // The Client type wraps the protocol for Go callers.
 package service
@@ -22,12 +29,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/explore"
+	"github.com/explore-by-example/aide/internal/obs"
 )
 
 // Server routes exploration-session requests over a set of registered
@@ -39,6 +49,15 @@ type Server struct {
 	// SampleWait bounds how long GET /sample blocks waiting for the
 	// session to propose a tuple (default 30s).
 	SampleWait time.Duration
+	// SessionTTL is how long a session may sit idle (no requests) before
+	// the janitor evicts it (default 30m).
+	SessionTTL time.Duration
+	// TraceCapacity is how many recent iteration traces each session
+	// retains for GET /sessions/{id}/trace (default 64).
+	TraceCapacity int
+	// Metrics is the registry /v1/metrics serves (default obs.Default,
+	// which the engine and steering loop report into).
+	Metrics *obs.Registry
 }
 
 // NewServer creates a server over the given named views.
@@ -48,9 +67,12 @@ func NewServer(views map[string]*engine.View) *Server {
 		vs[k] = v
 	}
 	return &Server{
-		views:      vs,
-		sessions:   make(map[string]*liveSession),
-		SampleWait: 30 * time.Second,
+		views:         vs,
+		sessions:      make(map[string]*liveSession),
+		SampleWait:    30 * time.Second,
+		SessionTTL:    30 * time.Minute,
+		TraceCapacity: 64,
+		Metrics:       obs.Default,
 	}
 }
 
@@ -63,6 +85,83 @@ func (s *Server) Views() []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+// ViewInfo is one registered view's metadata, served by GET /v1/views.
+type ViewInfo struct {
+	Name  string   `json:"name"`
+	Rows  int      `json:"rows"`
+	Attrs []string `json:"attrs"`
+}
+
+// ViewInfos returns metadata for every registered view, sorted by name.
+func (s *Server) ViewInfos() []ViewInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ViewInfo, 0, len(s.views))
+	for name, v := range s.views {
+		out = append(out, ViewInfo{Name: name, Rows: v.NumRows(), Attrs: v.Attrs()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TraceResponse is the reply to GET /v1/sessions/{id}/trace: the
+// session's most recent per-iteration trace trees, oldest first.
+type TraceResponse struct {
+	ID   string `json:"id"`
+	View string `json:"view"`
+	// Total counts every iteration traced over the session's lifetime;
+	// Spans holds only the most recent ones (bounded ring buffer).
+	Total int64          `json:"total_iterations"`
+	Spans []obs.SpanData `json:"spans"`
+}
+
+// ExpireIdle evicts every session idle longer than ttl, returning how
+// many were evicted. The janitor calls this periodically; tests may call
+// it directly.
+func (s *Server) ExpireIdle(ttl time.Duration) int {
+	cutoff := time.Now().Add(-ttl).UnixNano()
+	var victims []*liveSession
+	s.mu.Lock()
+	for id, ls := range s.sessions {
+		if ls.lastActive.Load() < cutoff {
+			victims = append(victims, ls)
+			delete(s.sessions, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, ls := range victims {
+		ls.cancel()
+		obsSessionsExpired.Inc()
+		obsSessionsActive.Add(-1)
+	}
+	return len(victims)
+}
+
+// StartJanitor runs the idle-session janitor every interval until ctx is
+// cancelled, evicting sessions idle longer than SessionTTL so abandoned
+// long-poll sessions do not leak goroutines or memory.
+func (s *Server) StartJanitor(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				ttl := s.SessionTTL
+				if ttl <= 0 {
+					ttl = 30 * time.Minute
+				}
+				s.ExpireIdle(ttl)
+			}
+		}
+	}()
 }
 
 // labelRequest is one pending "please label this tuple" exchange between
@@ -92,11 +191,19 @@ type liveSession struct {
 	ctx     context.Context
 	pending chan labelRequest
 	current chan labelRequest // holds the request being labeled, capacity 1
+	rec     *obs.Recorder     // per-iteration trace ring buffer
+
+	// lastActive is the unix-nano time of the last request touching this
+	// session; the janitor evicts sessions idle past the TTL.
+	lastActive atomic.Int64
 
 	mu     sync.Mutex
 	status sessionStatus
 	err    error
 }
+
+// touch marks the session as active now.
+func (ls *liveSession) touch() { ls.lastActive.Store(time.Now().UnixNano()) }
 
 func (ls *liveSession) snapshot() (sessionStatus, error) {
 	ls.mu.Lock()
@@ -154,12 +261,36 @@ type Bounds struct {
 	Hi float64 `json:"hi"`
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request is counted and timed
+// per endpoint into the obs registry.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	obsInflight.Add(1)
+	defer obsInflight.Add(-1)
+	sw, ok := w.(*statusWriter)
+	if !ok {
+		sw = &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	}
+	endpoint := s.dispatch(sw, r)
+	httpRequests(endpoint).Inc()
+	httpSeconds(endpoint).Observe(time.Since(start).Seconds())
+	if sw.status >= 400 {
+		obsHTTPErrors.Inc()
+	}
+}
+
+// dispatch routes the request and returns the endpoint label its metrics
+// are recorded under.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) string {
+	if r.URL.Path == "/healthz" && r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return "healthz"
+	}
 	path := strings.TrimPrefix(r.URL.Path, "/v1/")
 	switch {
 	case path == "sessions" && r.Method == http.MethodPost:
 		s.createSession(w, r)
+		return "create_session"
 	case strings.HasPrefix(path, "sessions/"):
 		rest := strings.TrimPrefix(path, "sessions/")
 		parts := strings.SplitN(rest, "/", 2)
@@ -168,47 +299,71 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if len(parts) == 2 {
 			action = parts[1]
 		}
-		s.dispatchSession(w, r, id, action)
+		return s.dispatchSession(w, r, id, action)
 	case path == "views" && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string][]string{"views": s.Views()})
+		writeJSON(w, http.StatusOK, map[string][]ViewInfo{"views": s.ViewInfos()})
+		return "views"
+	case path == "metrics" && r.Method == http.MethodGet:
+		reg := s.Metrics
+		if reg == nil {
+			reg = obs.Default
+		}
+		reg.Handler().ServeHTTP(w, r)
+		return "metrics"
 	default:
 		httpError(w, http.StatusNotFound, "no such endpoint")
+		return "notfound"
 	}
 }
 
-func (s *Server) dispatchSession(w http.ResponseWriter, r *http.Request, id, action string) {
+func (s *Server) dispatchSession(w http.ResponseWriter, r *http.Request, id, action string) string {
 	s.mu.Lock()
 	ls := s.sessions[id]
 	s.mu.Unlock()
 	if ls == nil {
 		httpError(w, http.StatusNotFound, "no such session")
-		return
+		return "session_notfound"
 	}
+	ls.touch()
 	switch {
 	case action == "" && r.Method == http.MethodDelete:
 		s.deleteSession(w, id, ls)
+		return "delete_session"
 	case action == "sample" && r.Method == http.MethodGet:
 		s.nextSample(w, r, ls)
+		return "sample"
 	case action == "label" && r.Method == http.MethodPost:
 		s.label(w, r, ls)
+		return "label"
 	case action == "status" && r.Method == http.MethodGet:
 		st, err := ls.snapshot()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
-			return
+			return "status"
 		}
 		writeJSON(w, http.StatusOK, st)
+		return "status"
+	case action == "trace" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, TraceResponse{
+			ID:    ls.id,
+			View:  ls.view,
+			Total: ls.rec.Total(),
+			Spans: ls.rec.Snapshot(),
+		})
+		return "trace"
 	case action == "query" && r.Method == http.MethodGet:
 		st, _ := ls.snapshot()
 		var resp QueryResponse
 		if err := json.Unmarshal([]byte(st.SQL), &resp); err != nil {
 			// SQL field holds the marshaled QueryResponse; see runSession.
 			httpError(w, http.StatusInternalServerError, "no query available yet")
-			return
+			return "query"
 		}
 		writeJSON(w, http.StatusOK, resp)
+		return "query"
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "unsupported method or action")
+		return "badaction"
 	}
 }
 
@@ -256,7 +411,9 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		ctx:     ctx,
 		cancel:  cancel,
 		pending: make(chan labelRequest),
+		rec:     obs.NewRecorder(s.TraceCapacity),
 	}
+	ls.touch()
 	oracle := explore.OracleFunc(func(v *engine.View, row int) bool {
 		reply := make(chan bool, 1)
 		select {
@@ -277,10 +434,13 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	sess.SetRecorder(ls.rec)
 
 	s.mu.Lock()
 	s.sessions[ls.id] = ls
 	s.mu.Unlock()
+	obsSessionsCreated.Inc()
+	obsSessionsActive.Add(1)
 
 	go runSession(ls, sess, view, opts.MaxIterations)
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{ID: ls.id})
@@ -328,6 +488,7 @@ func runSession(ls *liveSession, sess *explore.Session, view *engine.View, maxIt
 		}
 		res, err := sess.RunIteration()
 		if err != nil {
+			obsSessionErrors.Inc()
 			ls.mu.Lock()
 			ls.err = err
 			ls.mu.Unlock()
@@ -356,6 +517,11 @@ func (s *Server) nextSample(w http.ResponseWriter, r *http.Request, ls *liveSess
 	if wait <= 0 {
 		wait = 30 * time.Second
 	}
+	start := time.Now()
+	// The long-poll wait — how long the handler blocked before a sample
+	// (or timeout/cancellation) arrived — is the user-facing latency the
+	// paper's system-execution-time metric measures.
+	defer func() { obsSampleWait.Observe(time.Since(start).Seconds()) }()
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
@@ -422,8 +588,13 @@ func (s *Server) label(w http.ResponseWriter, r *http.Request, ls *liveSession) 
 func (s *Server) deleteSession(w http.ResponseWriter, id string, ls *liveSession) {
 	ls.cancel()
 	s.mu.Lock()
+	_, present := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
+	if present {
+		obsSessionsDeleted.Inc()
+		obsSessionsActive.Add(-1)
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 }
 
