@@ -8,6 +8,13 @@
 //
 // Absolute numbers depend on machine and scale; the shapes (orderings,
 // rough factors, crossovers) reproduce the paper. See EXPERIMENTS.md.
+//
+// The -json flag instead runs the hot-path worker-pool benchmark (CART
+// training, grid scans, index build, k-means at workers=1 vs N) and
+// writes the machine-readable report tracked as BENCH_hotpaths.json:
+//
+//	aidebench -json BENCH_hotpaths.json
+//	aidebench -json - -workers 8 -quick
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/explore-by-example/aide/internal/bench"
 	"github.com/explore-by-example/aide/internal/obs"
@@ -33,6 +41,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "stream per-session progress")
 		csvDir   = flag.String("csvdir", "", "also write each report as <id>.csv into this directory")
 		metrics  = flag.String("metrics", "", "after all runs, dump internal counters as JSON to this file ('-' for stdout)")
+		jsonOut  = flag.String("json", "", "run the hot-path worker-pool benchmark and write its JSON report to this file ('-' for stdout)")
+		workers  = flag.Int("workers", 0, "worker count for the -json benchmark's parallel side (0: AIDE_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -42,8 +52,17 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut != "" {
+		if err := runHotpaths(*jsonOut, *workers, *rows, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "aidebench: %v\n", err)
+			os.Exit(1)
+		}
+		if *run == "" {
+			return
+		}
+	}
 	if *run == "" {
-		fmt.Fprintln(os.Stderr, "usage: aidebench -run <id>[,<id>...] | -run all | -list")
+		fmt.Fprintln(os.Stderr, "usage: aidebench -run <id>[,<id>...] | -run all | -json <path> | -list")
 		os.Exit(2)
 	}
 
@@ -95,6 +114,38 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runHotpaths benchmarks the parallelized hot paths at workers=1 vs N
+// and writes the JSON perf-trajectory report (see BENCH_hotpaths.json).
+func runHotpaths(path string, workers, rows int, seed int64, quick bool) error {
+	cfg := bench.DefaultHotpathConfig()
+	cfg.Workers = workers
+	cfg.Seed = seed
+	if quick {
+		cfg.Rows, cfg.TrainPoints, cfg.ClusterPoints = 30_000, 1_500, 8_000
+		cfg.MinTime = 50 * time.Millisecond
+	}
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	rep, err := bench.RunHotpaths(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, rep.String())
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dumpMetrics writes the cumulative internal counters (engine work,

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/cart"
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/kmeans"
+	"github.com/explore-by-example/aide/internal/par"
+)
+
+// HotpathConfig scales the worker-pool benchmark (aidebench -json).
+type HotpathConfig struct {
+	// Rows is the table size behind the scan and index-build kernels
+	// (default 150000).
+	Rows int
+	// TrainPoints is the CART training-set size (default 6000).
+	TrainPoints int
+	// ClusterPoints is the k-means point count (default 40000).
+	ClusterPoints int
+	// Workers is the parallel side's worker count (0: automatic —
+	// AIDE_WORKERS or GOMAXPROCS). The sequential side is always 1.
+	Workers int
+	// Seed drives dataset generation.
+	Seed int64
+	// MinTime is the minimum measurement window per timing pass
+	// (default 200ms).
+	MinTime time.Duration
+}
+
+// DefaultHotpathConfig returns the scale used for BENCH_hotpaths.json.
+func DefaultHotpathConfig() HotpathConfig {
+	return HotpathConfig{
+		Rows:          150_000,
+		TrainPoints:   6_000,
+		ClusterPoints: 40_000,
+		Seed:          1,
+		MinTime:       200 * time.Millisecond,
+	}
+}
+
+// HotpathResult is one kernel's sequential-vs-parallel measurement.
+type HotpathResult struct {
+	// Name identifies the kernel: cart_train, grid_scan, index_build,
+	// kmeans_cluster.
+	Name string `json:"name"`
+	// NsPerOpWorkers1 is ns/op on the forced-sequential path.
+	NsPerOpWorkers1 int64 `json:"ns_per_op_workers_1"`
+	// NsPerOpWorkersN is ns/op at the configured worker count.
+	NsPerOpWorkersN int64 `json:"ns_per_op_workers_n"`
+	// Speedup is NsPerOpWorkers1 / NsPerOpWorkersN.
+	Speedup float64 `json:"speedup"`
+	// Identical reports that the parallel output matched the sequential
+	// output exactly — the determinism gate the speedup rides on.
+	Identical bool `json:"identical"`
+}
+
+// HotpathReport is the machine-readable perf trajectory written to
+// BENCH_hotpaths.json so future changes can be compared against it.
+type HotpathReport struct {
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	Workers       int             `json:"workers"`
+	Rows          int             `json:"rows"`
+	TrainPoints   int             `json:"train_points"`
+	ClusterPoints int             `json:"cluster_points"`
+	Results       []HotpathResult `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *HotpathReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders a human-readable summary table.
+func (r *HotpathReport) String() string {
+	s := fmt.Sprintf("hotpaths: GOMAXPROCS=%d workers=%d rows=%d\n", r.GOMAXPROCS, r.Workers, r.Rows)
+	s += fmt.Sprintf("%-16s %14s %14s %8s %10s\n", "kernel", "w=1 ns/op", "w=N ns/op", "speedup", "identical")
+	for _, b := range r.Results {
+		s += fmt.Sprintf("%-16s %14d %14d %7.2fx %10v\n",
+			b.Name, b.NsPerOpWorkers1, b.NsPerOpWorkersN, b.Speedup, b.Identical)
+	}
+	return s
+}
+
+// measure times op: one warmup call, then repeated timing passes until
+// minTime has elapsed, returning ns/op over the measured passes.
+func measure(minTime time.Duration, op func()) int64 {
+	op() // warmup
+	var elapsed time.Duration
+	reps := 0
+	for elapsed < minTime {
+		start := time.Now()
+		op()
+		elapsed += time.Since(start)
+		reps++
+	}
+	return elapsed.Nanoseconds() / int64(reps)
+}
+
+// RunHotpaths benchmarks the four parallelized hot paths — CART training,
+// grid scanning, view index construction and k-means clustering — at
+// workers=1 versus the configured worker count, verifying on every kernel
+// that both sides produce identical output.
+func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
+	def := DefaultHotpathConfig()
+	if cfg.Rows <= 0 {
+		cfg.Rows = def.Rows
+	}
+	if cfg.TrainPoints <= 0 {
+		cfg.TrainPoints = def.TrainPoints
+	}
+	if cfg.ClusterPoints <= 0 {
+		cfg.ClusterPoints = def.ClusterPoints
+	}
+	if cfg.MinTime <= 0 {
+		cfg.MinTime = def.MinTime
+	}
+	workers := par.Resolve(cfg.Workers)
+	rep := &HotpathReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       workers,
+		Rows:          cfg.Rows,
+		TrainPoints:   cfg.TrainPoints,
+		ClusterPoints: cfg.ClusterPoints,
+	}
+
+	// cart_train: induction over a 4-d labeled set, the per-iteration
+	// classifier retraining cost of the steering loop.
+	points, labels := hotpathTrainingSet(cfg.TrainPoints, 4, cfg.Seed)
+	trainAt := func(w int) *cart.Tree {
+		p := cart.DefaultParams()
+		p.Workers = w
+		t, err := cart.Train(points, labels, p)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	seqTree, parTree := trainAt(1), trainAt(workers)
+	rep.Results = append(rep.Results, hotpathResult("cart_train",
+		measure(cfg.MinTime, func() { trainAt(1) }),
+		measure(cfg.MinTime, func() { trainAt(workers) }),
+		seqTree.String(nil) == parTree.String(nil)))
+
+	// grid_scan: Count + RowsIn over a large region of a 2-d view — the
+	// shape of evaluation queries and density probes.
+	tab := dataset.GenerateSDSS(cfg.Rows, cfg.Seed)
+	seqView, err := engine.NewViewWorkers(tab, []string{"rowc", "colc"}, 1)
+	if err != nil {
+		return nil, err
+	}
+	parView := seqView.WithWorkers(workers)
+	rect := geom.R(10, 90, 10, 90)
+	scanIdentical := seqView.Count(rect) == parView.Count(rect) &&
+		reflect.DeepEqual(seqView.RowsIn(rect), parView.RowsIn(rect))
+	rep.Results = append(rep.Results, hotpathResult("grid_scan",
+		measure(cfg.MinTime, func() { seqView.Count(rect); seqView.RowsIn(rect) }),
+		measure(cfg.MinTime, func() { parView.Count(rect); parView.RowsIn(rect) }),
+		scanIdentical))
+
+	// index_build: NewView over four attributes — per-attribute
+	// normalization + sorted indexes + grid-cell assignment.
+	attrs := []string{"ra", "dec", "rowc", "field"}
+	buildAt := func(w int) *engine.View {
+		v, err := engine.NewViewWorkers(tab, attrs, w)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
+	bSeq, bPar := buildAt(1), buildAt(workers)
+	probe := geom.R(20, 70, 20, 70, 20, 70, 20, 70)
+	rep.Results = append(rep.Results, hotpathResult("index_build",
+		measure(cfg.MinTime, func() { buildAt(1) }),
+		measure(cfg.MinTime, func() { buildAt(workers) }),
+		bSeq.Count(probe) == bPar.Count(probe)))
+
+	// kmeans_cluster: the assignment-dominated clustering behind
+	// skew-aware discovery and misclassified exploitation.
+	cpoints := hotpathClusterSet(cfg.ClusterPoints, 4, cfg.Seed)
+	clusterAt := func(w int) *kmeans.Result {
+		res, err := kmeans.Cluster(cpoints, kmeans.Params{K: 16, MaxIters: 20, Workers: w},
+			rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+	cSeq, cPar := clusterAt(1), clusterAt(workers)
+	rep.Results = append(rep.Results, hotpathResult("kmeans_cluster",
+		measure(cfg.MinTime, func() { clusterAt(1) }),
+		measure(cfg.MinTime, func() { clusterAt(workers) }),
+		reflect.DeepEqual(cSeq.Assign, cPar.Assign) && cSeq.Inertia == cPar.Inertia))
+
+	return rep, nil
+}
+
+func hotpathResult(name string, seqNs, parNs int64, identical bool) HotpathResult {
+	speedup := 0.0
+	if parNs > 0 {
+		speedup = float64(seqNs) / float64(parNs)
+	}
+	return HotpathResult{
+		Name:            name,
+		NsPerOpWorkers1: seqNs,
+		NsPerOpWorkersN: parNs,
+		Speedup:         speedup,
+		Identical:       identical,
+	}
+}
+
+// hotpathTrainingSet labels uniform d-dim points against two target boxes.
+func hotpathTrainingSet(n, d int, seed int64) ([]geom.Point, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	targets := []geom.Rect{make(geom.Rect, d), make(geom.Rect, d)}
+	for i := range targets[0] {
+		targets[0][i] = geom.Interval{Lo: 20, Hi: 40}
+		targets[1][i] = geom.Interval{Lo: 55, Hi: 80}
+	}
+	points := make([]geom.Point, n)
+	labels := make([]bool, n)
+	for i := range points {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		points[i] = p
+		labels[i] = targets[0].Contains(p) || targets[1].Contains(p)
+	}
+	return points, labels
+}
+
+// hotpathClusterSet draws d-dim points from a handful of Gaussian blobs.
+func hotpathClusterSet(n, d int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, 6)
+	for i := range centers {
+		c := make(geom.Point, d)
+		for j := range c {
+			c[j] = rng.Float64() * 100
+		}
+		centers[i] = c
+	}
+	points := make([]geom.Point, n)
+	for i := range points {
+		c := centers[rng.Intn(len(centers))]
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()*6
+		}
+		points[i] = p
+	}
+	return points
+}

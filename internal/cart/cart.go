@@ -16,7 +16,11 @@ import (
 	"strings"
 
 	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/par"
 )
+
+// kernelSplit tracks the parallel per-dimension Gini sweeps of bestSplit.
+var kernelSplit = par.NewKernel("cart.best_split")
 
 // Params controls tree induction.
 type Params struct {
@@ -27,6 +31,12 @@ type Params struct {
 	MinLeaf int
 	// MinGain is the minimum Gini impurity decrease a split must achieve.
 	MinGain float64
+	// Workers sets the worker count for the per-dimension split search:
+	// 0 means automatic (AIDE_WORKERS or GOMAXPROCS), 1 forces the
+	// sequential path. The trained tree is bit-identical at every worker
+	// count: each dimension's sweep is independent and the cross-dimension
+	// merge keeps the lower-dim/lower-threshold tie-break.
+	Workers int
 }
 
 // DefaultParams returns the parameters used by AIDE. MinLeaf is 3 rather
@@ -56,6 +66,13 @@ type Tree struct {
 	root   *node
 	dims   int
 	params Params
+
+	// Induction scratch, released after Train. scratch holds one reusable
+	// (value, index) buffer per split-search chunk so recursive build
+	// calls stop reallocating; dimBest collects per-dimension candidates
+	// for the ordered cross-dimension merge.
+	scratch [][]keyedIndex
+	dimBest []splitResult
 }
 
 // Train fits a tree to the given points and labels. It returns an error
@@ -84,7 +101,11 @@ func Train(points []geom.Point, labels []bool, params Params) (*Tree, error) {
 		idx[i] = i
 	}
 	t := &Tree{dims: d, params: params}
+	chunks := par.ChunkCount(params.Workers, d, 1)
+	t.scratch = make([][]keyedIndex, chunks)
+	t.dimBest = make([]splitResult, d)
 	t.root = t.build(points, labels, idx, 0)
+	t.scratch, t.dimBest = nil, nil
 	return t, nil
 }
 
@@ -126,9 +147,20 @@ func (t *Tree) build(points []geom.Point, labels []bool, idx []int, depth int) *
 	return nd
 }
 
+// splitResult is one dimension's best split candidate.
+type splitResult struct {
+	gain float64
+	thr  float64
+	ok   bool
+}
+
 // bestSplit scans every dimension for the midpoint threshold with maximal
-// Gini gain. Ties break toward the lower dimension index and lower
-// threshold, keeping induction deterministic.
+// Gini gain. The per-dimension sweeps are independent, so they fan out
+// across the par worker pool (chunked over dimensions, one reusable sort
+// buffer per chunk); the cross-dimension merge then walks dimensions in
+// ascending order, so ties break toward the lower dimension index and
+// lower threshold and induction is deterministic — and identical — at
+// every worker count.
 func (t *Tree) bestSplit(points []geom.Point, labels []bool, idx []int) (bestDim int, bestThr, bestGain float64) {
 	n := len(idx)
 	nPos := 0
@@ -138,48 +170,70 @@ func (t *Tree) bestSplit(points []geom.Point, labels []bool, idx []int) (bestDim
 		}
 	}
 	parent := gini(nPos, n)
-	bestDim = -1
 
-	// Sorting dominates induction cost; sort (value, index) pairs with a
-	// concrete comparator rather than an interface-based sort.
-	keyed := make([]keyedIndex, n)
-	for d := 0; d < t.dims; d++ {
-		for j, i := range idx {
-			keyed[j] = keyedIndex{key: points[i][d], idx: i}
+	par.For(kernelSplit, t.params.Workers, t.dims, 1, func(chunk, lo, hi int) {
+		for d := lo; d < hi; d++ {
+			t.dimBest[d] = bestSplitDim(points, labels, idx, d, parent, nPos, &t.scratch[chunk])
 		}
-		slices.SortFunc(keyed, func(a, b keyedIndex) int {
-			switch {
-			case a.key < b.key:
-				return -1
-			case a.key > b.key:
-				return 1
-			default:
-				return 0
-			}
-		})
-		leftPos, leftN := 0, 0
-		for k := 0; k < n-1; k++ {
-			i := keyed[k].idx
-			leftN++
-			if labels[i] {
-				leftPos++
-			}
-			v, next := keyed[k].key, keyed[k+1].key
-			if v == next {
-				continue // can only split between distinct values
-			}
-			rightN := n - leftN
-			rightPos := nPos - leftPos
-			w := float64(leftN) / float64(n)
-			g := parent - w*gini(leftPos, leftN) - (1-w)*gini(rightPos, rightN)
-			if g > bestGain+1e-15 {
-				bestGain = g
-				bestDim = d
-				bestThr = (v + next) / 2
-			}
+	})
+
+	bestDim = -1
+	for d, r := range t.dimBest {
+		if r.ok && r.gain > bestGain+1e-15 {
+			bestDim, bestThr, bestGain = d, r.thr, r.gain
 		}
 	}
 	return bestDim, bestThr, bestGain
+}
+
+// bestSplitDim sweeps one dimension for its best midpoint threshold. buf
+// is the chunk's reusable (value, index) scratch: sorting dominates
+// induction cost, so the pairs are sorted with a concrete comparator and
+// the buffer is hoisted out of the recursive build to kill per-call
+// allocation churn.
+func bestSplitDim(points []geom.Point, labels []bool, idx []int, d int, parent float64, nPos int, buf *[]keyedIndex) splitResult {
+	n := len(idx)
+	keyed := *buf
+	if cap(keyed) < n {
+		keyed = make([]keyedIndex, n)
+		*buf = keyed
+	} else {
+		keyed = keyed[:n]
+	}
+	for j, i := range idx {
+		keyed[j] = keyedIndex{key: points[i][d], idx: i}
+	}
+	slices.SortFunc(keyed, func(a, b keyedIndex) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
+		}
+	})
+	var best splitResult
+	leftPos, leftN := 0, 0
+	for k := 0; k < n-1; k++ {
+		i := keyed[k].idx
+		leftN++
+		if labels[i] {
+			leftPos++
+		}
+		v, next := keyed[k].key, keyed[k+1].key
+		if v == next {
+			continue // can only split between distinct values
+		}
+		rightN := n - leftN
+		rightPos := nPos - leftPos
+		w := float64(leftN) / float64(n)
+		g := parent - w*gini(leftPos, leftN) - (1-w)*gini(rightPos, rightN)
+		if g > best.gain+1e-15 {
+			best = splitResult{gain: g, thr: (v + next) / 2, ok: true}
+		}
+	}
+	return best
 }
 
 // keyedIndex pairs a sample index with its value on the dimension being

@@ -1,0 +1,82 @@
+package cart
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// randomTrainingSet builds n labeled points in d dimensions against a
+// random rectangular target, the worst-case shape for split-search ties.
+func randomTrainingSet(n, d int, seed int64) ([]geom.Point, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	target := make(geom.Rect, d)
+	for i := range target {
+		lo := rng.Float64() * 70
+		target[i] = geom.Interval{Lo: lo, Hi: lo + 10 + rng.Float64()*20}
+	}
+	points := make([]geom.Point, n)
+	labels := make([]bool, n)
+	for i := range points {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		points[i] = p
+		labels[i] = target.Contains(p)
+	}
+	return points, labels
+}
+
+// TestTrainParallelEquivalence asserts that induction is bit-identical
+// across worker counts: same splits, same thresholds, same leaves.
+func TestTrainParallelEquivalence(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{
+		{200, 1}, {500, 2}, {500, 4}, {300, 7},
+	} {
+		for seed := int64(1); seed <= 5; seed++ {
+			points, labels := randomTrainingSet(tc.n, tc.d, seed)
+			params := DefaultParams()
+			params.Workers = 1
+			seq, err := Train(points, labels, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				params.Workers = workers
+				got, err := Train(points, labels, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.String(nil) != seq.String(nil) {
+					t.Fatalf("n=%d d=%d seed=%d: workers=%d tree differs from sequential\n--- workers=1:\n%s--- workers=%d:\n%s",
+						tc.n, tc.d, seed, workers, seq.String(nil), workers, got.String(nil))
+				}
+				if got.Depth() != seq.Depth() || got.NumLeaves() != seq.NumLeaves() {
+					t.Fatalf("n=%d d=%d seed=%d workers=%d: shape differs", tc.n, tc.d, seed, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestTrainScratchReuse trains twice on the same tree-sized inputs and
+// asserts repeatability: the hoisted scratch buffers must not leak state
+// between dimensions or trainings.
+func TestTrainScratchReuse(t *testing.T) {
+	points, labels := randomTrainingSet(800, 3, 42)
+	params := DefaultParams()
+	params.Workers = 4
+	first, err := Train(points, labels, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Train(points, labels, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.String(nil) != second.String(nil) {
+		t.Fatal("repeated training produced different trees")
+	}
+}

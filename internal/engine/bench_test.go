@@ -42,6 +42,31 @@ func BenchmarkCountSmallRect(b *testing.B) {
 	}
 }
 
+// BenchmarkCountLargeRect exercises Count's fast path on a rect
+// dominated by fully-contained grid cells: their rows are summed via
+// len() with no per-row verification or callback.
+func BenchmarkCountLargeRect(b *testing.B) {
+	v := benchView(b, 100_000)
+	rect := geom.R(10, 90, 10, 90)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Count(rect)
+	}
+}
+
+// BenchmarkCountLargeRectPerRow is the pre-fast-path reference: the same
+// count through scanRect's per-row closure. The gap between this and
+// BenchmarkCountLargeRect is the win of summing full cells wholesale.
+func BenchmarkCountLargeRectPerRow(b *testing.B) {
+	v := benchView(b, 100_000)
+	rect := geom.R(10, 90, 10, 90)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		v.scanRect(rect, func(int) bool { n++; return true })
+	}
+}
+
 func BenchmarkSampleRectSmall(b *testing.B) {
 	v := benchView(b, 100_000)
 	rect := geom.R(40, 48, 40, 48)

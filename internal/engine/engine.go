@@ -21,6 +21,7 @@ import (
 
 	"github.com/explore-by-example/aide/internal/dataset"
 	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/par"
 )
 
 // Stats counts the work the engine performs on behalf of an exploration
@@ -48,18 +49,36 @@ func (s *Stats) Reset() {
 // View is an indexed projection of a table onto d exploration attributes.
 // It is immutable after construction and safe for concurrent readers.
 type View struct {
-	tab    *dataset.Table
-	cols   []int // table column indexes of the exploration attributes
-	norm   *geom.Normalizer
-	ncols  [][]float64 // normalized column values, one slice per dimension
-	grid   *gridIndex
-	sorted [][]int32 // per-dimension row ids in ascending value order
-	stats  *Stats
+	tab     *dataset.Table
+	cols    []int // table column indexes of the exploration attributes
+	norm    *geom.Normalizer
+	ncols   [][]float64 // normalized column values, one slice per dimension
+	grid    *gridIndex
+	sorted  [][]int32 // per-dimension row ids in ascending value order
+	stats   *Stats
+	workers int // scan worker knob: 0 auto, 1 sequential
 }
 
+// Parallel scan kernels. minScanBlocks is the smallest number of grid
+// cells worth chunking: below it, per-chunk bookkeeping dwarfs the scan.
+var (
+	kernelScan  = par.NewKernel("engine.scan")
+	kernelIndex = par.NewKernel("engine.index_build")
+)
+
+const minScanBlocks = 8
+
 // NewView builds a View over the named exploration attributes, creating
-// the covering index (normalized columns + grid index).
+// the covering index (normalized columns + grid index) with the default
+// worker count (AIDE_WORKERS or GOMAXPROCS).
 func NewView(tab *dataset.Table, attrs []string) (*View, error) {
+	return NewViewWorkers(tab, attrs, 0)
+}
+
+// NewViewWorkers is NewView with an explicit worker count for both index
+// construction and subsequent scans: 0 means automatic, 1 forces the
+// sequential path. The built view is identical at every worker count.
+func NewViewWorkers(tab *dataset.Table, attrs []string, workers int) (*View, error) {
 	cols, err := tab.ColumnIndexes(attrs)
 	if err != nil {
 		return nil, err
@@ -71,23 +90,42 @@ func NewView(tab *dataset.Table, attrs []string) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &View{tab: tab, cols: cols, norm: norm, stats: &Stats{}}
+	v := &View{tab: tab, cols: cols, norm: norm, stats: &Stats{}, workers: workers}
+	rows := tab.NumRows()
 	v.ncols = make([][]float64, len(cols))
-	for i, c := range cols {
-		src := tab.Col(c)
-		nc := make([]float64, len(src))
-		for r, raw := range src {
-			nc[r] = norm.ToNormValue(i, raw)
-		}
-		v.ncols[i] = nc
-	}
-	v.grid = buildGridIndex(v.ncols, tab.NumRows())
 	v.sorted = make([][]int32, len(cols))
-	for i := range v.ncols {
-		v.sorted[i] = sortedIndex(v.ncols[i])
-	}
+	// The per-attribute work items — normalize the column, then sort its
+	// row ids — are independent, so attributes build concurrently; the
+	// grid index then assigns rows to cells with a parallel coordinate
+	// pass. Every step writes disjoint slots, so the result is identical
+	// at any worker count.
+	par.For(kernelIndex, workers, len(cols), 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := tab.Col(v.cols[i])
+			nc := make([]float64, len(src))
+			for r, raw := range src {
+				nc[r] = norm.ToNormValue(i, raw)
+			}
+			v.ncols[i] = nc
+			v.sorted[i] = sortedIndex(nc)
+		}
+	})
+	v.grid = buildGridIndex(v.ncols, rows, workers)
 	return v, nil
 }
+
+// WithWorkers returns a view sharing this view's table, indexes and
+// stats, whose scans use the given worker count (0 automatic, 1
+// sequential). It is the per-session worker knob: the underlying view
+// stays immutable and safe for concurrent readers.
+func (v *View) WithWorkers(workers int) *View {
+	c := *v
+	c.workers = workers
+	return &c
+}
+
+// Workers returns the view's scan worker knob (0 = automatic).
+func (v *View) Workers() int { return v.workers }
 
 // sortedIndex returns row ids ordered by ascending value: one column of
 // the covering index. Range lookups on a single attribute binary-search
@@ -216,28 +254,97 @@ func (v *View) MatchesAny(rects []geom.Rect, row int) bool {
 	return false
 }
 
-// Count returns the number of rows inside rect (normalized space).
+// Count returns the number of rows inside rect (normalized space). Cells
+// fully contained in rect contribute len(rows) directly — no per-row
+// verification or callback — and cell chunks are counted in parallel.
 func (v *View) Count(rect geom.Rect) int {
 	defer observeQuery(time.Now())
 	v.stats.Queries.Add(1)
-	n := 0
-	v.scanRect(rect, func(int) bool { n++; return true })
-	return n
+	obsPathGrid.Inc()
+	blocks := v.grid.collectCells(rect)
+	type counts struct{ matched, examined int64 }
+	parts := par.Map(kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) counts {
+		var c counts
+		for _, b := range blocks[lo:hi] {
+			c.examined += int64(len(b.rows))
+			if b.full {
+				c.matched += int64(len(b.rows))
+				continue
+			}
+			for _, r := range b.rows {
+				if v.Contains(rect, int(r)) {
+					c.matched++
+				}
+			}
+		}
+		return c
+	})
+	var total counts
+	for _, c := range parts {
+		total.matched += c.matched
+		total.examined += c.examined
+	}
+	v.stats.RowsExamined.Add(total.examined)
+	obsRowsExamined.Add(total.examined)
+	return int(total.matched)
 }
 
-// RowsIn returns all row ids inside rect (normalized space), in
-// unspecified order.
+// RowsIn returns all row ids inside rect (normalized space). The order is
+// unspecified but deterministic: grid cells in row-major order, rows
+// ascending within each cell, independent of the worker count (cell
+// chunks are scanned in parallel into per-chunk buffers concatenated in
+// cell order).
 func (v *View) RowsIn(rect geom.Rect) []int {
 	defer observeQuery(time.Now())
 	v.stats.Queries.Add(1)
-	var out []int
-	v.scanRect(rect, func(r int) bool { out = append(out, r); return true })
+	obsPathGrid.Inc()
+	blocks := v.grid.collectCells(rect)
+	type chunkRows struct {
+		rows     []int
+		examined int64
+	}
+	parts := par.Map(kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkRows {
+		var c chunkRows
+		for _, b := range blocks[lo:hi] {
+			c.examined += int64(len(b.rows))
+			if b.full {
+				for _, r := range b.rows {
+					c.rows = append(c.rows, int(r))
+				}
+				continue
+			}
+			for _, r := range b.rows {
+				if v.Contains(rect, int(r)) {
+					c.rows = append(c.rows, int(r))
+				}
+			}
+		}
+		return c
+	})
+	var examined int64
+	n := 0
+	for _, c := range parts {
+		examined += c.examined
+		n += len(c.rows)
+	}
+	v.stats.RowsExamined.Add(examined)
+	obsRowsExamined.Add(examined)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for _, c := range parts {
+		out = append(out, c.rows...)
+	}
 	return out
 }
 
 // scanRect visits every row inside rect via the grid index, invoking fn
 // for each; fn returning false stops the scan. Rows of cells fully
-// contained in rect are emitted without per-row verification.
+// contained in rect are emitted without per-row verification. This is
+// the sequential per-row reference path; Count/RowsIn use the chunked
+// cell scan with the full-cell len() fast path instead (benchmarked
+// against this in bench_test.go).
 func (v *View) scanRect(rect geom.Rect, fn func(row int) bool) {
 	obsPathGrid.Inc()
 	examined := int64(0)
@@ -290,7 +397,11 @@ type gridIndex struct {
 
 // buildGridIndex picks a resolution so the average cell holds a modest
 // number of rows without exploding the cell count in high dimensions.
-func buildGridIndex(ncols [][]float64, rows int) *gridIndex {
+// Cell assignment (the per-row coordinate arithmetic) is chunked across
+// the worker pool; the cell lists are then laid out in one flat backing
+// array via a counting pass, so each cell's rows stay in ascending row
+// order regardless of worker count.
+func buildGridIndex(ncols [][]float64, rows, workers int) *gridIndex {
 	d := len(ncols)
 	// Target ~64 rows per cell, capped to keep memory bounded.
 	target := float64(rows) / 64
@@ -319,9 +430,37 @@ func buildGridIndex(ncols [][]float64, rows int) *gridIndex {
 		total *= per
 	}
 	g.cells = make([][]int32, total)
+	if rows == 0 {
+		return g
+	}
+	// Pass 1 (parallel): flat cell id of every row.
+	ids := make([]int32, rows)
+	par.For(kernelIndex, workers, rows, 1024, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ids[r] = int32(g.cellOf(ncols, r))
+		}
+	})
+	// Pass 2 (sequential, cheap integer work): counting sort into one
+	// shared backing array, rows ascending within each cell.
+	counts := make([]int32, total+1)
+	for _, id := range ids {
+		counts[id+1]++
+	}
+	for i := 1; i <= total; i++ {
+		counts[i] += counts[i-1]
+	}
+	backing := make([]int32, rows)
+	next := make([]int32, total)
+	copy(next, counts[:total])
 	for r := 0; r < rows; r++ {
-		id := g.cellOf(ncols, r)
-		g.cells[id] = append(g.cells[id], int32(r))
+		id := ids[r]
+		backing[next[id]] = int32(r)
+		next[id]++
+	}
+	for id := 0; id < total; id++ {
+		if lo, hi := counts[id], counts[id+1]; lo < hi {
+			g.cells[id] = backing[lo:hi:hi]
+		}
 	}
 	return g
 }
@@ -357,6 +496,26 @@ func (g *gridIndex) cellRange(iv geom.Interval) (int, int, bool) {
 		hi = g.cellsPerDim - 1
 	}
 	return lo, hi, true
+}
+
+// cellBlock is one non-empty grid cell overlapping a query rect: its row
+// ids and whether the cell lies entirely inside the rect (no per-row
+// verification needed).
+type cellBlock struct {
+	rows []int32
+	full bool
+}
+
+// collectCells returns the non-empty cells overlapping rect in row-major
+// (odometer) order — the deterministic work list the parallel scans
+// chunk over.
+func (g *gridIndex) collectCells(rect geom.Rect) []cellBlock {
+	var out []cellBlock
+	g.visitCells(rect, func(rows []int32, full bool) bool {
+		out = append(out, cellBlock{rows: rows, full: full})
+		return true
+	})
+	return out
 }
 
 // visitCells invokes fn for every cell overlapping rect. full is true when

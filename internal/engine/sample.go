@@ -2,9 +2,11 @@ package engine
 
 import (
 	"math/rand"
+	"slices"
 	"time"
 
 	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/par"
 )
 
 // SampleRect returns up to n distinct rows drawn uniformly at random from
@@ -44,16 +46,8 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 			rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 			return out
 		}
-		chosen := make(map[int]struct{}, n)
-		for j := matched - n; j < matched; j++ {
-			t := rng.Intn(j + 1)
-			if _, dup := chosen[t]; dup {
-				t = j
-			}
-			chosen[t] = struct{}{}
-		}
 		out := make([]int, 0, n)
-		for t := range chosen {
+		for _, t := range floydSample(matched, n, rng) {
 			out = append(out, int(v.sorted[dim][lo+t]))
 		}
 		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
@@ -61,25 +55,43 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 	}
 
 	obsPathGrid.Inc()
-	var full [][]int32 // verified-by-construction candidate blocks
-	fullTotal := 0
-	var partial []int // verified matching rows from boundary cells
-	examined := int64(0)
-
-	v.grid.visitCells(rect, func(rows []int32, isFull bool) bool {
-		if isFull {
-			full = append(full, rows)
-			fullTotal += len(rows)
-			return true
-		}
-		examined += int64(len(rows))
-		for _, r := range rows {
-			if v.Contains(rect, int(r)) {
-				partial = append(partial, int(r))
+	// Cell chunks are verified in parallel; per-chunk results concatenate
+	// in cell order, so the candidate layout — and therefore the sampled
+	// rows for a given rng state — is identical at every worker count.
+	blocks := v.grid.collectCells(rect)
+	type chunkCand struct {
+		full     [][]int32 // verified-by-construction candidate blocks
+		partial  []int     // verified matching rows from boundary cells
+		examined int64
+	}
+	parts := par.Map(kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkCand {
+		var c chunkCand
+		for _, b := range blocks[lo:hi] {
+			if b.full {
+				c.full = append(c.full, b.rows)
+				continue
+			}
+			c.examined += int64(len(b.rows))
+			for _, r := range b.rows {
+				if v.Contains(rect, int(r)) {
+					c.partial = append(c.partial, int(r))
+				}
 			}
 		}
-		return true
+		return c
 	})
+	var full [][]int32
+	fullTotal := 0
+	var partial []int
+	examined := int64(0)
+	for _, c := range parts {
+		for _, b := range c.full {
+			full = append(full, b)
+			fullTotal += len(b)
+		}
+		partial = append(partial, c.partial...)
+		examined += c.examined
+	}
 	v.stats.RowsExamined.Add(examined)
 	obsRowsExamined.Add(examined)
 
@@ -99,7 +111,19 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 		return out
 	}
 
-	// Floyd's algorithm: n distinct indices in [0,total).
+	out := make([]int, 0, n)
+	for _, idx := range floydSample(total, n, rng) {
+		out = append(out, v.rowAt(full, partial, idx))
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// floydSample returns n distinct indices in [0, total) via Floyd's
+// algorithm, in ascending order. The sorted order (rather than map
+// iteration order) keeps the caller's subsequent rng-driven shuffle — and
+// therefore the whole sample — reproducible for a given rng state.
+func floydSample(total, n int, rng *rand.Rand) []int {
 	chosen := make(map[int]struct{}, n)
 	for j := total - n; j < total; j++ {
 		t := rng.Intn(j + 1)
@@ -110,9 +134,9 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 	}
 	out := make([]int, 0, n)
 	for idx := range chosen {
-		out = append(out, v.rowAt(full, partial, idx))
+		out = append(out, idx)
 	}
-	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	slices.Sort(out)
 	return out
 }
 
@@ -149,18 +173,7 @@ func (v *View) SampleAll(n int, rng *rand.Rand) []int {
 		out := rng.Perm(total)
 		return out
 	}
-	chosen := make(map[int]struct{}, n)
-	for j := total - n; j < total; j++ {
-		t := rng.Intn(j + 1)
-		if _, dup := chosen[t]; dup {
-			t = j
-		}
-		chosen[t] = struct{}{}
-	}
-	out := make([]int, 0, n)
-	for r := range chosen {
-		out = append(out, r)
-	}
+	out := floydSample(total, n, rng)
 	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }

@@ -177,6 +177,14 @@ type Options struct {
 
 	// MaxIterations bounds RunUntil loops.
 	MaxIterations int
+
+	// Workers sets the worker count for the session's parallel hot paths
+	// (CART split search, engine grid scans, k-means assignment): 0 means
+	// automatic (the AIDE_WORKERS environment variable, else GOMAXPROCS),
+	// 1 forces the sequential paths. Every kernel produces results
+	// independent of the worker count, so sessions with equal seeds stay
+	// identical at any Workers setting.
+	Workers int
 }
 
 // DefaultOptions returns the configuration matching the paper's
@@ -251,6 +259,12 @@ func (o *Options) validate(dims int) error {
 	}
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 200
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("explore: Workers = %d", o.Workers)
+	}
+	if o.Tree.Workers == 0 {
+		o.Tree.Workers = o.Workers
 	}
 	if o.SamplesPerIteration < 0 {
 		return fmt.Errorf("explore: SamplesPerIteration = %d", o.SamplesPerIteration)

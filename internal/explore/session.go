@@ -85,6 +85,11 @@ func NewSession(view *engine.View, oracle Oracle, opts Options) (*Session, error
 	if err := opts.validate(view.Dims()); err != nil {
 		return nil, err
 	}
+	if opts.Workers != 0 {
+		// Route this session's scans through the requested worker count
+		// without touching the (possibly shared) underlying view.
+		view = view.WithWorkers(opts.Workers)
+	}
 	s := &Session{
 		view:    view,
 		oracle:  oracle,

@@ -12,7 +12,18 @@ import (
 	"math/rand"
 
 	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/par"
 )
+
+// Parallel kernels: assignment (nearest-centroid search) and seeding
+// (distance-to-nearest-center). minAssignChunk keeps goroutine overhead
+// off small point sets.
+var (
+	kernelAssign = par.NewKernel("kmeans.assign")
+	kernelSeed   = par.NewKernel("kmeans.seed")
+)
+
+const minAssignChunk = 256
 
 // Result holds the output of a clustering run.
 type Result struct {
@@ -101,6 +112,13 @@ type Params struct {
 	MaxIters int
 	// Tol stops early when centroid movement falls below it (default 1e-6).
 	Tol float64
+	// Workers sets the worker count for the assignment step: 0 means
+	// automatic (AIDE_WORKERS or GOMAXPROCS), 1 forces the sequential
+	// path. Results are bit-identical at every worker count: each point's
+	// nearest centroid is independent, and every floating-point
+	// accumulation (centroid sums, inertia) stays sequential in point
+	// order.
+	Workers int
 }
 
 // Cluster partitions points into K clusters. The run is deterministic for
@@ -125,7 +143,7 @@ func Cluster(points []geom.Point, params Params, rng *rand.Rand) (*Result, error
 		}
 	}
 
-	cents := seedPlusPlus(points, params.K, rng)
+	cents := seedPlusPlus(points, params.K, rng, params.Workers)
 	k := len(cents)
 	assign := make([]int, len(points))
 	sizes := make([]int, k)
@@ -133,19 +151,15 @@ func Cluster(points []geom.Point, params Params, rng *rand.Rand) (*Result, error
 	iters := 0
 	for iters < params.MaxIters {
 		iters++
-		// Assignment step.
+		// Assignment step: each point's nearest centroid is independent,
+		// so it fans out across the worker pool; size counting stays
+		// sequential (cheap integer work).
+		assignNearest(points, cents, params.Workers, assign, nil)
 		for i := range sizes {
 			sizes[i] = 0
 		}
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, cent := range cents {
-				if dist := sqDist(p, cent); dist < bestD {
-					best, bestD = c, dist
-				}
-			}
-			assign[i] = best
-			sizes[best]++
+		for _, a := range assign {
+			sizes[a]++
 		}
 		// Update step.
 		next := make([]geom.Point, k)
@@ -179,21 +193,41 @@ func Cluster(points []geom.Point, params Params, rng *rand.Rand) (*Result, error
 		}
 	}
 
-	// Final assignment with the converged centroids.
+	// Final assignment with the converged centroids. Distances compute in
+	// parallel; inertia accumulates sequentially in point order so the
+	// float sum is reproducible at every worker count.
 	res := &Result{Centroids: cents, Assign: assign, Sizes: make([]int, k)}
-	for i, p := range points {
-		best, bestD := 0, math.Inf(1)
-		for c, cent := range cents {
-			if dist := sqDist(p, cent); dist < bestD {
-				best, bestD = c, dist
-			}
-		}
-		res.Assign[i] = best
-		res.Sizes[best]++
-		res.Inertia += bestD
+	dists := make([]float64, len(points))
+	assignNearest(points, cents, params.Workers, res.Assign, dists)
+	for i := range points {
+		res.Sizes[res.Assign[i]]++
+		res.Inertia += dists[i]
 	}
 	res.Iters = iters
 	return res, nil
+}
+
+// assignNearest writes each point's nearest-centroid index into assign
+// and its squared distance into dists (either may be nil), chunking the
+// points across the worker pool. Writes are disjoint per point, so the
+// result is independent of the worker count.
+func assignNearest(points, cents []geom.Point, workers int, assign []int, dists []float64) {
+	par.For(kernelAssign, workers, len(points), minAssignChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range cents {
+				if d := sqDist(points[i], cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign != nil {
+				assign[i] = best
+			}
+			if dists != nil {
+				dists[i] = bestD
+			}
+		}
+	})
 }
 
 // seedPlusPlus picks initial centroids with the k-means++ strategy:
@@ -201,20 +235,27 @@ func Cluster(points []geom.Point, params Params, rng *rand.Rand) (*Result, error
 // distance from the nearest existing center. Duplicated points cannot
 // yield more centers than distinct values, so the returned slice may be
 // shorter than k.
-func seedPlusPlus(points []geom.Point, k int, rng *rand.Rand) []geom.Point {
+func seedPlusPlus(points []geom.Point, k int, rng *rand.Rand, workers int) []geom.Point {
 	cents := []geom.Point{points[rng.Intn(len(points))].Clone()}
 	dist := make([]float64, len(points))
 	for len(cents) < k {
-		var total float64
-		for i, p := range points {
-			best := math.Inf(1)
-			for _, c := range cents {
-				if d := sqDist(p, c); d < best {
-					best = d
+		// Distance-to-nearest-center is independent per point; the total
+		// (which shapes the rng draw) accumulates sequentially in point
+		// order to stay reproducible at every worker count.
+		par.For(kernelSeed, workers, len(points), minAssignChunk, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best := math.Inf(1)
+				for _, c := range cents {
+					if d := sqDist(points[i], c); d < best {
+						best = d
+					}
 				}
+				dist[i] = best
 			}
-			dist[i] = best
-			total += best
+		})
+		var total float64
+		for _, d := range dist {
+			total += d
 		}
 		if total == 0 {
 			break // fewer distinct points than k

@@ -1,0 +1,226 @@
+// Package par is the parallel-execution kernel behind AIDE's hot paths:
+// CART split search, grid-index scans, view index construction and
+// k-means assignment. It provides a bounded process-wide worker pool
+// (sized from GOMAXPROCS, overridable with AIDE_WORKERS) plus chunked
+// For/Map helpers whose results are merged in deterministic chunk order,
+// so every caller produces output independent of the worker count.
+//
+// Design rules the package enforces:
+//
+//   - Determinism: work over [0,n) is split into contiguous chunks whose
+//     boundaries depend only on (n, workers, minChunk); Map returns
+//     per-chunk results in chunk order, so a sequential left-to-right
+//     reduce is reproducible bit-for-bit at any worker count.
+//   - Sequential escape hatch: workers == 1 (or a range too small to
+//     chunk) runs entirely in the caller's goroutine — no channels, no
+//     goroutines, identical to a plain loop.
+//   - No deadlocks under saturation: the pool's queue is bounded and
+//     submission never blocks; when the queue is full the chunk runs
+//     inline in the submitting goroutine, so kernels may be invoked from
+//     pool workers without risk.
+//   - Panic propagation: a panic in any chunk is captured and re-raised
+//     in the caller after all chunks finish.
+//
+// Utilization is reported through the internal/obs registry: a
+// "par.workers" gauge (pool size), a "par.queue_depth" gauge sampled at
+// submission (pool saturation), process-wide "par.tasks" /
+// "par.inline_runs" counters, and per-kernel task counters
+// ("par.kernel.<name>.tasks", "par.kernel.<name>.seq_runs").
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+var (
+	obsWorkers    = obs.GetGauge("par.workers")
+	obsQueueDepth = obs.GetGauge("par.queue_depth")
+	obsTasks      = obs.GetCounter("par.tasks")
+	obsInlineRuns = obs.GetCounter("par.inline_runs")
+)
+
+// Workers returns the effective default worker count: the AIDE_WORKERS
+// environment variable when set to a positive integer, else GOMAXPROCS.
+// A worker count of 1 forces every kernel onto the sequential path.
+func Workers() int { return defaultWorkers() }
+
+var defaultWorkers = sync.OnceValue(func() int {
+	if s := os.Getenv("AIDE_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+})
+
+// Resolve maps a caller-facing worker knob to an effective count:
+// values <= 0 mean "automatic" (Workers()), anything else is taken
+// literally.
+func Resolve(n int) int {
+	if n <= 0 {
+		return Workers()
+	}
+	return n
+}
+
+// Kernel identifies one parallelized hot path; it carries the per-kernel
+// obs counters so scheduling cost on the hot path stays two atomic adds.
+type Kernel struct {
+	name    string
+	tasks   *obs.Counter // chunks dispatched to the pool
+	seqRuns *obs.Counter // invocations that ran fully sequentially
+}
+
+// NewKernel registers (or reuses) the named kernel's counters. Call once
+// at package init of the instrumented package.
+func NewKernel(name string) *Kernel {
+	return &Kernel{
+		name:    name,
+		tasks:   obs.GetCounter("par.kernel." + name + ".tasks"),
+		seqRuns: obs.GetCounter("par.kernel." + name + ".seq_runs"),
+	}
+}
+
+// ChunkCount returns the number of chunks For and Map will use for a
+// range of n items at the given worker knob: at most Resolve(workers)
+// chunks, and never so many that a chunk holds fewer than minChunk items
+// (minChunk <= 0 is treated as 1). n <= 0 yields 0.
+func ChunkCount(workers, n, minChunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	c := Resolve(workers)
+	if max := n / minChunk; c > max {
+		c = max
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// chunkBounds returns the half-open [lo, hi) item range of chunk c out
+// of chunks over n items: contiguous, near-equal, deterministic.
+func chunkBounds(c, chunks, n int) (int, int) {
+	base, rem := n/chunks, n%chunks
+	lo := c*base + min(c, rem)
+	hi := lo + base
+	if c < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// For runs fn over [0, n) split into ChunkCount(workers, n, minChunk)
+// contiguous chunks. fn receives the dense chunk index (usable to pick a
+// per-chunk scratch buffer — each index runs exactly once per call) and
+// its half-open item range. With one chunk, fn runs in the caller's
+// goroutine. A panic in any chunk is re-raised in the caller after all
+// chunks complete.
+func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
+	chunks := ChunkCount(workers, n, minChunk)
+	if chunks == 0 {
+		return
+	}
+	if chunks == 1 {
+		k.seqRuns.Inc()
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicVal any
+	panicked := false
+	run := func(c, lo, hi int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if !panicked {
+					panicked = true
+					panicVal = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		fn(c, lo, hi)
+	}
+	wg.Add(chunks)
+	k.tasks.Add(int64(chunks))
+	obsTasks.Add(int64(chunks))
+	// The last chunk always runs in the caller: it saves one handoff and
+	// guarantees progress even if every pool worker is busy.
+	for c := 0; c < chunks-1; c++ {
+		lo, hi := chunkBounds(c, chunks, n)
+		c := c
+		if !pool.trySubmit(func() { run(c, lo, hi) }) {
+			obsInlineRuns.Inc()
+			run(c, lo, hi)
+		}
+	}
+	lo, hi := chunkBounds(chunks-1, chunks, n)
+	run(chunks-1, lo, hi)
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+}
+
+// Map runs fn over [0, n) like For and returns the per-chunk results in
+// chunk order, the deterministic input to an ordered reduce.
+func Map[T any](k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int) T) []T {
+	chunks := ChunkCount(workers, n, minChunk)
+	if chunks == 0 {
+		return nil
+	}
+	out := make([]T, chunks)
+	For(k, workers, n, minChunk, func(chunk, lo, hi int) {
+		out[chunk] = fn(chunk, lo, hi)
+	})
+	return out
+}
+
+// workerPool is the process-wide bounded pool. Workers start lazily on
+// first submission and live for the process lifetime; the task queue is
+// bounded so saturation falls back to inline execution instead of
+// unbounded buffering.
+type workerPool struct {
+	once  sync.Once
+	tasks chan func()
+}
+
+var pool workerPool
+
+func (p *workerPool) start() {
+	size := runtime.GOMAXPROCS(0)
+	obsWorkers.Set(float64(size))
+	p.tasks = make(chan func(), 4*size)
+	for i := 0; i < size; i++ {
+		go func() {
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+}
+
+// trySubmit enqueues fn without blocking; false means the queue is full
+// and the caller must run fn itself.
+func (p *workerPool) trySubmit(fn func()) bool {
+	p.once.Do(p.start)
+	select {
+	case p.tasks <- fn:
+		obsQueueDepth.Set(float64(len(p.tasks)))
+		return true
+	default:
+		return false
+	}
+}

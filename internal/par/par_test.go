@@ -1,0 +1,195 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkCount(t *testing.T) {
+	cases := []struct {
+		workers, n, minChunk, want int
+	}{
+		{1, 100, 1, 1},
+		{4, 100, 1, 4},
+		{4, 3, 1, 3},     // never more chunks than items
+		{4, 0, 1, 0},     // empty range
+		{4, -5, 1, 0},    // negative range
+		{8, 100, 50, 2},  // minChunk bounds chunk count
+		{8, 100, 200, 1}, // range smaller than one chunk
+		{8, 100, 0, 8},   // minChunk <= 0 treated as 1
+	}
+	for _, c := range cases {
+		if got := ChunkCount(c.workers, c.n, c.minChunk); got != c.want {
+			t.Errorf("ChunkCount(%d, %d, %d) = %d, want %d", c.workers, c.n, c.minChunk, got, c.want)
+		}
+	}
+}
+
+func TestChunkBoundsCoverExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 1000, 1001} {
+		for chunks := 1; chunks <= 9 && chunks <= n; chunks++ {
+			prev := 0
+			for c := 0; c < chunks; c++ {
+				lo, hi := chunkBounds(c, chunks, n)
+				if lo != prev {
+					t.Fatalf("n=%d chunks=%d chunk %d: lo=%d want %d", n, chunks, c, lo, prev)
+				}
+				if hi <= lo {
+					t.Fatalf("n=%d chunks=%d chunk %d: empty range [%d,%d)", n, chunks, c, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d chunks=%d: covered %d items", n, chunks, prev)
+			}
+		}
+	}
+}
+
+func TestForVisitsEachItemOnce(t *testing.T) {
+	k := NewKernel("test.for_once")
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 1000
+		var visits [n]atomic.Int32
+		For(k, workers, n, 1, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				visits[i].Add(1)
+			}
+		})
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForSequentialRunsInCaller(t *testing.T) {
+	// workers == 1 must be a plain loop in the calling goroutine:
+	// chunk index 0, full range, no concurrency.
+	k := NewKernel("test.seq")
+	calls := 0
+	For(k, 1, 50, 1, func(chunk, lo, hi int) {
+		calls++
+		if chunk != 0 || lo != 0 || hi != 50 {
+			t.Fatalf("sequential call got (chunk=%d, lo=%d, hi=%d)", chunk, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("sequential For made %d calls, want 1", calls)
+	}
+}
+
+func TestMapOrderedMerge(t *testing.T) {
+	k := NewKernel("test.map")
+	for _, workers := range []int{1, 3, 8} {
+		got := Map(k, workers, 100, 1, func(chunk, lo, hi int) string {
+			return fmt.Sprintf("%d:[%d,%d)", chunk, lo, hi)
+		})
+		if len(got) != ChunkCount(workers, 100, 1) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), ChunkCount(workers, 100, 1))
+		}
+		prev := 0
+		for c, s := range got {
+			var chunk, lo, hi int
+			if _, err := fmt.Sscanf(s, "%d:[%d,%d)", &chunk, &lo, &hi); err != nil {
+				t.Fatal(err)
+			}
+			if chunk != c || lo != prev {
+				t.Fatalf("workers=%d: result %d out of order: %s", workers, c, s)
+			}
+			prev = hi
+		}
+		if prev != 100 {
+			t.Fatalf("workers=%d: results cover %d items", workers, prev)
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	k := NewKernel("test.det")
+	sum := func(workers int) int {
+		parts := Map(k, workers, 10_000, 1, func(_, lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i * i
+			}
+			return s
+		})
+		total := 0
+		for _, p := range parts {
+			total += p
+		}
+		return total
+	}
+	want := sum(1)
+	for _, workers := range []int{2, 3, 8, 32} {
+		if got := sum(workers); got != want {
+			t.Fatalf("workers=%d: sum %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	k := NewKernel("test.panic")
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v", workers, r)
+				}
+			}()
+			For(k, workers, 100, 1, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i == 37 {
+						panic("boom")
+					}
+				}
+			})
+		}()
+	}
+}
+
+// TestForFromPoolWorkers hammers the kernel from more goroutines than the
+// pool has workers; the bounded queue must fall back to inline execution
+// rather than deadlock, and every invocation must still complete.
+func TestForFromPoolWorkers(t *testing.T) {
+	k := NewKernel("test.saturate")
+	const callers = 64
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			For(k, 8, 512, 1, func(_, lo, hi int) {
+				total.Add(int64(hi - lo))
+			})
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != callers*512 {
+		t.Fatalf("items processed = %d, want %d", got, callers*512)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3) = %d", got)
+	}
+	if got := Resolve(0); got != Workers() {
+		t.Fatalf("Resolve(0) = %d, want Workers() = %d", got, Workers())
+	}
+	if got := Resolve(-1); got != Workers() {
+		t.Fatalf("Resolve(-1) = %d, want Workers() = %d", got, Workers())
+	}
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

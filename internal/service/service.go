@@ -226,6 +226,10 @@ type CreateSessionRequest struct {
 	DistanceHint float64 `json:"distance_hint,omitempty"`
 	// MaxIterations bounds the session (0: default 200).
 	MaxIterations int `json:"max_iterations,omitempty"`
+	// Workers sets the session's parallel-kernel worker count (0:
+	// automatic — AIDE_WORKERS or GOMAXPROCS; 1: sequential). Session
+	// results are identical at every setting.
+	Workers int `json:"workers,omitempty"`
 }
 
 // CreateSessionResponse is the reply to POST /v1/sessions.
@@ -388,6 +392,9 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.MaxIterations > 0 {
 		opts.MaxIterations = req.MaxIterations
+	}
+	if req.Workers > 0 {
+		opts.Workers = req.Workers
 	}
 	if req.DistanceHint > 0 {
 		opts.DistanceHint = req.DistanceHint
