@@ -14,10 +14,13 @@
 //   - Sequential escape hatch: workers == 1 (or a range too small to
 //     chunk) runs entirely in the caller's goroutine — no channels, no
 //     goroutines, identical to a plain loop.
-//   - No deadlocks under saturation: the pool's queue is bounded and
-//     submission never blocks; when the queue is full the chunk runs
-//     inline in the submitting goroutine, so kernels may be invoked from
-//     pool workers without risk.
+//   - No deadlocks under saturation or nesting: the pool's queue is
+//     bounded and submission never blocks (a full queue runs the chunk
+//     inline in the submitting goroutine), and a caller waiting for its
+//     outstanding chunks helps drain the pool's queue instead of
+//     parking. A pool worker blocked inside a nested For therefore
+//     keeps executing queued tasks, so kernels may be invoked from pool
+//     workers — including For within a For chunk — without risk.
 //   - Panic propagation: a panic in any chunk is captured and re-raised
 //     in the caller after all chunks finish.
 //
@@ -33,6 +36,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"github.com/explore-by-example/aide/internal/obs"
 )
@@ -135,12 +139,13 @@ func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
-	var wg sync.WaitGroup
+	var pending atomic.Int32
+	done := make(chan struct{})
 	var panicMu sync.Mutex
 	var panicVal any
 	panicked := false
+	pending.Store(int32(chunks))
 	run := func(c, lo, hi int) {
-		defer wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
 				panicMu.Lock()
@@ -150,10 +155,12 @@ func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
 				}
 				panicMu.Unlock()
 			}
+			if pending.Add(-1) == 0 {
+				close(done)
+			}
 		}()
 		fn(c, lo, hi)
 	}
-	wg.Add(chunks)
 	k.tasks.Add(int64(chunks))
 	obsTasks.Add(int64(chunks))
 	// The last chunk always runs in the caller: it saves one handoff and
@@ -168,9 +175,30 @@ func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
 	}
 	lo, hi := chunkBounds(chunks-1, chunks, n)
 	run(chunks-1, lo, hi)
-	wg.Wait()
-	if panicked {
-		panic(panicVal)
+	// Help-drain wait: while our chunks are outstanding, execute queued
+	// pool tasks instead of parking. This is what makes nesting
+	// deadlock-free — a pool worker blocked here on an inner For still
+	// drains the queue, so queued chunks (ours or anyone's) always find
+	// an executor. Every queued task is a run closure with its own
+	// recover, so stolen panics stay with their own For call.
+	for {
+		select {
+		case <-done:
+			if panicked {
+				panic(panicVal)
+			}
+			return
+		default:
+		}
+		select {
+		case <-done:
+			if panicked {
+				panic(panicVal)
+			}
+			return
+		case task := <-pool.tasks:
+			task()
+		}
 	}
 }
 
@@ -200,7 +228,13 @@ type workerPool struct {
 var pool workerPool
 
 func (p *workerPool) start() {
+	// Size from the effective worker knob, not just GOMAXPROCS, so
+	// AIDE_WORKERS above GOMAXPROCS actually adds pool capacity and the
+	// "par.workers" gauge reports the setting callers see.
 	size := runtime.GOMAXPROCS(0)
+	if w := Workers(); w > size {
+		size = w
+	}
 	obsWorkers.Set(float64(size))
 	p.tasks = make(chan func(), 4*size)
 	for i := 0; i < size; i++ {

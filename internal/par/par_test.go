@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestChunkCount(t *testing.T) {
@@ -156,9 +157,11 @@ func TestForPanicPropagation(t *testing.T) {
 	}
 }
 
-// TestForFromPoolWorkers hammers the kernel from more goroutines than the
-// pool has workers; the bounded queue must fall back to inline execution
-// rather than deadlock, and every invocation must still complete.
+// TestForFromPoolWorkers hammers the kernel from more independent caller
+// goroutines than the pool has workers; the bounded queue must fall back
+// to inline execution rather than deadlock, and every invocation must
+// still complete. (True nesting — For inside a For chunk — is covered by
+// TestForNested.)
 func TestForFromPoolWorkers(t *testing.T) {
 	k := NewKernel("test.saturate")
 	const callers = 64
@@ -177,6 +180,98 @@ func TestForFromPoolWorkers(t *testing.T) {
 	if got := total.Load(); got != callers*512 {
 		t.Fatalf("items processed = %d, want %d", got, callers*512)
 	}
+}
+
+// TestForNested calls For from inside another For's chunk callbacks at
+// workers > 1 — the reentrancy shape the package doc guarantees is
+// deadlock-free. With a parking wait this hangs once every pool worker
+// is blocked in an inner wait; the help-drain wait must keep the queue
+// moving. A watchdog fails fast instead of tripping the go test timeout.
+func TestForNested(t *testing.T) {
+	outer := NewKernel("test.nested_outer")
+	inner := NewKernel("test.nested_inner")
+	finished := make(chan int64)
+	go func() {
+		var total atomic.Int64
+		// More outer chunks than pool workers, each blocking on an inner
+		// parallel call — the repro that deadlocked a bare wg.Wait().
+		For(outer, 16, 64, 1, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				For(inner, 8, 512, 1, func(_, ilo, ihi int) {
+					total.Add(int64(ihi - ilo))
+				})
+			}
+		})
+		finished <- total.Load()
+	}()
+	select {
+	case got := <-finished:
+		if want := int64(64 * 512); got != want {
+			t.Fatalf("nested For processed %d items, want %d", got, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested For deadlocked (30s watchdog)")
+	}
+}
+
+// TestForNestedDeep drives three levels of nesting concurrently from
+// several callers, the worst case for pool-worker starvation.
+func TestForNestedDeep(t *testing.T) {
+	k := NewKernel("test.nested_deep")
+	finished := make(chan int64)
+	go func() {
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				For(k, 8, 8, 1, func(_, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						For(k, 8, 8, 1, func(_, mlo, mhi int) {
+							for j := mlo; j < mhi; j++ {
+								For(k, 8, 64, 1, func(_, ilo, ihi int) {
+									total.Add(int64(ihi - ilo))
+								})
+							}
+						})
+					}
+				})
+			}()
+		}
+		wg.Wait()
+		finished <- total.Load()
+	}()
+	select {
+	case got := <-finished:
+		if want := int64(4 * 8 * 8 * 64); got != want {
+			t.Fatalf("deep nested For processed %d items, want %d", got, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deep nested For deadlocked (30s watchdog)")
+	}
+}
+
+// TestForNestedPanic checks that a panic raised inside an inner For
+// surfaces through the outer call even while waits are help-draining
+// other callers' tasks.
+func TestForNestedPanic(t *testing.T) {
+	outer := NewKernel("test.nested_panic_outer")
+	inner := NewKernel("test.nested_panic_inner")
+	defer func() {
+		if r := recover(); r != "inner boom" {
+			t.Fatalf("recovered %v, want inner boom", r)
+		}
+	}()
+	For(outer, 8, 16, 1, func(_, lo, hi int) {
+		For(inner, 8, 128, 1, func(_, ilo, ihi int) {
+			for i := ilo; i < ihi; i++ {
+				if i == 77 {
+					panic("inner boom")
+				}
+			}
+		})
+	})
 }
 
 func TestResolve(t *testing.T) {
