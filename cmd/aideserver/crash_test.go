@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/service"
+)
+
+// The crash test re-execs this test binary as a real aideserver child:
+// when the guard variable is set, TestMain runs main() instead of the
+// test suite, and os.Args carries ordinary server flags.
+const crashChildEnv = "AIDESERVER_CRASH_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashChildEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startChild launches an aideserver child on a kernel-chosen port and
+// returns its process and base URL once the server has bound.
+func startChild(t *testing.T, dataDir string, tag string) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr-"+tag)
+	cmd := exec.Command(os.Args[0],
+		"-listen", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-sdss", "2000",
+		"-data-dir", dataDir,
+		"-fsync", "always",
+	)
+	cmd.Env = append(os.Environ(), crashChildEnv+"=1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting server child: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if addr, err := os.ReadFile(addrFile); err == nil && len(addr) > 0 {
+			return cmd, "http://" + string(addr)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server child never wrote its address")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCrashRecoverySIGKILL drives a session against a live aideserver,
+// kills the process with SIGKILL mid-exploration, restarts it over the
+// same data directory, and checks the session came back under its
+// original ID with every label intact and accepting new ones.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server processes")
+	}
+	dataDir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	child1, url1 := startChild(t, dataDir, "1")
+	c1 := service.NewClient(url1, nil)
+	id, err := c1.CreateSession(ctx, service.CreateSessionRequest{
+		View: "sdss", Seed: 7, SamplesPerIteration: 5, MaxIterations: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const beforeKill = 12
+	label := func(c *service.Client, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			sample, err := c.NextSample(ctx, id)
+			if err != nil {
+				t.Fatalf("label %d: NextSample: %v", i, err)
+			}
+			relevant := int(sample.Values["rowc"])%3 == 0
+			if err := c.SubmitLabel(ctx, id, sample.Row, relevant); err != nil {
+				t.Fatalf("label %d: SubmitLabel: %v", i, err)
+			}
+		}
+	}
+	label(c1, beforeKill)
+
+	// No graceful anything: the process dies mid-flight.
+	if err := child1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child1.Wait()
+
+	_, url2 := startChild(t, dataDir, "2")
+	c2 := service.NewClient(url2, nil)
+	// The session is back under the same ID; replay of the logged labels
+	// happens on the session goroutine, and Status counts completed
+	// iterations only, so poll for the last full iteration's worth (the
+	// trailing labels sit in the in-flight iteration until the user
+	// finishes it below).
+	waitLabeled := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			st, err := c2.Status(ctx, id)
+			if err != nil {
+				t.Fatalf("recovered session not addressable: %v", err)
+			}
+			if st.TotalLabeled >= want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replay stalled at %d labels, want %d", st.TotalLabeled, want)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	waitLabeled(beforeKill / 5 * 5)
+	// The exploration continues where it left off: three more labels
+	// finish the interrupted iteration, and every pre-crash label counts.
+	label(c2, 3)
+	waitLabeled(beforeKill + 3)
+	if _, err := c2.PredictedQuery(ctx, id); err != nil {
+		t.Fatalf("predicted query after recovery: %v", err)
+	}
+	if err := c2.Close(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+}

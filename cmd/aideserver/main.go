@@ -20,8 +20,13 @@
 //	GET    /debug/pprof/...            profiling (only with -pprof)
 //
 // The server logs one structured line per request (with a request id),
-// evicts sessions idle longer than -session-ttl, and shuts down
-// gracefully on SIGINT/SIGTERM.
+// recovers panics without dying, evicts sessions idle longer than
+// -session-ttl, and shuts down gracefully on SIGINT/SIGTERM.
+//
+// With -data-dir set, every session is backed by a write-ahead log and
+// survives a crash: on start the server replays the logs it finds and
+// resurrects the sessions under their original IDs (see -fsync and
+// -snapshot-every for the durability/cost trade-offs).
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/durable"
 	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/obs"
 	"github.com/explore-by-example/aide/internal/service"
@@ -68,7 +75,21 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this")
-		csvs        = csvFlags{}
+
+		dataDir       = flag.String("data-dir", "", "write-ahead log directory; empty disables durability")
+		fsyncMode     = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
+		fsyncEvery    = flag.Duration("fsync-interval", 100*time.Millisecond, "sync window for -fsync=interval")
+		snapshotEvery = flag.Int("snapshot-every", 0, "compact the WAL around a snapshot every N labels (0 keeps the full label history and bit-identical recovery)")
+
+		requestTimeout    = flag.Duration("request-timeout", time.Minute, "per-request handler deadline (0 disables); keep it above the sample long-poll window")
+		readTimeout       = flag.Duration("read-timeout", 1*time.Minute, "max duration reading an entire request")
+		writeTimeout      = flag.Duration("write-timeout", 2*time.Minute, "max duration writing a response")
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "max duration reading request headers")
+		maxInflight       = flag.Int("max-inflight", 0, "shed requests with 503 beyond this many in flight (0 disables)")
+		maxBodyBytes      = flag.Int64("max-body-bytes", 1<<20, "largest accepted request body")
+		addrFile          = flag.String("addr-file", "", "write the bound listen address to this file (useful with -listen :0)")
+
+		csvs = csvFlags{}
 	)
 	flag.Var(csvs, "csv", "register a CSV view as name=path (repeatable; numeric columns, header row)")
 	flag.Parse()
@@ -123,6 +144,28 @@ func main() {
 
 	srv := service.NewServer(views)
 	srv.SessionTTL = *sessionTTL
+	srv.SnapshotEvery = *snapshotEvery
+	srv.MaxInflight = *maxInflight
+	srv.MaxBodyBytes = *maxBodyBytes
+
+	if *dataDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fatal("bad -fsync", "err", err)
+		}
+		m, err := durable.NewManager(*dataDir, durable.Options{Fsync: policy, SyncEvery: *fsyncEvery})
+		if err != nil {
+			fatal("opening data dir", "dir", *dataDir, "err", err)
+		}
+		defer m.Close()
+		srv.Durable = m
+		n, err := srv.RecoverSessions(logger)
+		if err != nil {
+			fatal("recovering sessions", "dir", *dataDir, "err", err)
+		}
+		logger.Info("durability enabled", "dir", *dataDir, "fsync", *fsyncMode,
+			"snapshot_every", *snapshotEvery, "sessions_recovered", n)
+	}
 
 	mux := http.NewServeMux()
 	if *pprofOn {
@@ -135,10 +178,27 @@ func main() {
 	}
 	mux.Handle("/", srv)
 
+	// Middleware, outermost first: the request log assigns the request
+	// id, recovery catches handler panics (and logs them under that id),
+	// and the deadline bounds each handler's work.
+	handler := service.WithRequestLog(logger,
+		service.WithRecovery(logger,
+			service.WithDeadline(*requestTimeout, mux)))
 	httpSrv := &http.Server{
-		Addr:              *listen,
-		Handler:           service.WithRequestLog(logger, mux),
-		ReadHeaderTimeout: 10 * time.Second,
+		Handler:           handler,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("listen", "addr", *listen, "err", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal("writing addr file", "path", *addrFile, "err", err)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -146,8 +206,8 @@ func main() {
 	srv.StartJanitor(ctx, time.Minute)
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Info("serving", "views", srv.Views(), "listen", *listen,
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Info("serving", "views", srv.Views(), "listen", ln.Addr().String(),
 		"session_ttl", sessionTTL.String(), "pprof", *pprofOn)
 
 	select {

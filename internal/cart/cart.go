@@ -11,6 +11,7 @@
 package cart
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -70,14 +71,24 @@ type Tree struct {
 	// Induction scratch, released after Train. scratch holds one reusable
 	// (value, index) buffer per split-search chunk so recursive build
 	// calls stop reallocating; dimBest collects per-dimension candidates
-	// for the ordered cross-dimension merge.
+	// for the ordered cross-dimension merge. ctx carries TrainCtx's
+	// cancellation into the recursive build (nil: never cancelled).
 	scratch [][]keyedIndex
 	dimBest []splitResult
+	ctx     context.Context
 }
 
 // Train fits a tree to the given points and labels. It returns an error
 // when the inputs are empty or ragged.
 func Train(points []geom.Point, labels []bool, params Params) (*Tree, error) {
+	return TrainCtx(context.Background(), points, labels, params)
+}
+
+// TrainCtx is Train with cooperative cancellation: induction checks ctx
+// at every node boundary and returns ctx.Err() once cancelled, dropping
+// the partial tree. An uncancelled ctx yields a tree bit-identical to
+// Train's.
+func TrainCtx(ctx context.Context, points []geom.Point, labels []bool, params Params) (*Tree, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("cart: no training samples")
 	}
@@ -101,16 +112,31 @@ func Train(points []geom.Point, labels []bool, params Params) (*Tree, error) {
 		idx[i] = i
 	}
 	t := &Tree{dims: d, params: params}
+	if ctx != nil && ctx != context.Background() {
+		t.ctx = ctx
+	}
 	chunks := par.ChunkCount(params.Workers, d, 1)
 	t.scratch = make([][]keyedIndex, chunks)
 	t.dimBest = make([]splitResult, d)
 	t.root = t.build(points, labels, idx, 0)
 	t.scratch, t.dimBest = nil, nil
+	if t.ctx != nil {
+		if err := t.ctx.Err(); err != nil {
+			t.ctx = nil
+			return nil, fmt.Errorf("cart: training cancelled: %w", err)
+		}
+	}
+	t.ctx = nil
 	return t, nil
 }
 
-// build grows the subtree for the samples in idx.
+// build grows the subtree for the samples in idx. A cancelled training
+// context prunes the recursion immediately (TrainCtx discards the
+// partial tree).
 func (t *Tree) build(points []geom.Point, labels []bool, idx []int, depth int) *node {
+	if t.ctx != nil && t.ctx.Err() != nil {
+		return &node{dim: -1}
+	}
 	n := len(idx)
 	nPos := 0
 	for _, i := range idx {

@@ -1,0 +1,56 @@
+package cart
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func trainSet(n int, seed int64) ([]geom.Point, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	points := make([]geom.Point, n)
+	labels := make([]bool, n)
+	for i := range points {
+		p := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		points[i] = p
+		labels[i] = p[0] > 30 && p[0] < 60 && p[1] > 40 && p[1] < 80
+	}
+	return points, labels
+}
+
+func TestTrainCtxUncancelledMatchesTrain(t *testing.T) {
+	points, labels := trainSet(2000, 11)
+	a, err := Train(points, labels, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b, err := TrainCtx(ctx, points, labels, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := geom.R(0, 0, 100, 100)
+	ra, rb := a.RelevantAreas(bounds), b.RelevantAreas(bounds)
+	if len(ra) != len(rb) {
+		t.Fatalf("areas: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		for d := range ra[i] {
+			if ra[i][d] != rb[i][d] {
+				t.Fatalf("area %d dim %d: %v vs %v", i, d, ra[i][d], rb[i][d])
+			}
+		}
+	}
+}
+
+func TestTrainCtxCancelled(t *testing.T) {
+	points, labels := trainSet(2000, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainCtx(ctx, points, labels, DefaultParams()); err == nil {
+		t.Fatal("want error from cancelled TrainCtx")
+	}
+}

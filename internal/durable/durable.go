@@ -1,0 +1,540 @@
+// Package durable persists exploration sessions across process crashes.
+//
+// Each session gets one append-only write-ahead log under the data
+// directory. Every record is framed as
+//
+//	[u32 length][u32 crc32-IEEE][u8 type][payload]
+//
+// where the length counts the type byte plus the payload and the
+// checksum covers the same bytes. The frame makes three failure modes
+// recoverable:
+//
+//   - A torn tail (the process died mid-append) is detected by a short
+//     or checksum-failing final record and truncated away; everything
+//     before it replays normally.
+//   - A corrupt record in the middle (bit rot, partial overwrite) fails
+//     its checksum; replay skips to the next frame and counts the skip
+//     in aide_wal_corrupt_records_total rather than abandoning the
+//     whole session.
+//   - A short write observed by the writer itself is repaired in place:
+//     Append truncates back to the last known-good offset and retries
+//     once.
+//
+// Logs record the session's creation parameters and every label the
+// user provides, so replaying the log through a deterministic session
+// reproduces the exact exploration state (sessions are pure functions
+// of seed + labels). Periodic snapshot records bound replay cost:
+// Compact rewrites the log as create + snapshot + labels via an
+// atomic rename.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/faultinject"
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// Record types. The WAL format is append-only versioned: new types may
+// be added, old ones never renumbered.
+const (
+	// RecCreate carries the session's creation parameters (JSON); it is
+	// always the first record of a log.
+	RecCreate byte = 1
+	// RecLabel carries one user label: 8-byte little-endian row index
+	// followed by one relevance byte.
+	RecLabel byte = 2
+	// RecSnapshot carries an explore.Session snapshot (opaque bytes).
+	// Replay may start from the latest snapshot instead of the label
+	// stream; labels after it still apply.
+	RecSnapshot byte = 3
+)
+
+// FsyncPolicy controls when appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: no acknowledged label is
+	// ever lost, at the cost of one fsync per label.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs at most once per SyncEvery window; a crash
+	// can lose the tail of that window.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS. Fastest, weakest.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps flag values to policies.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+const (
+	headerSize = 9 // u32 length + u32 crc + u8 type
+	// maxRecordSize bounds a single record so a corrupt length field
+	// cannot make replay allocate gigabytes.
+	maxRecordSize = 64 << 20
+)
+
+var (
+	obsWALAppends        = obs.GetCounter("aide_wal_appends_total")
+	obsWALAppendRetries  = obs.GetCounter("aide_wal_append_retries_total")
+	obsWALCorruptRecords = obs.GetCounter("aide_wal_corrupt_records_total")
+	obsWALTornTails      = obs.GetCounter("aide_wal_torn_tails_total")
+	obsWALReplays        = obs.GetCounter("aide_wal_replays_total")
+	obsWALCompactions    = obs.GetCounter("aide_wal_compactions_total")
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("durable: log closed")
+
+// Record is one decoded WAL entry.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// Log is one session's write-ahead log. Safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	good     int64 // offset after the last fully written record
+	policy   FsyncPolicy
+	every    time.Duration
+	lastSync time.Time
+	closed   bool
+}
+
+// Options tunes a Manager.
+type Options struct {
+	// Fsync is the append durability policy.
+	Fsync FsyncPolicy
+	// SyncEvery is the FsyncInterval window (default 100ms).
+	SyncEvery time.Duration
+}
+
+// Manager owns the data directory and hands out per-session logs.
+type Manager struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex
+	logs map[string]*Log
+}
+
+// NewManager opens (creating if needed) the data directory.
+func NewManager(dir string, opts Options) (*Manager, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("durable: empty data directory")
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: creating data dir: %w", err)
+	}
+	return &Manager{dir: dir, opts: opts, logs: make(map[string]*Log)}, nil
+}
+
+// Dir returns the managed data directory.
+func (m *Manager) Dir() string { return m.dir }
+
+func (m *Manager) logPath(id string) string {
+	return filepath.Join(m.dir, id+".wal")
+}
+
+// validID rejects session IDs that could escape the data directory.
+func validID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("durable: invalid session id %q", id)
+	}
+	return nil
+}
+
+// Create opens a fresh log for the session and writes its create
+// record. An existing log for the same id is truncated: the caller has
+// decided the session starts over.
+func (m *Manager) Create(id string, createPayload []byte) (*Log, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(m.logPath(id), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: creating log: %w", err)
+	}
+	l := &Log{f: f, path: m.logPath(id), policy: m.opts.Fsync, every: m.opts.SyncEvery}
+	if err := l.Append(RecCreate, createPayload); err != nil {
+		l.Close()
+		return nil, err
+	}
+	m.mu.Lock()
+	m.logs[id] = l
+	m.mu.Unlock()
+	return l, nil
+}
+
+// Open opens an existing session log for appending, repairing a torn
+// tail first. It returns the replayable records alongside the log.
+func (m *Manager) Open(id string) (*Log, []Record, error) {
+	if err := validID(id); err != nil {
+		return nil, nil, err
+	}
+	path := m.logPath(id)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: opening log: %w", err)
+	}
+	recs, good, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		// Torn tail from a crash mid-append: cut it off so the next
+		// append starts on a frame boundary.
+		obsWALTornTails.Inc()
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{f: f, path: path, good: good, policy: m.opts.Fsync, every: m.opts.SyncEvery}
+	m.mu.Lock()
+	m.logs[id] = l
+	m.mu.Unlock()
+	return l, recs, nil
+}
+
+// List returns the session IDs that have a log in the data directory.
+func (m *Manager) List() ([]string, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: listing data dir: %w", err)
+	}
+	var ids []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(name, ".wal") {
+			ids = append(ids, strings.TrimSuffix(name, ".wal"))
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Remove closes and deletes the session's log (session ended cleanly
+// or was expired by the janitor).
+func (m *Manager) Remove(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if l, ok := m.logs[id]; ok {
+		l.Close()
+		delete(m.logs, id)
+	}
+	m.mu.Unlock()
+	if err := os.Remove(m.logPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("durable: removing log: %w", err)
+	}
+	return nil
+}
+
+// Close closes every open log.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for id, l := range m.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(m.logs, id)
+	}
+	return first
+}
+
+// frame encodes one record into a fresh buffer.
+func frame(typ byte, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(payload)))
+	buf[8] = typ
+	copy(buf[headerSize:], payload)
+	crc := crc32.ChecksumIEEE(buf[8:])
+	binary.LittleEndian.PutUint32(buf[4:8], crc)
+	return buf
+}
+
+// Append writes one record and applies the fsync policy. A short write
+// (including an injected one) is repaired by truncating back to the
+// last good offset and retrying once.
+func (l *Log) Append(typ byte, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	buf := frame(typ, payload)
+	if err := l.writeLocked(buf); err != nil {
+		obsWALAppendRetries.Inc()
+		// Roll back to the frame boundary and retry once: transient
+		// short writes (ENOSPC races, injected faults) must not leave
+		// a torn record in the middle of a live log.
+		if terr := l.rollbackLocked(); terr != nil {
+			return fmt.Errorf("durable: append failed (%v) and rollback failed: %w", err, terr)
+		}
+		if err := l.writeLocked(buf); err != nil {
+			if terr := l.rollbackLocked(); terr != nil {
+				return fmt.Errorf("durable: append retry failed (%v) and rollback failed: %w", err, terr)
+			}
+			return fmt.Errorf("durable: append: %w", err)
+		}
+	}
+	l.good += int64(len(buf))
+	obsWALAppends.Inc()
+	return l.maybeSyncLocked()
+}
+
+func (l *Log) writeLocked(buf []byte) error {
+	n := len(buf)
+	if k, injected := faultinject.ShortWrite("durable.append", n); injected {
+		if k > 0 {
+			if _, err := l.f.Write(buf[:k]); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("short write: %d of %d bytes", k, n)
+	}
+	wrote, err := l.f.Write(buf)
+	if err != nil {
+		return err
+	}
+	if wrote != n {
+		return fmt.Errorf("short write: %d of %d bytes", wrote, n)
+	}
+	return nil
+}
+
+func (l *Log) rollbackLocked() error {
+	if err := l.f.Truncate(l.good); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(l.good, io.SeekStart)
+	return err
+}
+
+func (l *Log) maybeSyncLocked() error {
+	switch l.policy {
+	case FsyncAlways:
+		return l.f.Sync()
+	case FsyncInterval:
+		now := time.Now()
+		if now.Sub(l.lastSync) >= l.every {
+			l.lastSync = now
+			return l.f.Sync()
+		}
+	}
+	return nil
+}
+
+// Sync forces the log to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Size returns the durable (frame-aligned) size of the log in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.good
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.policy != FsyncNever {
+		l.f.Sync()
+	}
+	return l.f.Close()
+}
+
+// AppendLabel is a convenience wrapper encoding a label record.
+func (l *Log) AppendLabel(row int64, relevant bool) error {
+	var p [9]byte
+	binary.LittleEndian.PutUint64(p[0:8], uint64(row))
+	if relevant {
+		p[8] = 1
+	}
+	return l.Append(RecLabel, p[:])
+}
+
+// DecodeLabel unpacks a RecLabel payload.
+func DecodeLabel(payload []byte) (row int64, relevant bool, err error) {
+	if len(payload) != 9 {
+		return 0, false, fmt.Errorf("durable: label payload is %d bytes, want 9", len(payload))
+	}
+	return int64(binary.LittleEndian.Uint64(payload[0:8])), payload[8] == 1, nil
+}
+
+// Compact atomically rewrites the log as the create record, an optional
+// snapshot, and the labels that must still replay after that snapshot.
+// The live log keeps appending to the compacted file afterwards.
+func (l *Log) Compact(create []byte, snapshot []byte, labels []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	tmp := l.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: compact: %w", err)
+	}
+	var off int64
+	write := func(typ byte, payload []byte) {
+		if err != nil {
+			return
+		}
+		buf := frame(typ, payload)
+		_, err = nf.Write(buf)
+		off += int64(len(buf))
+	}
+	write(RecCreate, create)
+	if snapshot != nil {
+		write(RecSnapshot, snapshot)
+	}
+	for _, r := range labels {
+		if r.Type != RecLabel {
+			continue
+		}
+		write(RecLabel, r.Payload)
+	}
+	if err == nil {
+		err = nf.Sync()
+	}
+	if cerr := nf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: compact: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: compact rename: %w", err)
+	}
+	// Swap the file handle to the compacted log.
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: reopening compacted log: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	old := l.f
+	l.f = f
+	l.good = off
+	old.Close()
+	obsWALCompactions.Inc()
+	return nil
+}
+
+// scan reads records from the start of f, returning the decoded records
+// and the offset just past the last valid one. Mid-log corruption skips
+// the record; an undecodable tail ends the scan (the caller truncates).
+func scan(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var (
+		recs   []Record
+		offset int64
+		header [headerSize]byte
+	)
+	good := int64(0)
+	for {
+		_, err := io.ReadFull(f, header[:])
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break // clean end, or a torn header at the tail
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("durable: reading log: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		wantCRC := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxRecordSize {
+			// Garbage length: cannot even resynchronize reliably. Treat
+			// as tail corruption and stop here.
+			obsWALCorruptRecords.Inc()
+			break
+		}
+		payload := make([]byte, length-1)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			// Torn payload at the tail.
+			break
+		}
+		full := make([]byte, 1+len(payload))
+		full[0] = header[8]
+		copy(full[1:], payload)
+		offset += int64(headerSize) + int64(length) - 1
+		if crc32.ChecksumIEEE(full) != wantCRC {
+			// Mid-log corruption: the frame is intact (length made
+			// sense) but the bytes are damaged. Skip this record, keep
+			// replaying — losing one label beats losing the session.
+			obsWALCorruptRecords.Inc()
+			good = offset
+			continue
+		}
+		recs = append(recs, Record{Type: header[8], Payload: payload})
+		good = offset
+	}
+	obsWALReplays.Inc()
+	return recs, good, nil
+}
+
+// ReadLog scans a log file read-only without opening it for append —
+// used by recovery checks and tests.
+func ReadLog(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, _, err := scan(f)
+	return recs, err
+}

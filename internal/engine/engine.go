@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/faultinject"
 	"github.com/explore-by-example/aide/internal/geom"
 	"github.com/explore-by-example/aide/internal/par"
 )
@@ -56,7 +58,8 @@ type View struct {
 	grid    *gridIndex
 	sorted  [][]int32 // per-dimension row ids in ascending value order
 	stats   *Stats
-	workers int // scan worker knob: 0 auto, 1 sequential
+	workers int             // scan worker knob: 0 auto, 1 sequential
+	ctx     context.Context // scan cancellation; nil = never cancelled
 }
 
 // Parallel scan kernels. minScanBlocks is the smallest number of grid
@@ -126,6 +129,31 @@ func (v *View) WithWorkers(workers int) *View {
 
 // Workers returns the view's scan worker knob (0 = automatic).
 func (v *View) Workers() int { return v.workers }
+
+// WithContext returns a view sharing this view's table, indexes and
+// stats whose scans cooperatively stop — at the next chunk boundary —
+// once ctx is cancelled. A cancelled scan returns partial, meaningless
+// results (Count/RowsIn/SampleRect keep their error-free signatures), so
+// callers MUST check ctx.Err() after each query and discard results on
+// cancellation; the steering loop in internal/explore does exactly that.
+// A nil ctx restores the never-cancelled default.
+func (v *View) WithContext(ctx context.Context) *View {
+	c := *v
+	if ctx == context.Background() {
+		ctx = nil
+	}
+	c.ctx = ctx
+	return &c
+}
+
+// scanCtx returns the view's cancellation context (Background when
+// unset).
+func (v *View) scanCtx() context.Context {
+	if v.ctx == nil {
+		return context.Background()
+	}
+	return v.ctx
+}
 
 // sortedIndex returns row ids ordered by ascending value: one column of
 // the covering index. Range lookups on a single attribute binary-search
@@ -259,11 +287,13 @@ func (v *View) MatchesAny(rects []geom.Rect, row int) bool {
 // verification or callback — and cell chunks are counted in parallel.
 func (v *View) Count(rect geom.Rect) int {
 	defer observeQuery(time.Now())
+	faultinject.Latency("engine.scan")
+	faultinject.Panic("engine.scan")
 	v.stats.Queries.Add(1)
 	obsPathGrid.Inc()
 	blocks := v.grid.collectCells(rect)
 	type counts struct{ matched, examined int64 }
-	parts := par.Map(kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) counts {
+	parts, _ := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) counts {
 		var c counts
 		for _, b := range blocks[lo:hi] {
 			c.examined += int64(len(b.rows))
@@ -296,6 +326,8 @@ func (v *View) Count(rect geom.Rect) int {
 // cell order).
 func (v *View) RowsIn(rect geom.Rect) []int {
 	defer observeQuery(time.Now())
+	faultinject.Latency("engine.scan")
+	faultinject.Panic("engine.scan")
 	v.stats.Queries.Add(1)
 	obsPathGrid.Inc()
 	blocks := v.grid.collectCells(rect)
@@ -303,7 +335,7 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 		rows     []int
 		examined int64
 	}
-	parts := par.Map(kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkRows {
+	parts, _ := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkRows {
 		var c chunkRows
 		for _, b := range blocks[lo:hi] {
 			c.examined += int64(len(b.rows))

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"time"
 
+	"github.com/explore-by-example/aide/internal/faultinject"
 	"github.com/explore-by-example/aide/internal/geom"
 	"github.com/explore-by-example/aide/internal/par"
 )
@@ -21,6 +22,8 @@ import (
 // matching rows (not over cells), so skewed data does not bias results.
 func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 	defer observeQuery(time.Now())
+	faultinject.Latency("engine.scan")
+	faultinject.Panic("engine.scan")
 	obsSampleCalls.Inc()
 	v.stats.Queries.Add(1)
 	if n <= 0 {
@@ -64,7 +67,7 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 		partial  []int     // verified matching rows from boundary cells
 		examined int64
 	}
-	parts := par.Map(kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkCand {
+	parts, _ := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkCand {
 		var c chunkCand
 		for _, b := range blocks[lo:hi] {
 			if b.full {

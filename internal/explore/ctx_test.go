@@ -1,0 +1,127 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func TestRunIterationCtxUncancelledMatchesRunIteration(t *testing.T) {
+	target := geom.R(10, 30, 10, 30)
+	a, err := NewSession(testView(t, 5000, 301), rectOracle(target), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSession(testView(t, 5000, 301), rectOracle(target), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 6; i++ {
+		ra, err := a.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.RunIterationCtx(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.NewSamples != rb.NewSamples || ra.NewRelevant != rb.NewRelevant {
+			t.Fatalf("iteration %d diverged: (%d,%d) vs (%d,%d)",
+				i, ra.NewSamples, ra.NewRelevant, rb.NewSamples, rb.NewRelevant)
+		}
+	}
+	aAreas, bAreas := a.RelevantAreas(), b.RelevantAreas()
+	if len(aAreas) != len(bAreas) {
+		t.Fatalf("areas: %d vs %d", len(aAreas), len(bAreas))
+	}
+	for i := range aAreas {
+		if !aAreas[i].Equal(bAreas[i]) {
+			t.Errorf("area %d differs", i)
+		}
+	}
+}
+
+func TestRunIterationCtxPreCancelled(t *testing.T) {
+	s, err := NewSession(testView(t, 2000, 302), rectOracle(geom.R(10, 30, 10, 30)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunIterationCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if s.Stats().Iterations != 0 || s.LabeledCount() != 0 {
+		t.Errorf("pre-cancelled iteration did work: %d iters, %d labels",
+			s.Stats().Iterations, s.LabeledCount())
+	}
+	// The session is still usable with a live context.
+	if _, err := s.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Iterations != 1 {
+		t.Errorf("retry did not advance: %d iterations", s.Stats().Iterations)
+	}
+}
+
+func TestRunIterationCtxCancelMidIteration(t *testing.T) {
+	v := testView(t, 5000, 303)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel from inside the oracle: the third label pulls the plug
+	// mid-discovery, exactly like a client disconnect between samples.
+	calls := 0
+	oracle := OracleFunc(func(view *engine.View, row int) bool {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return geom.R(10, 30, 10, 30).Contains(view.NormPoint(row))
+	})
+	s, err := NewSession(v, oracle, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.RunIterationCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Labels recorded before the cancel are kept (real user effort) but
+	// the iteration did not complete and stopped promptly after the
+	// cancel — at most one more label can slip in from an in-flight
+	// sample request.
+	if got := s.LabeledCount(); got < 3 || got > 4 {
+		t.Errorf("labeled count after cancel = %d, want 3 or 4", got)
+	}
+	if s.Stats().Iterations != 0 {
+		t.Errorf("cancelled iteration advanced the counter: %d", s.Stats().Iterations)
+	}
+	// Retrying with a fresh context succeeds and does not re-ask for
+	// the labels already given.
+	before := s.LabeledCount()
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Iterations != 1 {
+		t.Errorf("retry did not advance: %d iterations", s.Stats().Iterations)
+	}
+	if res.TotalLabeled < before {
+		t.Errorf("retry lost labels: %d < %d", res.TotalLabeled, before)
+	}
+}
+
+func TestRunIterationCtxNilContext(t *testing.T) {
+	s, err := NewSession(testView(t, 1000, 304), rectOracle(geom.R(10, 30, 10, 30)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunIterationCtx(nil); err != nil { //nolint:staticcheck // nil ctx tolerance is part of the contract
+		t.Fatal(err)
+	}
+}

@@ -80,6 +80,9 @@ func (d *gridDiscovery) exhausted() bool {
 
 func (d *gridDiscovery) step(s *Session, budget int, res *IterationResult) {
 	for budget > 0 {
+		if s.cancelled() {
+			return // iteration abandoned; frontier state stays consistent
+		}
 		if len(d.frontier) == 0 {
 			if len(d.next) == 0 {
 				return
@@ -239,6 +242,9 @@ func (d *clusterDiscovery) exhausted() bool {
 
 func (d *clusterDiscovery) step(s *Session, budget int, res *IterationResult) {
 	for budget > 0 {
+		if s.cancelled() {
+			return // iteration abandoned; frontier state stays consistent
+		}
 		if len(d.frontier) == 0 {
 			if len(d.next) == 0 {
 				return

@@ -45,7 +45,7 @@ func (s *Session) planMisclass() []sampleRequest {
 // f x c samples within a distance y of the farthest cluster member in
 // each dimension, where c is the cluster size (Figure 5).
 func (s *Session) planMisclassClustered(fns []geom.Point, k int) []sampleRequest {
-	res, err := kmeans.Cluster(fns, kmeans.Params{K: k, Workers: s.opts.Workers}, s.rng)
+	res, err := kmeans.ClusterCtx(s.iterCtx(), fns, kmeans.Params{K: k, Workers: s.opts.Workers}, s.rng)
 	if err != nil {
 		return nil
 	}

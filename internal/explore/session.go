@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -40,6 +41,12 @@ type Session struct {
 
 	rec       *obs.Recorder // per-iteration trace sink (nil: tracing off)
 	phaseSpan *obs.Span     // active phase span while a phase executes
+
+	// ctx is the active iteration's cancellation context (nil between
+	// iterations and for plain RunIteration calls). Discovery steps and
+	// phase loops poll it so a deadline or client disconnect abandons the
+	// iteration within one engine chunk boundary.
+	ctx context.Context
 
 	iter  int
 	stats SessionStats
@@ -130,6 +137,61 @@ func (s *Session) Tree() *cart.Tree { return s.tree }
 // T_boundary), extracts and labels the samples, and retrains the
 // classifier.
 func (s *Session) RunIteration() (*IterationResult, error) {
+	return s.RunIterationCtx(context.Background())
+}
+
+// cancelled reports whether the active iteration context is done.
+func (s *Session) cancelled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// iterCtx returns the active iteration context (Background outside an
+// iteration or for plain RunIteration calls).
+func (s *Session) iterCtx() context.Context {
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
+
+// abort closes the open trace spans and wraps the cancellation error.
+func (s *Session) abort(root *obs.Span, ctx context.Context) (*IterationResult, error) {
+	s.phaseSpan.End()
+	s.phaseSpan = nil
+	root.SetAttr("cancelled", true)
+	root.End()
+	return nil, fmt.Errorf("explore: iteration %d cancelled: %w", s.iter, ctx.Err())
+}
+
+// RunIterationCtx is RunIteration with cooperative cancellation: once
+// ctx is cancelled the iteration abandons its work — engine scans and
+// classifier training stop at the next chunk/node boundary, discovery
+// stops at the next cell — and returns an error wrapping ctx.Err(). The
+// session state stays consistent: labels already recorded this iteration
+// are kept (they are real user effort and re-running the iteration will
+// not re-ask them), but the iteration counter does not advance and no
+// classifier is published, so the caller may retry RunIterationCtx with
+// a fresh context or abandon the session. An uncancelled ctx behaves
+// exactly like RunIteration.
+func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("explore: iteration %d cancelled: %w", s.iter, err)
+	}
+	if ctx != context.Background() {
+		// Bind the iteration context to the session and its view so
+		// engine scans issued by the phase planners observe cancellation
+		// at chunk boundaries.
+		s.ctx = ctx
+		baseView := s.view
+		s.view = baseView.WithContext(ctx)
+		defer func() {
+			s.view = baseView
+			s.ctx = nil
+		}()
+	}
 	start := time.Now()
 	res := &IterationResult{Iteration: s.iter}
 
@@ -160,6 +222,9 @@ func (s *Session) RunIteration() (*IterationResult, error) {
 		// boundary); one child span covers each contiguous phase run.
 		curPhase := Phase(-1)
 		for _, rq := range reqs {
+			if s.cancelled() {
+				return s.abort(root, ctx)
+			}
 			if rq.phase != curPhase {
 				s.phaseSpan.End()
 				s.phaseSpan = root.Child(rq.phase.String())
@@ -189,6 +254,9 @@ func (s *Session) RunIteration() (*IterationResult, error) {
 		s.phaseSpan.SetAttr("samples", res.NewSamples-before)
 		s.phaseSpan.End()
 		s.phaseSpan = nil
+		if s.cancelled() {
+			return s.abort(root, ctx)
+		}
 	}
 
 	// Retrain the classifier on the grown training set.
@@ -196,8 +264,9 @@ func (s *Session) RunIteration() (*IterationResult, error) {
 	ts := root.Child("train")
 	s.prevAreas = s.areas
 	if s.nPos > 0 && s.nPos < len(s.rows) {
-		tree, err := cart.Train(s.points, s.labels, s.opts.Tree)
+		tree, err := cart.TrainCtx(s.iterCtx(), s.points, s.labels, s.opts.Tree)
 		if err != nil {
+			ts.End()
 			root.End()
 			return nil, fmt.Errorf("explore: training classifier: %w", err)
 		}

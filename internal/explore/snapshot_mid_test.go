@@ -1,0 +1,145 @@
+package explore
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Mid-transition snapshot coverage: sessions saved while a discovery
+// hierarchy is partially exploited or an exploitation phase is active.
+// These states are exactly what crash recovery replays from the WAL, so
+// a round-trip must preserve them field for field.
+
+// TestSaveResumeClusterMidZoom snapshots a clustering session caught
+// between levels: the level-0 frontier is partially consumed and the
+// zoom queue already holds children of unproductive clusters.
+func TestSaveResumeClusterMidZoom(t *testing.T) {
+	v := clusteredView(t, 10000, 310)
+	opts := DefaultOptions()
+	opts.Discovery = DiscoveryClustering
+	// A small budget guarantees the frontier cannot be drained in one
+	// iteration; an oracle with no targets makes every cluster
+	// unproductive, so children pile up in the zoom queue.
+	opts.SamplesPerIteration = 5
+	s, err := NewSession(v, rectOracle(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := s.disc.(*clusterDiscovery)
+	mid := false
+	for i := 0; i < 10; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+		if len(orig.frontier) > 0 && len(orig.next) > 0 {
+			mid = true
+			break
+		}
+	}
+	if !mid {
+		t.Fatalf("never reached mid-zoom state: frontier=%d next=%d",
+			len(orig.frontier), len(orig.next))
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resume(bytes.NewReader(buf.Bytes()), v, rectOracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := r.disc.(*clusterDiscovery)
+	if len(cd.frontier) != len(orig.frontier) || len(cd.next) != len(orig.next) {
+		t.Fatalf("frontier/next = %d/%d, want %d/%d",
+			len(cd.frontier), len(cd.next), len(orig.frontier), len(orig.next))
+	}
+	// Element-wise: the restored queues must reference the same nodes
+	// in the same order, not merely have the same lengths.
+	for i := range orig.frontier {
+		if cd.frontier[i].center.Dist(orig.frontier[i].center) != 0 ||
+			cd.frontier[i].level != orig.frontier[i].level {
+			t.Fatalf("frontier[%d] differs after resume", i)
+		}
+	}
+	for i := range orig.next {
+		if cd.next[i].center.Dist(orig.next[i].center) != 0 ||
+			cd.next[i].level != orig.next[i].level {
+			t.Fatalf("next[%d] differs after resume", i)
+		}
+	}
+	// The restored queues must point into the restored levels (aliasing,
+	// not copies), or zooming would walk a detached hierarchy.
+	found := false
+	for i := range cd.levels[cd.frontier[0].level] {
+		if &cd.levels[cd.frontier[0].level][i] == cd.frontier[0] {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("restored frontier node is not aliased into levels")
+	}
+	if _, err := r.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveResumeBoundaryPhaseActive snapshots a session after the
+// boundary-exploitation phase has run, with slabs and previous areas
+// recorded, and checks the resumed session re-enters the phase.
+func TestSaveResumeBoundaryPhaseActive(t *testing.T) {
+	v := testView(t, 8000, 311)
+	target := geom.R(25, 45, 30, 55)
+	s, err := NewSession(v, rectOracle(target), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15 && len(s.lastSlabs) == 0; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.lastSlabs) == 0 {
+		t.Fatal("boundary phase never activated")
+	}
+	if len(s.prevAreas) == 0 {
+		t.Fatal("no previous areas recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resume(bytes.NewReader(buf.Bytes()), v, rectOracle(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.lastSlabs) != len(s.lastSlabs) {
+		t.Fatalf("lastSlabs: %d vs %d", len(r.lastSlabs), len(s.lastSlabs))
+	}
+	for i := range s.lastSlabs {
+		if !r.lastSlabs[i].Equal(s.lastSlabs[i]) {
+			t.Errorf("slab %d differs after resume", i)
+		}
+	}
+	if len(r.prevAreas) != len(s.prevAreas) {
+		t.Fatalf("prevAreas: %d vs %d", len(r.prevAreas), len(s.prevAreas))
+	}
+	for i := range s.prevAreas {
+		if !r.prevAreas[i].Equal(s.prevAreas[i]) {
+			t.Errorf("prevArea %d differs after resume", i)
+		}
+	}
+	// The resumed session keeps exploiting the boundary: its next
+	// iteration issues boundary sample-extraction queries.
+	before := r.Stats().PhaseQueries[PhaseBoundary]
+	if _, err := r.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().PhaseQueries[PhaseBoundary] <= before {
+		t.Error("resumed session issued no boundary queries")
+	}
+}

@@ -1,0 +1,208 @@
+// Package faultinject is a deterministic, seed-driven fault injector
+// for resilience testing. Hooks are compiled into the engine, durable
+// and service layers permanently — no build tags — but cost a single
+// atomic pointer load while no injector is active, which is the
+// production state. Chaos tests activate an Injector (seeded so a run is
+// reproducible for a given AIDE_FAULT_SEED) and the hooks start firing:
+//
+//   - Err(point): returns a synthetic error with probability ErrorRate.
+//   - Latency(point): sleeps Latency with probability LatencyRate.
+//   - Panic(point): panics, at most PanicBudget times per injector.
+//   - ShortWrite(point, n): asks for a truncated write of k < n bytes
+//     with probability PartialRate (simulating a torn disk write).
+//
+// Points are dotted path names ("engine.scan", "durable.append",
+// "service.request", "session.iterate"). A non-empty Config.Points set
+// restricts injection to the listed points; an empty set enables every
+// point. Every fired fault increments aide_faults_injected_total plus a
+// per-kind counter (faultinject.<kind>).
+//
+// Determinism caveat: decisions are drawn from one seeded PRNG in call
+// order, so a single-goroutine sequence of hook calls is exactly
+// reproducible. When several goroutines hit hooks concurrently the
+// interleaving — and therefore which call receives which fault — may
+// vary between runs; the injected fault *kinds* and totals remain
+// seed-driven, and none of the faults may change computed results (that
+// is what the chaos tests assert).
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+var (
+	obsFaults       = obs.GetCounter("aide_faults_injected_total")
+	obsFaultErrs    = obs.GetCounter("faultinject.errors")
+	obsFaultLatency = obs.GetCounter("faultinject.latencies")
+	obsFaultPanics  = obs.GetCounter("faultinject.panics")
+	obsFaultShort   = obs.GetCounter("faultinject.short_writes")
+)
+
+// ErrInjected is the error returned by Err hooks; callers can branch on
+// it with errors.Is when a test needs to tell injected failures apart
+// from real ones.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Config tunes an Injector. All rates are probabilities in [0, 1].
+type Config struct {
+	// Seed drives every injection decision.
+	Seed int64
+	// ErrorRate is the probability Err returns ErrInjected.
+	ErrorRate float64
+	// LatencyRate is the probability Latency sleeps, and Latency how long.
+	LatencyRate float64
+	Latency     time.Duration
+	// PanicBudget caps how many times Panic fires over the injector's
+	// lifetime (0: never). Each Panic call with remaining budget fires.
+	PanicBudget int
+	// PartialRate is the probability ShortWrite truncates.
+	PartialRate float64
+	// Points, when non-empty, restricts injection to these point names.
+	Points []string
+}
+
+// Injector draws fault decisions from a seeded PRNG.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	cfg         Config
+	panicsLeft  int
+	points      map[string]bool
+	errFired    atomic.Int64
+	panicFired  atomic.Int64
+	latencyHits atomic.Int64
+	shortHits   atomic.Int64
+}
+
+// New builds an injector from cfg. It is inert until Activate.
+func New(cfg Config) *Injector {
+	inj := &Injector{
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		cfg:        cfg,
+		panicsLeft: cfg.PanicBudget,
+	}
+	if len(cfg.Points) > 0 {
+		inj.points = make(map[string]bool, len(cfg.Points))
+		for _, p := range cfg.Points {
+			inj.points[p] = true
+		}
+	}
+	return inj
+}
+
+// Counts reports how many faults of each kind this injector fired.
+func (inj *Injector) Counts() (errs, panics, latencies, shortWrites int64) {
+	return inj.errFired.Load(), inj.panicFired.Load(),
+		inj.latencyHits.Load(), inj.shortHits.Load()
+}
+
+// active is the process-wide injector; nil (the default) disables every
+// hook at the cost of one atomic load.
+var active atomic.Pointer[Injector]
+
+// Activate installs inj as the process-wide injector. Pass the same
+// injector to inspect its counters afterwards.
+func Activate(inj *Injector) { active.Store(inj) }
+
+// Deactivate removes the active injector, returning hooks to their
+// zero-cost state. Tests must call it (defer) so injectors do not leak
+// across tests.
+func Deactivate() { active.Store(nil) }
+
+// Active reports whether an injector is installed.
+func Active() bool { return active.Load() != nil }
+
+func (inj *Injector) enabled(point string) bool {
+	return inj.points == nil || inj.points[point]
+}
+
+// roll returns true with probability rate, drawing from the seeded rng.
+func (inj *Injector) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	inj.mu.Lock()
+	ok := inj.rng.Float64() < rate
+	inj.mu.Unlock()
+	return ok
+}
+
+// Err returns ErrInjected with the configured probability, else nil.
+func Err(point string) error {
+	inj := active.Load()
+	if inj == nil || !inj.enabled(point) {
+		return nil
+	}
+	if !inj.roll(inj.cfg.ErrorRate) {
+		return nil
+	}
+	inj.errFired.Add(1)
+	obsFaults.Inc()
+	obsFaultErrs.Inc()
+	return ErrInjected
+}
+
+// Latency sleeps for the configured duration with the configured
+// probability.
+func Latency(point string) {
+	inj := active.Load()
+	if inj == nil || !inj.enabled(point) {
+		return
+	}
+	if !inj.roll(inj.cfg.LatencyRate) {
+		return
+	}
+	inj.latencyHits.Add(1)
+	obsFaults.Inc()
+	obsFaultLatency.Inc()
+	time.Sleep(inj.cfg.Latency)
+}
+
+// Panic panics with an identifiable value while the injector has panic
+// budget left.
+func Panic(point string) {
+	inj := active.Load()
+	if inj == nil || !inj.enabled(point) {
+		return
+	}
+	inj.mu.Lock()
+	fire := inj.panicsLeft > 0
+	if fire {
+		inj.panicsLeft--
+	}
+	inj.mu.Unlock()
+	if !fire {
+		return
+	}
+	inj.panicFired.Add(1)
+	obsFaults.Inc()
+	obsFaultPanics.Inc()
+	panic("faultinject: injected panic at " + point)
+}
+
+// ShortWrite reports whether a write of n bytes should be truncated and,
+// if so, to how many bytes (strictly fewer than n). Callers simulate a
+// torn write by writing only the returned prefix and failing the
+// operation.
+func ShortWrite(point string, n int) (int, bool) {
+	inj := active.Load()
+	if inj == nil || !inj.enabled(point) || n <= 0 {
+		return n, false
+	}
+	if !inj.roll(inj.cfg.PartialRate) {
+		return n, false
+	}
+	inj.mu.Lock()
+	k := inj.rng.Intn(n)
+	inj.mu.Unlock()
+	inj.shortHits.Add(1)
+	obsFaults.Inc()
+	obsFaultShort.Inc()
+	return k, true
+}

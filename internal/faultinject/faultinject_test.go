@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInactiveHooksAreNoOps(t *testing.T) {
+	Deactivate()
+	if Active() {
+		t.Fatal("no injector should be active")
+	}
+	if err := Err("engine.scan"); err != nil {
+		t.Fatalf("Err with no injector = %v", err)
+	}
+	Latency("engine.scan")
+	Panic("engine.scan")
+	if n, short := ShortWrite("durable.append", 100); short || n != 100 {
+		t.Fatalf("ShortWrite with no injector = (%d, %v)", n, short)
+	}
+}
+
+func TestSeededDecisionsAreReproducible(t *testing.T) {
+	run := func() []bool {
+		inj := New(Config{Seed: 42, ErrorRate: 0.5})
+		Activate(inj)
+		defer Deactivate()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Err("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identically seeded runs", i)
+		}
+	}
+	any := false
+	for _, v := range a {
+		any = any || v
+	}
+	if !any {
+		t.Error("rate 0.5 over 64 draws fired nothing")
+	}
+}
+
+func TestErrReturnsErrInjected(t *testing.T) {
+	inj := New(Config{Seed: 1, ErrorRate: 1})
+	Activate(inj)
+	defer Deactivate()
+	if err := Err("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", err)
+	}
+	if errs, _, _, _ := inj.Counts(); errs != 1 {
+		t.Errorf("error count = %d", errs)
+	}
+}
+
+func TestPanicBudget(t *testing.T) {
+	inj := New(Config{Seed: 1, PanicBudget: 2})
+	Activate(inj)
+	defer Deactivate()
+	fired := 0
+	for i := 0; i < 5; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fired++
+				}
+			}()
+			Panic("p")
+		}()
+	}
+	if fired != 2 {
+		t.Fatalf("panics fired = %d, want 2 (budget)", fired)
+	}
+}
+
+func TestPointFilter(t *testing.T) {
+	inj := New(Config{Seed: 1, ErrorRate: 1, Points: []string{"only.this"}})
+	Activate(inj)
+	defer Deactivate()
+	if err := Err("other.point"); err != nil {
+		t.Fatalf("filtered point fired: %v", err)
+	}
+	if err := Err("only.this"); err == nil {
+		t.Fatal("enabled point did not fire")
+	}
+}
+
+func TestShortWriteTruncates(t *testing.T) {
+	inj := New(Config{Seed: 7, PartialRate: 1})
+	Activate(inj)
+	defer Deactivate()
+	n, short := ShortWrite("p", 50)
+	if !short {
+		t.Fatal("rate 1 did not truncate")
+	}
+	if n < 0 || n >= 50 {
+		t.Fatalf("truncated length %d out of [0, 50)", n)
+	}
+}
+
+func TestLatencySleeps(t *testing.T) {
+	inj := New(Config{Seed: 1, LatencyRate: 1, Latency: 10 * time.Millisecond})
+	Activate(inj)
+	defer Deactivate()
+	start := time.Now()
+	Latency("p")
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("Latency slept %v, want >= 10ms", d)
+	}
+}

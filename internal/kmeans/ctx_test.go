@@ -1,0 +1,48 @@
+package kmeans
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func TestClusterCtxUncancelledMatchesCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := make([]geom.Point, 500)
+	for i := range points {
+		points[i] = geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	a, err := Cluster(points, Params{K: 8}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b, err := ClusterCtx(ctx, points, Params{K: 8}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia || a.Iters != b.Iters {
+		t.Fatalf("inertia/iters differ: (%v, %d) vs (%v, %d)", a.Inertia, a.Iters, b.Inertia, b.Iters)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}
+
+func TestClusterCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := make([]geom.Point, 100)
+	for i := range points {
+		points[i] = geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ClusterCtx(ctx, points, Params{K: 4}, rand.New(rand.NewSource(5))); err == nil {
+		t.Fatal("want error from cancelled ClusterCtx")
+	}
+}

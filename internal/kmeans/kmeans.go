@@ -7,6 +7,7 @@
 package kmeans
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -124,6 +125,17 @@ type Params struct {
 // Cluster partitions points into K clusters. The run is deterministic for
 // a given rng state. It returns an error for empty input or K < 1.
 func Cluster(points []geom.Point, params Params, rng *rand.Rand) (*Result, error) {
+	return ClusterCtx(context.Background(), points, params, rng)
+}
+
+// ClusterCtx is Cluster with cooperative cancellation: the Lloyd loop
+// checks ctx once per iteration and returns ctx.Err() when cancelled
+// (the partial result is dropped). An uncancelled ctx yields a result
+// bit-identical to Cluster's.
+func ClusterCtx(ctx context.Context, points []geom.Point, params Params, rng *rand.Rand) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(points) == 0 {
 		return nil, fmt.Errorf("kmeans: no points")
 	}
@@ -150,6 +162,9 @@ func Cluster(points []geom.Point, params Params, rng *rand.Rand) (*Result, error
 
 	iters := 0
 	for iters < params.MaxIters {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("kmeans: cancelled after %d iterations: %w", iters, err)
+		}
 		iters++
 		// Assignment step: each point's nearest centroid is independent,
 		// so it fans out across the worker pool; size counting stays

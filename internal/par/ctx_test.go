@@ -1,0 +1,141 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+var ctxKernel = NewKernel("test.ctx")
+
+func TestForCtxUncancelledMatchesFor(t *testing.T) {
+	const n = 1000
+	want := make([]int32, n)
+	For(ctxKernel, 8, n, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = int32(i * 3)
+		}
+	})
+	got := make([]int32, n)
+	if err := ForCtx(context.Background(), ctxKernel, 8, n, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = int32(i * 3)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("item %d: For=%d ForCtx=%d", i, want[i], got[i])
+		}
+	}
+}
+
+func TestForCtxNilContext(t *testing.T) {
+	ran := false
+	if err := ForCtx(nil, ctxKernel, 1, 4, 1, func(_, lo, hi int) { ran = true }); err != nil { //nolint:staticcheck
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("nil ctx should behave like Background")
+	}
+}
+
+func TestForCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := obs.GetCounter("aide_cancellations_total").Value()
+	var ran atomic.Int32
+	err := ForCtx(ctx, ctxKernel, 8, 1000, 1, func(_, lo, hi int) { ran.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d chunks ran under a pre-cancelled ctx", ran.Load())
+	}
+	if after := obs.GetCounter("aide_cancellations_total").Value(); after <= before {
+		t.Error("cancellation counter did not increase")
+	}
+}
+
+func TestForCtxStopsSchedulingAfterCancel(t *testing.T) {
+	// The first chunk to run cancels the context; with many more chunks
+	// than workers, most chunks must never start. In-flight chunks always
+	// finish, so every chunk that did run completed fully.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n, minChunk = 4096, 1
+	chunks := ChunkCount(64, n, minChunk)
+	if chunks < 8 {
+		t.Skipf("need >= 8 chunks to observe skipping, got %d", chunks)
+	}
+	var started atomic.Int32
+	var completed atomic.Int32
+	err := ForCtx(ctx, ctxKernel, 64, n, minChunk, func(_, lo, hi int) {
+		started.Add(1)
+		cancel()
+		time.Sleep(time.Millisecond)
+		completed.Add(1)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started.Load() == int32(chunks) {
+		t.Errorf("all %d chunks started despite cancellation", chunks)
+	}
+	if started.Load() != completed.Load() {
+		t.Errorf("started %d != completed %d: an in-flight chunk was torn",
+			started.Load(), completed.Load())
+	}
+}
+
+func TestMapCtxCancelledReturnsError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, ctxKernel, 8, 100, 1, func(_, lo, hi int) int { return hi - lo })
+	if err == nil {
+		t.Fatal("want error from cancelled MapCtx")
+	}
+	_ = out // partial results are garbage by contract
+}
+
+func TestMapCtxUncancelledMatchesMap(t *testing.T) {
+	sum := func(parts []int) int {
+		s := 0
+		for _, p := range parts {
+			s += p
+		}
+		return s
+	}
+	plain := Map(ctxKernel, 8, 777, 1, func(_, lo, hi int) int { return hi - lo })
+	withCtx, err := MapCtx(context.Background(), ctxKernel, 8, 777, 1, func(_, lo, hi int) int { return hi - lo })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(plain) != 777 || sum(withCtx) != 777 {
+		t.Fatalf("sums: Map=%d MapCtx=%d, want 777", sum(plain), sum(withCtx))
+	}
+	if len(plain) != len(withCtx) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(plain), len(withCtx))
+	}
+}
+
+func TestForCtxSequentialPathIgnoresLateCancel(t *testing.T) {
+	// One-chunk calls run inline; cancellation is only checked up front,
+	// so a never-cancelled ctx must not change behavior.
+	ran := false
+	if err := ForCtx(context.Background(), ctxKernel, 1, 10, 1, func(_, lo, hi int) {
+		if lo != 0 || hi != 10 {
+			t.Errorf("bounds = [%d, %d)", lo, hi)
+		}
+		ran = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("sequential path did not run")
+	}
+}

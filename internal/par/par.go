@@ -23,6 +23,11 @@
 //     workers — including For within a For chunk — without risk.
 //   - Panic propagation: a panic in any chunk is captured and re-raised
 //     in the caller after all chunks finish.
+//   - Cooperative cancellation: ForCtx/MapCtx stop scheduling new chunks
+//     once their context is cancelled (in-flight chunks finish, skipped
+//     chunks never run) and return ctx.Err(); each abandoned call bumps
+//     the aide_cancellations_total counter. Results are identical to the
+//     ctx-free variants whenever the context is never cancelled.
 //
 // Utilization is reported through the internal/obs registry: a
 // "par.workers" gauge (pool size), a "par.queue_depth" gauge sampled at
@@ -32,6 +37,7 @@
 package par
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
@@ -46,6 +52,10 @@ var (
 	obsQueueDepth = obs.GetGauge("par.queue_depth")
 	obsTasks      = obs.GetCounter("par.tasks")
 	obsInlineRuns = obs.GetCounter("par.inline_runs")
+	// obsCancellations counts For/Map calls abandoned by context
+	// cancellation — the process-wide signal that deadlines and client
+	// disconnects actually stop parallel work.
+	obsCancellations = obs.GetCounter("aide_cancellations_total")
 )
 
 // Workers returns the effective default worker count: the AIDE_WORKERS
@@ -130,14 +140,33 @@ func chunkBounds(c, chunks, n int) (int, int) {
 // goroutine. A panic in any chunk is re-raised in the caller after all
 // chunks complete.
 func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
+	_ = ForCtx(context.Background(), k, workers, n, minChunk, fn)
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is cancelled no
+// further chunks are scheduled (in-flight chunks run to completion, so
+// fn never observes a torn chunk) and ForCtx returns ctx.Err(). A nil or
+// never-cancelled ctx makes ForCtx identical to For — chunk boundaries,
+// execution and results are bit-for-bit the same — so cancellation
+// support costs nothing when unused. Chunks skipped by cancellation
+// never run; callers must treat any partial effects of fn as garbage
+// when an error is returned.
+func ForCtx(ctx context.Context, k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	chunks := ChunkCount(workers, n, minChunk)
 	if chunks == 0 {
-		return
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		obsCancellations.Inc()
+		return err
 	}
 	if chunks == 1 {
 		k.seqRuns.Inc()
 		fn(0, 0, n)
-		return
+		return nil
 	}
 	var pending atomic.Int32
 	done := make(chan struct{})
@@ -164,8 +193,20 @@ func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
 	k.tasks.Add(int64(chunks))
 	obsTasks.Add(int64(chunks))
 	// The last chunk always runs in the caller: it saves one handoff and
-	// guarantees progress even if every pool worker is busy.
+	// guarantees progress even if every pool worker is busy. Cancellation
+	// is checked once per chunk before scheduling — the "one chunk
+	// boundary" latency bound on abandoning a scan.
+	cancelled := false
 	for c := 0; c < chunks-1; c++ {
+		if ctx.Err() != nil {
+			// Skip every not-yet-scheduled chunk (including the
+			// caller-run last one); in-flight chunks drain below.
+			if pending.Add(-int32(chunks-c)) == 0 {
+				close(done)
+			}
+			cancelled = true
+			break
+		}
 		lo, hi := chunkBounds(c, chunks, n)
 		c := c
 		if !pool.trySubmit(func() { run(c, lo, hi) }) {
@@ -173,8 +214,17 @@ func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
 			run(c, lo, hi)
 		}
 	}
-	lo, hi := chunkBounds(chunks-1, chunks, n)
-	run(chunks-1, lo, hi)
+	if !cancelled {
+		if ctx.Err() != nil {
+			if pending.Add(-1) == 0 {
+				close(done)
+			}
+			cancelled = true
+		} else {
+			lo, hi := chunkBounds(chunks-1, chunks, n)
+			run(chunks-1, lo, hi)
+		}
+	}
 	// Help-drain wait: while our chunks are outstanding, execute queued
 	// pool tasks instead of parking. This is what makes nesting
 	// deadlock-free — a pool worker blocked here on an inner For still
@@ -187,7 +237,11 @@ func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
 			if panicked {
 				panic(panicVal)
 			}
-			return
+			if cancelled {
+				obsCancellations.Inc()
+				return ctx.Err()
+			}
+			return nil
 		default:
 		}
 		select {
@@ -195,7 +249,11 @@ func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
 			if panicked {
 				panic(panicVal)
 			}
-			return
+			if cancelled {
+				obsCancellations.Inc()
+				return ctx.Err()
+			}
+			return nil
 		case task := <-pool.tasks:
 			task()
 		}
@@ -205,15 +263,24 @@ func For(k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int)) {
 // Map runs fn over [0, n) like For and returns the per-chunk results in
 // chunk order, the deterministic input to an ordered reduce.
 func Map[T any](k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int) T) []T {
+	out, _ := MapCtx(context.Background(), k, workers, n, minChunk, fn)
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation (see ForCtx). On
+// cancellation the returned slice still has one slot per chunk but slots
+// of skipped chunks hold zero values — callers must discard it when the
+// error is non-nil.
+func MapCtx[T any](ctx context.Context, k *Kernel, workers, n, minChunk int, fn func(chunk, lo, hi int) T) ([]T, error) {
 	chunks := ChunkCount(workers, n, minChunk)
 	if chunks == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]T, chunks)
-	For(k, workers, n, minChunk, func(chunk, lo, hi int) {
+	err := ForCtx(ctx, k, workers, n, minChunk, func(chunk, lo, hi int) {
 		out[chunk] = fn(chunk, lo, hi)
 	})
-	return out
+	return out, err
 }
 
 // workerPool is the process-wide bounded pool. Workers start lazily on

@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Client is a Go client for the exploration service. It wraps the
@@ -24,6 +27,19 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+
+	// MaxRetries bounds how many times a request is retried after a 503
+	// (the server shedding load or an injected fault; both answer before
+	// doing any work, so retrying is always safe). Default 4; negative
+	// disables retries.
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff ceiling; each further
+	// attempt doubles it up to MaxBackoff, and the actual sleep is drawn
+	// uniformly from [0, ceiling) ("full jitter") so synchronized
+	// clients spread out. A Retry-After header raises the floor to the
+	// server's ask. Defaults 100ms / 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
 }
 
 // NewClient creates a client for a server at baseURL (e.g.
@@ -33,7 +49,13 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	return &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		http:        httpClient,
+		MaxRetries:  4,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+	}
 }
 
 // CreateSession starts a new exploration session.
@@ -141,26 +163,53 @@ type Status struct {
 	WaitSeconds   float64 `json:"avg_wait_seconds"`
 }
 
-// do executes one JSON request/response exchange.
+// do executes one JSON request/response exchange, retrying 503s (load
+// shedding, injected unavailability) with jittered exponential backoff.
+// A 503 is answered before the server does any work, so retrying is
+// safe for every method including POST. The context bounds the whole
+// exchange: cancellation interrupts backoff sleeps immediately.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
+		var err error
+		buf, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("service: encoding request: %w", err)
 		}
-		rd = bytes.NewReader(buf)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		retryAfter, err := c.doOnce(ctx, method, path, buf, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if retryAfter < 0 || attempt >= c.MaxRetries {
+			return lastErr
+		}
+		if err := sleepBackoff(ctx, c.backoff(attempt), retryAfter); err != nil {
+			return fmt.Errorf("service: retrying %s %s: %w", method, path, err)
+		}
+	}
+}
+
+// doOnce runs one attempt. retryAfter >= 0 marks the error retryable,
+// carrying the server's Retry-After ask (0 when absent).
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) (retryAfter time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return -1, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return -1, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -171,13 +220,55 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return fmt.Errorf("service: %s %s: %s", method, path, msg)
+		err := fmt.Errorf("service: %s %s: %s", method, path, msg)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			ra := time.Duration(0)
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+			return ra, err
+		}
+		return -1, err
 	}
 	if out == nil {
-		return nil
+		return -1, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("service: decoding response: %w", err)
+		return -1, fmt.Errorf("service: decoding response: %w", err)
 	}
-	return nil
+	return -1, nil
+}
+
+// backoff returns the ceiling for the attempt'th retry sleep.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max { // <<-overflow or past the cap
+		d = max
+	}
+	return d
+}
+
+// sleepBackoff sleeps a full-jitter draw from [0, ceiling), floored by
+// the server's Retry-After ask, or returns early when ctx ends.
+func sleepBackoff(ctx context.Context, ceiling, floor time.Duration) error {
+	d := time.Duration(rand.Int63n(int64(ceiling) + 1))
+	if d < floor {
+		d = floor
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -2,8 +2,10 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 )
 
@@ -33,6 +35,55 @@ func (w *statusWriter) Flush() {
 	if f, ok := w.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+// WithRecovery wraps next so a panicking handler answers 500 — with the
+// request ID for correlation — instead of killing the connection and,
+// under http.Serve's default recover, hiding the failure from the
+// client. The server process stays alive; the panic is logged with its
+// stack and counted in aide_recovered_panics_total.
+func WithRecovery(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			obsRecoveredPanics.Inc()
+			logger.LogAttrs(r.Context(), slog.LevelError, "panic in handler",
+				slog.String("request_id", RequestIDFrom(r.Context())),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("panic", fmt.Sprint(rec)),
+				slog.String("stack", string(debug.Stack())),
+			)
+			// The handler may have started writing; WriteHeader on an
+			// already-written response is a no-op plus a log line, which
+			// beats a torn connection.
+			httpErrorCtx(sw, r, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// WithDeadline attaches a per-request deadline to every request's
+// context. Handlers observe it through r.Context() — the long-poll
+// sample endpoint returns 408, engine scans bound to a request context
+// stop at the next chunk boundary. A non-positive d disables the
+// deadline.
+func WithDeadline(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // WithRequestLog wraps next with request-ID assignment and structured

@@ -16,6 +16,13 @@ var (
 	obsSessionsExpired = obs.GetCounter("service.sessions_expired")
 	obsSessionsActive  = obs.GetGauge("service.sessions_active")
 	obsSessionErrors   = obs.GetCounter("service.session_errors")
+
+	// Fault-tolerance series.
+	obsRecoveredPanics   = obs.GetCounter("aide_recovered_panics_total")
+	obsSessionsRecovered = obs.GetCounter("aide_sessions_recovered_total")
+	obsShedRequests      = obs.GetCounter("service.http.shed")
+	obsSessionRestarts   = obs.GetCounter("service.session_restarts")
+	obsQuarantined       = obs.GetCounter("service.sessions_quarantined")
 )
 
 // httpRequests returns the request counter of one endpoint.

@@ -22,6 +22,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -35,8 +36,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/explore-by-example/aide/internal/durable"
 	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/explore"
+	"github.com/explore-by-example/aide/internal/faultinject"
 	"github.com/explore-by-example/aide/internal/obs"
 )
 
@@ -58,6 +61,31 @@ type Server struct {
 	// Metrics is the registry /v1/metrics serves (default obs.Default,
 	// which the engine and steering loop report into).
 	Metrics *obs.Registry
+
+	// Durable, when set, write-ahead-logs every session so it survives a
+	// process crash: creation parameters and each acknowledged label hit
+	// the log before the label is acked, and RecoverSessions replays the
+	// logs on start. Nil disables persistence.
+	Durable *durable.Manager
+	// SnapshotEvery compacts a session's log after this many new labels,
+	// replacing the label history with a snapshot record. Compaction
+	// bounds replay cost but makes recovery converge-identical rather
+	// than bit-identical (snapshot resume reseeds the generator); 0
+	// disables compaction. Default 0.
+	SnapshotEvery int
+	// MaxInflight sheds load: beyond this many concurrent requests the
+	// server answers 503 with a Retry-After header instead of queueing.
+	// 0 disables shedding.
+	MaxInflight int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxSessionRestarts bounds how many times a panicked session is
+	// rebuilt and replayed before it is quarantined (default 2).
+	MaxSessionRestarts int
+
+	// inflight counts requests currently being served, for the
+	// MaxInflight shedding gate.
+	inflight atomic.Int64
 }
 
 // NewServer creates a server over the given named views.
@@ -67,12 +95,14 @@ func NewServer(views map[string]*engine.View) *Server {
 		vs[k] = v
 	}
 	return &Server{
-		views:         vs,
-		sessions:      make(map[string]*liveSession),
-		SampleWait:    30 * time.Second,
-		SessionTTL:    30 * time.Minute,
-		TraceCapacity: 64,
-		Metrics:       obs.Default,
+		views:              vs,
+		sessions:           make(map[string]*liveSession),
+		SampleWait:         30 * time.Second,
+		SessionTTL:         30 * time.Minute,
+		TraceCapacity:      64,
+		Metrics:            obs.Default,
+		MaxBodyBytes:       1 << 20,
+		MaxSessionRestarts: 2,
 	}
 }
 
@@ -120,6 +150,11 @@ type TraceResponse struct {
 // ExpireIdle evicts every session idle longer than ttl, returning how
 // many were evicted. The janitor calls this periodically; tests may call
 // it directly.
+//
+// Eviction frees memory and goroutines, not durability: the session's
+// write-ahead log is synced and closed but left on disk, so a server
+// restart resurrects the exploration via RecoverSessions. Only an
+// explicit DELETE destroys the log.
 func (s *Server) ExpireIdle(ttl time.Duration) int {
 	cutoff := time.Now().Add(-ttl).UnixNano()
 	var victims []*liveSession
@@ -133,6 +168,9 @@ func (s *Server) ExpireIdle(ttl time.Duration) int {
 	s.mu.Unlock()
 	for _, ls := range victims {
 		ls.cancel()
+		if ls.wal != nil {
+			_ = ls.wal.Close()
+		}
 		obsSessionsExpired.Inc()
 		obsSessionsActive.Add(-1)
 	}
@@ -193,13 +231,66 @@ type liveSession struct {
 	current chan labelRequest // holds the request being labeled, capacity 1
 	rec     *obs.Recorder     // per-iteration trace ring buffer
 
+	// Creation parameters, kept for the WAL create record and for
+	// rebuilding the session after a panic.
+	req     CreateSessionRequest
+	opts    explore.Options
+	created []byte // marshaled req: the WAL create payload
+
+	// wal is the session's write-ahead log (nil: persistence off).
+	wal *durable.Log
+
 	// lastActive is the unix-nano time of the last request touching this
 	// session; the janitor evicts sessions idle past the TTL.
 	lastActive atomic.Int64
 
-	mu     sync.Mutex
-	status sessionStatus
-	err    error
+	// Label history: every acknowledged (row, relevant) pair, recorded
+	// before the label is acked. It is the session's source of truth for
+	// replay — a rebuilt or recovered session's oracle consults it first,
+	// so known rows are answered instantly and the deterministic steering
+	// loop reproduces the exact same trajectory without re-asking the
+	// user.
+	histMu       sync.Mutex
+	hist         map[int]bool
+	histN        int
+	baseSnapshot []byte // latest compaction snapshot; replay starts here
+	compactedAt  int    // histN at the last compaction
+
+	mu       sync.Mutex
+	status   sessionStatus
+	err      error
+	restarts int // panic rebuilds so far
+}
+
+// histGet reports a recorded label.
+func (ls *liveSession) histGet(row int) (bool, bool) {
+	ls.histMu.Lock()
+	defer ls.histMu.Unlock()
+	lab, ok := ls.hist[row]
+	return lab, ok
+}
+
+// recordLabel persists one acknowledged label: history first, then the
+// WAL. An append error means the label is NOT durable and the caller
+// must not ack it.
+func (ls *liveSession) recordLabel(row int, relevant bool) error {
+	if ls.wal != nil {
+		if err := ls.wal.AppendLabel(int64(row), relevant); err != nil {
+			return err
+		}
+	}
+	ls.histMu.Lock()
+	ls.hist[row] = relevant
+	ls.histN++
+	ls.histMu.Unlock()
+	return nil
+}
+
+// histCount returns how many labels were recorded.
+func (ls *liveSession) histCount() int {
+	ls.histMu.Lock()
+	defer ls.histMu.Unlock()
+	return ls.histN
 }
 
 // touch marks the session as active now.
@@ -266,16 +357,42 @@ type Bounds struct {
 }
 
 // ServeHTTP implements http.Handler. Every request is counted and timed
-// per endpoint into the obs registry.
+// per endpoint into the obs registry. Requests beyond MaxInflight are
+// shed with 503 + Retry-After before any work happens — and the
+// fault-injection gate sits at the same pre-dispatch point, so an
+// injected 503 is as side-effect-free (and as safely retryable) as a
+// shed one.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	obsInflight.Add(1)
-	defer obsInflight.Add(-1)
 	sw, ok := w.(*statusWriter)
 	if !ok {
 		sw = &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	}
-	endpoint := s.dispatch(sw, r)
+	n := s.inflight.Add(1)
+	obsInflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		obsInflight.Add(-1)
+	}()
+	endpoint := "shed"
+	switch {
+	case r.URL.Path == "/healthz":
+		// The liveness probe is never shed or fault-injected: it answers
+		// as long as the process is alive, which is what it measures.
+		endpoint = s.dispatch(sw, r)
+	case s.MaxInflight > 0 && n > int64(s.MaxInflight):
+		obsShedRequests.Inc()
+		sw.Header().Set("Retry-After", "1")
+		httpError(sw, http.StatusServiceUnavailable, "server overloaded; retry")
+	case faultinject.Err("service.request") != nil:
+		// Injected pre-dispatch unavailability: nothing has been read or
+		// mutated, so clients retry exactly like a shed request.
+		endpoint = "fault"
+		sw.Header().Set("Retry-After", "1")
+		httpError(sw, http.StatusServiceUnavailable, "injected unavailability; retry")
+	default:
+		endpoint = s.dispatch(sw, r)
+	}
 	httpRequests(endpoint).Inc()
 	httpSeconds(endpoint).Observe(time.Since(start).Seconds())
 	if sw.status >= 400 {
@@ -329,6 +446,19 @@ func (s *Server) dispatchSession(w http.ResponseWriter, r *http.Request, id, act
 		return "session_notfound"
 	}
 	ls.touch()
+	// A quarantined session answers every interaction with its failure
+	// (and the request ID, for correlating with server logs) instead of
+	// hanging a long poll against a dead goroutine. DELETE still works so
+	// the client can discard it; status/trace still work for diagnosis.
+	if action == "sample" || action == "label" || action == "query" {
+		ls.mu.Lock()
+		failed := ls.err
+		ls.mu.Unlock()
+		if failed != nil {
+			httpErrorCtx(w, r, http.StatusInternalServerError, "session failed: "+failed.Error())
+			return "quarantined"
+		}
+	}
 	switch {
 	case action == "" && r.Method == http.MethodDelete:
 		s.deleteSession(w, id, ls)
@@ -371,20 +501,10 @@ func (s *Server) dispatchSession(w http.ResponseWriter, r *http.Request, id, act
 	}
 }
 
-func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
-	var req CreateSessionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	s.mu.Lock()
-	view := s.views[req.View]
-	s.mu.Unlock()
-	if view == nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown view %q", req.View))
-		return
-	}
-
+// optsFromRequest validates and translates the wire-level creation
+// parameters. It is shared by session creation, crash recovery and
+// post-panic rebuild so all three produce the identical configuration.
+func optsFromRequest(req CreateSessionRequest) (explore.Options, error) {
 	opts := explore.DefaultOptions()
 	opts.Seed = req.Seed
 	if req.SamplesPerIteration > 0 {
@@ -407,41 +527,93 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	case "hybrid":
 		opts.Discovery = explore.DiscoveryHybrid
 	default:
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown discovery strategy %q", req.Discovery))
-		return
+		return opts, fmt.Errorf("unknown discovery strategy %q", req.Discovery)
 	}
+	return opts, nil
+}
 
+// newLiveSession builds the bookkeeping side of a session.
+func (s *Server) newLiveSession(id string, req CreateSessionRequest, opts explore.Options) *liveSession {
 	ctx, cancel := context.WithCancel(context.Background())
+	payload, _ := json.Marshal(req)
 	ls := &liveSession{
-		id:      newID(),
+		id:      id,
 		view:    req.View,
 		ctx:     ctx,
 		cancel:  cancel,
 		pending: make(chan labelRequest),
 		rec:     obs.NewRecorder(s.TraceCapacity),
+		req:     req,
+		opts:    opts,
+		created: payload,
+		hist:    make(map[int]bool),
 	}
 	ls.touch()
-	oracle := explore.OracleFunc(func(v *engine.View, row int) bool {
+	return ls
+}
+
+// oracleFor builds the session's oracle. Recorded labels answer
+// instantly — that is what makes post-panic rebuild and crash-recovery
+// replay reproduce the original trajectory without re-asking the user —
+// and unknown rows block on the HTTP label exchange.
+func (s *Server) oracleFor(ls *liveSession) explore.Oracle {
+	return explore.OracleFunc(func(v *engine.View, row int) bool {
+		if lab, ok := ls.histGet(row); ok {
+			return lab
+		}
 		reply := make(chan bool, 1)
 		select {
 		case ls.pending <- labelRequest{row: row, reply: reply}:
-		case <-ctx.Done():
+		case <-ls.ctx.Done():
 			return false
 		}
 		select {
 		case lab := <-reply:
 			return lab
-		case <-ctx.Done():
+		case <-ls.ctx.Done():
 			return false
 		}
 	})
-	sess, err := explore.NewSession(view, oracle, opts)
+}
+
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody())
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	view := s.views[req.View]
+	s.mu.Unlock()
+	if view == nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown view %q", req.View))
+		return
+	}
+	opts, err := optsFromRequest(req)
 	if err != nil {
-		cancel()
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ls := s.newLiveSession(newID(), req, opts)
+	sess, err := explore.NewSession(view, s.oracleFor(ls), opts)
+	if err != nil {
+		ls.cancel()
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	sess.SetRecorder(ls.rec)
+
+	if s.Durable != nil {
+		log, err := s.Durable.Create(ls.id, ls.created)
+		if err != nil {
+			ls.cancel()
+			httpErrorCtx(w, r, http.StatusInternalServerError, "persisting session: "+err.Error())
+			return
+		}
+		ls.wal = log
+	}
 
 	s.mu.Lock()
 	s.sessions[ls.id] = ls
@@ -449,14 +621,94 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	obsSessionsCreated.Inc()
 	obsSessionsActive.Add(1)
 
-	go runSession(ls, sess, view, opts.MaxIterations)
+	go s.runSession(ls, sess, view)
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{ID: ls.id})
 }
 
+// maxBody returns the request-body cap.
+func (s *Server) maxBody() int64 {
+	if s.MaxBodyBytes > 0 {
+		return s.MaxBodyBytes
+	}
+	return 1 << 20
+}
+
+// safeIteration runs one iteration with the session-lifetime context
+// bound to it, converting a panic anywhere below — classifier, engine
+// kernels, injected faults — into an error instead of killing the
+// process.
+func safeIteration(ls *liveSession, sess *explore.Session) (res *explore.IterationResult, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("service: session %s iteration panicked: %v", ls.id, r)
+		}
+	}()
+	res, err = sess.RunIterationCtx(ls.ctx)
+	return res, err, false
+}
+
+// rebuildSession reconstructs the exploration after a panic poisoned
+// the in-memory state. The label history answers every already-given
+// label instantly, so the deterministic steering loop fast-forwards
+// through the same trajectory; if a compaction snapshot exists the
+// rebuild resumes from it instead of replaying from scratch.
+func (s *Server) rebuildSession(ls *liveSession, view *engine.View) (*explore.Session, error) {
+	ls.histMu.Lock()
+	snap := ls.baseSnapshot
+	ls.histMu.Unlock()
+	var (
+		sess *explore.Session
+		err  error
+	)
+	if snap != nil {
+		sess, err = explore.Resume(bytes.NewReader(snap), view, s.oracleFor(ls))
+	} else {
+		sess, err = explore.NewSession(view, s.oracleFor(ls), ls.opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sess.SetRecorder(ls.rec)
+	return sess, nil
+}
+
+// maybeCompact snapshots and compacts the session's WAL once enough
+// labels accumulated since the last compaction. Runs on the session
+// goroutine between iterations, where the snapshot is consistent.
+func (s *Server) maybeCompact(ls *liveSession, sess *explore.Session) {
+	if s.SnapshotEvery <= 0 || ls.wal == nil {
+		return
+	}
+	ls.histMu.Lock()
+	due := ls.histN-ls.compactedAt >= s.SnapshotEvery
+	ls.histMu.Unlock()
+	if !due {
+		return
+	}
+	var buf bytes.Buffer
+	if err := sess.Save(&buf); err != nil {
+		return // snapshotting is an optimization; the label log still has everything
+	}
+	if err := ls.wal.Compact(ls.created, buf.Bytes(), nil); err != nil {
+		return
+	}
+	ls.histMu.Lock()
+	ls.baseSnapshot = buf.Bytes()
+	ls.compactedAt = ls.histN
+	ls.histMu.Unlock()
+}
+
 // runSession drives the steering loop until cancellation, exhaustion or
-// the iteration cap, keeping the status snapshot current.
-func runSession(ls *liveSession, sess *explore.Session, view *engine.View, maxIter int) {
+// the iteration cap, keeping the status snapshot current. A panic in an
+// iteration does not kill the session, let alone the server: the
+// session is rebuilt from the label history and replayed, up to
+// MaxSessionRestarts times, after which it is quarantined — its error
+// is served with a 500 on further requests while every other session
+// keeps running.
+func (s *Server) runSession(ls *liveSession, sess *explore.Session, view *engine.View) {
 	defer ls.cancel()
+	maxIter := ls.opts.MaxIterations
 	update := func(res *explore.IterationResult, done bool) {
 		q := sess.FinalQuery()
 		qr := QueryResponse{SQL: q.SQL(), Attrs: q.Attrs, Table: q.Table}
@@ -489,12 +741,45 @@ func runSession(ls *liveSession, sess *explore.Session, view *engine.View, maxIt
 	update(nil, false)
 
 	idle := 0
-	for i := 0; i < maxIter; i++ {
+	for sess.Stats().Iterations < maxIter {
 		if ls.ctx.Err() != nil {
 			break
 		}
-		res, err := sess.RunIteration()
+		res, err, panicked := safeIteration(ls, sess)
+		if panicked {
+			obsRecoveredPanics.Inc()
+			ls.mu.Lock()
+			ls.restarts++
+			restarts := ls.restarts
+			ls.mu.Unlock()
+			if restarts > s.maxRestarts() {
+				// Quarantine: the session keeps panicking even from a
+				// clean replay, so its state (or the data under it) is
+				// poisoned. Mark it failed and stop; the server and all
+				// other sessions are unaffected.
+				obsQuarantined.Inc()
+				obsSessionErrors.Inc()
+				ls.mu.Lock()
+				ls.err = err
+				ls.mu.Unlock()
+				break
+			}
+			obsSessionRestarts.Inc()
+			rebuilt, rerr := s.rebuildSession(ls, view)
+			if rerr != nil {
+				obsSessionErrors.Inc()
+				ls.mu.Lock()
+				ls.err = fmt.Errorf("service: rebuilding after panic: %w", rerr)
+				ls.mu.Unlock()
+				break
+			}
+			sess = rebuilt
+			continue
+		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				break // session shut down mid-iteration; not a failure
+			}
 			obsSessionErrors.Inc()
 			ls.mu.Lock()
 			ls.err = err
@@ -508,7 +793,8 @@ func runSession(ls *liveSession, sess *explore.Session, view *engine.View, maxIt
 		} else {
 			idle = 0
 		}
-		update(res, done || i == maxIter-1)
+		update(res, done || sess.Stats().Iterations >= maxIter)
+		s.maybeCompact(ls, sess)
 		if done {
 			break
 		}
@@ -517,6 +803,14 @@ func runSession(ls *liveSession, sess *explore.Session, view *engine.View, maxIt
 	ls.mu.Lock()
 	ls.status.Done = true
 	ls.mu.Unlock()
+}
+
+// maxRestarts returns the panic-rebuild budget.
+func (s *Server) maxRestarts() int {
+	if s.MaxSessionRestarts > 0 {
+		return s.MaxSessionRestarts
+	}
+	return 2
 }
 
 func (s *Server) nextSample(w http.ResponseWriter, r *http.Request, ls *liveSession) {
@@ -565,6 +859,7 @@ func (s *Server) nextSample(w http.ResponseWriter, r *http.Request, ls *liveSess
 }
 
 func (s *Server) label(w http.ResponseWriter, r *http.Request, ls *liveSession) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody())
 	var req LabelRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
@@ -585,6 +880,14 @@ func (s *Server) label(w http.ResponseWriter, r *http.Request, ls *liveSession) 
 			httpError(w, http.StatusConflict, fmt.Sprintf("outstanding sample is row %d, not %d", pending.row, req.Row))
 			return
 		}
+		// Write-ahead: the label reaches history and the WAL before it
+		// is acked or fed to the session, so an acked label survives a
+		// crash and an unpersisted one is never acked.
+		if err := ls.recordLabel(req.Row, req.Relevant); err != nil {
+			cur <- pending // still outstanding; the client may retry
+			httpErrorCtx(w, r, http.StatusInternalServerError, "persisting label: "+err.Error())
+			return
+		}
 		pending.reply <- req.Relevant
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	default:
@@ -601,6 +904,12 @@ func (s *Server) deleteSession(w http.ResponseWriter, id string, ls *liveSession
 	if present {
 		obsSessionsDeleted.Inc()
 		obsSessionsActive.Add(-1)
+	}
+	// An explicit DELETE is the one operation that destroys durable
+	// state: the user discarded the exploration, so its log goes too.
+	// (Janitor eviction, by contrast, keeps the log; see ExpireIdle.)
+	if s.Durable != nil {
+		_ = s.Durable.Remove(id)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 }
@@ -619,6 +928,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// httpErrorCtx is httpError plus the request ID (when the request-log
+// middleware assigned one), so a client-visible failure can be matched
+// to the server-side log line and stack trace.
+func httpErrorCtx(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	body := map[string]string{"error": msg}
+	if id := RequestIDFrom(r.Context()); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, code, body)
 }
 
 func newID() string {
