@@ -115,6 +115,19 @@ type (
 	Random = explore.Random
 	// RandomGrid is the grid-spread random baseline.
 	RandomGrid = explore.RandomGrid
+	// Budget caps a session's resource use; exceeding a cap triggers a
+	// reported degradation instead of a failure.
+	Budget = explore.Budget
+	// ConflictPolicy selects how contradictory labels for the same tuple
+	// are resolved.
+	ConflictPolicy = explore.ConflictPolicy
+	// ConflictStats summarizes the contradictions a session has seen.
+	ConflictStats = explore.ConflictStats
+	// ConflictError reports a contradiction under the strict policy.
+	ConflictError = explore.ConflictError
+	// NoisyOracle wraps an Oracle and flips answers at a seeded rate, for
+	// testing noise tolerance.
+	NoisyOracle = explore.NoisyOracle
 	// DecisionTree is the CART classifier modeling user interest.
 	DecisionTree = cart.Tree
 	// TreeParams tunes decision-tree induction.
@@ -210,6 +223,25 @@ const (
 	MisclassClustered = explore.MisclassClustered
 	MisclassPerObject = explore.MisclassPerObject
 )
+
+// Label-conflict resolution policies.
+const (
+	ConflictLastWins = explore.ConflictLastWins
+	ConflictMajority = explore.ConflictMajority
+	ConflictStrict   = explore.ConflictStrict
+)
+
+// ParseConflictPolicy parses "last-wins", "majority" or "strict" ("" =
+// last-wins).
+func ParseConflictPolicy(s string) (ConflictPolicy, error) {
+	return explore.ParseConflictPolicy(s)
+}
+
+// NewNoisyOracle wraps inner so each answer flips with probability rate
+// (clamped to [0,1]), deterministically for a given seed.
+func NewNoisyOracle(inner Oracle, rate float64, seed int64) *NoisyOracle {
+	return explore.NewNoisyOracle(inner, rate, seed)
+}
 
 // Relevant-area size classes.
 const (

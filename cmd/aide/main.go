@@ -39,6 +39,13 @@ func main() {
 		state     = flag.String("state", "", "session state file: resumed when it exists, saved on exit")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 		verbose   = flag.Bool("v", false, "log per-iteration diagnostics to stderr")
+
+		conflictPolicy = flag.String("conflict-policy", "last-wins", "resolution of contradictory labels: last-wins, majority or strict")
+		budgetRows     = flag.Int("budget-labeled-rows", 0, "stop asking for labels after this many rows (0 unlimited)")
+		budgetIterTime = flag.Duration("budget-iteration-time", 0, "soft cap on one iteration's wall time (0 unlimited)")
+		budgetSamples  = flag.Int("budget-samples-per-iteration", 0, "hard cap on labels per iteration (0 unlimited)")
+		budgetNodes    = flag.Int("budget-tree-nodes", 0, "cap on decision-tree nodes (0 unlimited)")
+		budgetMem      = flag.Int64("budget-mem-bytes", 0, "per-iteration scratch-memory bound; clustering degrades to grid beyond it (0 unlimited)")
 	)
 	flag.Parse()
 	level := slog.LevelWarn
@@ -51,13 +58,25 @@ func main() {
 		os.Exit(2)
 	}
 	slog.SetDefault(logger)
-	if err := run(*kind, *csvPath, *attrs, *rows, *iters, *budget, *seed, *showViz, *state, os.Stdin, os.Stdout); err != nil {
+	policy, err := aide.ParseConflictPolicy(*conflictPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aide: %v\n", err)
+		os.Exit(2)
+	}
+	bud := aide.Budget{
+		MaxLabeledRows:         *budgetRows,
+		MaxIterationTime:       *budgetIterTime,
+		MaxSamplesPerIteration: *budgetSamples,
+		MaxTreeNodes:           *budgetNodes,
+		MaxMemBytes:            *budgetMem,
+	}
+	if err := run(*kind, *csvPath, *attrs, *rows, *iters, *budget, *seed, *showViz, *state, policy, bud, os.Stdin, os.Stdout); err != nil {
 		logger.Error("session failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, showViz bool, statePath string, stdin io.Reader, stdout io.Writer) error {
+func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, showViz bool, statePath string, policy aide.ConflictPolicy, bud aide.Budget, stdin io.Reader, stdout io.Writer) error {
 	var tab *aide.Table
 	var err error
 	switch {
@@ -92,7 +111,14 @@ func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, sho
 
 	in := bufio.NewScanner(stdin)
 	quit := false
+	// The session may re-consult the oracle when a tuple resurfaces (to
+	// detect label conflicts); memoize answers so a human is never asked
+	// about the same tuple twice.
+	answered := map[int]bool{}
 	oracle := aide.OracleFunc(func(v *aide.View, row int) bool {
+		if lab, ok := answered[row]; ok {
+			return lab
+		}
 		if quit {
 			return false
 		}
@@ -108,8 +134,10 @@ func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, sho
 			}
 			switch strings.ToLower(strings.TrimSpace(in.Text())) {
 			case "y", "yes":
+				answered[row] = true
 				return true
 			case "n", "no", "":
+				answered[row] = false
 				return false
 			case "q", "quit":
 				quit = true
@@ -134,6 +162,8 @@ func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, sho
 		opts := aide.DefaultOptions()
 		opts.Seed = seed
 		opts.SamplesPerIteration = budget
+		opts.ConflictPolicy = policy
+		opts.Budget = bud
 		var err error
 		session, err = aide.NewSession(view, oracle, opts)
 		if err != nil {
@@ -157,6 +187,12 @@ func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, sho
 		fmt.Fprintf(stdout, "\n-- iteration %d: %d samples (%d relevant), %d total labeled, %d predicted area(s), wait %s\n",
 			res.Iteration, res.NewSamples, res.NewRelevant, res.TotalLabeled,
 			res.RelevantAreas, res.Duration.Round(1e6))
+		if len(res.Degradations) > 0 {
+			fmt.Fprintf(stdout, "   degraded (budget): %s\n", strings.Join(res.Degradations, ", "))
+		}
+		if res.Conflicts > 0 {
+			fmt.Fprintf(stdout, "   label conflicts resolved this iteration: %d (%s policy)\n", res.Conflicts, policy)
+		}
 		slog.Debug("iteration",
 			"iteration", res.Iteration,
 			"new_samples", res.NewSamples,

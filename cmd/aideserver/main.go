@@ -47,6 +47,7 @@ import (
 	"github.com/explore-by-example/aide/internal/dataset"
 	"github.com/explore-by-example/aide/internal/durable"
 	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/explore"
 	"github.com/explore-by-example/aide/internal/obs"
 	"github.com/explore-by-example/aide/internal/service"
 )
@@ -88,6 +89,13 @@ func main() {
 		maxInflight       = flag.Int("max-inflight", 0, "shed requests with 503 beyond this many in flight (0 disables)")
 		maxBodyBytes      = flag.Int64("max-body-bytes", 1<<20, "largest accepted request body")
 		addrFile          = flag.String("addr-file", "", "write the bound listen address to this file (useful with -listen :0)")
+
+		conflictPolicy = flag.String("conflict-policy", "last-wins", "default resolution of contradictory labels: last-wins, majority or strict (sessions may override)")
+		budgetRows     = flag.Int("budget-labeled-rows", 0, "default cap on labeled rows per session (0 unlimited)")
+		budgetIterTime = flag.Duration("budget-iteration-time", 0, "default soft cap on one steering iteration's wall time (0 unlimited)")
+		budgetSamples  = flag.Int("budget-samples-per-iteration", 0, "default hard cap on labels per iteration (0 unlimited)")
+		budgetNodes    = flag.Int("budget-tree-nodes", 0, "default cap on decision-tree nodes (0 unlimited)")
+		budgetMem      = flag.Int64("budget-mem-bytes", 0, "default per-iteration scratch-memory bound; clustering discovery degrades to grid beyond it (0 unlimited)")
 
 		csvs = csvFlags{}
 	)
@@ -147,6 +155,18 @@ func main() {
 	srv.SnapshotEvery = *snapshotEvery
 	srv.MaxInflight = *maxInflight
 	srv.MaxBodyBytes = *maxBodyBytes
+	policy, err := explore.ParseConflictPolicy(*conflictPolicy)
+	if err != nil {
+		fatal("bad -conflict-policy", "err", err)
+	}
+	srv.DefaultConflictPolicy = policy
+	srv.DefaultBudget = explore.Budget{
+		MaxLabeledRows:         *budgetRows,
+		MaxIterationTime:       *budgetIterTime,
+		MaxSamplesPerIteration: *budgetSamples,
+		MaxTreeNodes:           *budgetNodes,
+		MaxMemBytes:            *budgetMem,
+	}
 
 	if *dataDir != "" {
 		policy, err := durable.ParseFsyncPolicy(*fsyncMode)

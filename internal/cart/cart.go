@@ -12,13 +12,18 @@ package cart
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"slices"
 	"strings"
 
 	"github.com/explore-by-example/aide/internal/geom"
 	"github.com/explore-by-example/aide/internal/par"
 )
+
+// ErrBadParams marks Params rejected by Validate.
+var ErrBadParams = errors.New("cart: invalid params")
 
 // kernelSplit tracks the parallel per-dimension Gini sweeps of bestSplit.
 var kernelSplit = par.NewKernel("cart.best_split")
@@ -38,6 +43,33 @@ type Params struct {
 	// count: each dimension's sweep is independent and the cross-dimension
 	// merge keeps the lower-dim/lower-threshold tie-break.
 	Workers int
+	// MaxNodes caps the total node count (a resource budget: each split
+	// adds two nodes). 0 means unbounded. When the cap stops a split, the
+	// affected subtree becomes a majority-vote leaf and the tree reports
+	// Capped() — a deterministic truncation of the unbounded tree.
+	MaxNodes int
+}
+
+// Validate rejects negative or non-finite parameter values with a typed
+// error (errors.Is(err, ErrBadParams)). Zero values are allowed: they
+// mean "default" (MinLeaf 1, unbounded depth/nodes, automatic workers).
+func (p Params) Validate() error {
+	if p.MaxDepth < 0 {
+		return fmt.Errorf("%w: MaxDepth = %d", ErrBadParams, p.MaxDepth)
+	}
+	if p.MinLeaf < 0 {
+		return fmt.Errorf("%w: MinLeaf = %d", ErrBadParams, p.MinLeaf)
+	}
+	if p.MinGain < 0 || math.IsNaN(p.MinGain) || math.IsInf(p.MinGain, 0) {
+		return fmt.Errorf("%w: MinGain = %v", ErrBadParams, p.MinGain)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("%w: Workers = %d", ErrBadParams, p.Workers)
+	}
+	if p.MaxNodes < 0 {
+		return fmt.Errorf("%w: MaxNodes = %d", ErrBadParams, p.MaxNodes)
+	}
+	return nil
 }
 
 // DefaultParams returns the parameters used by AIDE. MinLeaf is 3 rather
@@ -67,15 +99,20 @@ type Tree struct {
 	root   *node
 	dims   int
 	params Params
+	nodes  int  // total node count
+	capped bool // true when the MaxNodes budget stopped a split
 
 	// Induction scratch, released after Train. scratch holds one reusable
 	// (value, index) buffer per split-search chunk so recursive build
 	// calls stop reallocating; dimBest collects per-dimension candidates
 	// for the ordered cross-dimension merge. ctx carries TrainCtx's
 	// cancellation into the recursive build (nil: never cancelled).
+	// weights carries TrainWeightedCtx's per-sample weights (nil: the
+	// unweighted integer-arithmetic path).
 	scratch [][]keyedIndex
 	dimBest []splitResult
 	ctx     context.Context
+	weights []float64
 }
 
 // Train fits a tree to the given points and labels. It returns an error
@@ -89,6 +126,12 @@ func Train(points []geom.Point, labels []bool, params Params) (*Tree, error) {
 // the partial tree. An uncancelled ctx yields a tree bit-identical to
 // Train's.
 func TrainCtx(ctx context.Context, points []geom.Point, labels []bool, params Params) (*Tree, error) {
+	return train(ctx, points, labels, nil, params)
+}
+
+// train is the shared induction entry point behind TrainCtx (weights nil)
+// and TrainWeightedCtx (weights per sample).
+func train(ctx context.Context, points []geom.Point, labels []bool, weights []float64, params Params) (*Tree, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("cart: no training samples")
 	}
@@ -104,6 +147,9 @@ func TrainCtx(ctx context.Context, points []geom.Point, labels []bool, params Pa
 			return nil, fmt.Errorf("cart: point %d has %d dims, want %d", i, len(p), d)
 		}
 	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
 	if params.MinLeaf < 1 {
 		params.MinLeaf = 1
 	}
@@ -111,15 +157,16 @@ func TrainCtx(ctx context.Context, points []geom.Point, labels []bool, params Pa
 	for i := range idx {
 		idx[i] = i
 	}
-	t := &Tree{dims: d, params: params}
+	t := &Tree{dims: d, params: params, weights: weights}
 	if ctx != nil && ctx != context.Background() {
 		t.ctx = ctx
 	}
 	chunks := par.ChunkCount(params.Workers, d, 1)
 	t.scratch = make([][]keyedIndex, chunks)
 	t.dimBest = make([]splitResult, d)
+	t.nodes = 1 // the root; each split commits two more
 	t.root = t.build(points, labels, idx, 0)
-	t.scratch, t.dimBest = nil, nil
+	t.scratch, t.dimBest, t.weights = nil, nil, nil
 	if t.ctx != nil {
 		if err := t.ctx.Err(); err != nil {
 			t.ctx = nil
@@ -145,13 +192,42 @@ func (t *Tree) build(points []geom.Point, labels []bool, idx []int, depth int) *
 		}
 	}
 	nd := &node{dim: -1, n: n, nPos: nPos, relevant: nPos*2 > n}
+	if t.weights != nil {
+		// Weighted majority vote: down-weighted (conflicted) samples pull
+		// less on the leaf prediction.
+		var wPos, wTot float64
+		for _, i := range idx {
+			w := t.weights[i]
+			wTot += w
+			if labels[i] {
+				wPos += w
+			}
+		}
+		nd.relevant = wPos*2 > wTot
+	}
 	if nPos == 0 || nPos == n {
 		return nd // pure
 	}
 	if t.params.MaxDepth > 0 && depth >= t.params.MaxDepth {
 		return nd
 	}
-	dim, thr, gain := t.bestSplit(points, labels, idx)
+	if t.params.MaxNodes > 0 && t.nodes+2 > t.params.MaxNodes {
+		// Node budget exhausted: stop splitting here. Because induction is
+		// depth-first in a fixed order, the truncation point — and thus the
+		// whole capped tree — is deterministic.
+		t.capped = true
+		return nd
+	}
+	var (
+		dim  int
+		thr  float64
+		gain float64
+	)
+	if t.weights == nil {
+		dim, thr, gain = t.bestSplit(points, labels, idx)
+	} else {
+		dim, thr, gain = t.bestSplitWeighted(points, labels, idx)
+	}
 	if dim < 0 || gain < t.params.MinGain {
 		return nd
 	}
@@ -168,6 +244,9 @@ func (t *Tree) build(points []geom.Point, labels []bool, idx []int, depth int) *
 	}
 	nd.dim = dim
 	nd.thr = thr
+	// Commit both children before recursing so the MaxNodes check above
+	// accounts for right siblings the depth-first walk has not built yet.
+	t.nodes += 2
 	nd.left = t.build(points, labels, left, depth+1)
 	nd.right = t.build(points, labels, right, depth+1)
 	return nd
@@ -233,26 +312,7 @@ func (t *Tree) bestSplit(points []geom.Point, labels []bool, idx []int) (bestDim
 // allocation churn.
 func bestSplitDim(points []geom.Point, labels []bool, idx []int, d int, parent float64, nPos int, buf *[]keyedIndex) splitResult {
 	n := len(idx)
-	keyed := *buf
-	if cap(keyed) < n {
-		keyed = make([]keyedIndex, n)
-		*buf = keyed
-	} else {
-		keyed = keyed[:n]
-	}
-	for j, i := range idx {
-		keyed[j] = keyedIndex{key: points[i][d], idx: i}
-	}
-	slices.SortFunc(keyed, func(a, b keyedIndex) int {
-		switch {
-		case a.key < b.key:
-			return -1
-		case a.key > b.key:
-			return 1
-		default:
-			return 0
-		}
-	})
+	keyed := sortKeyed(points, idx, d, buf)
 	var best splitResult
 	leftPos, leftN := 0, 0
 	for k := 0; k < n-1; k++ {
@@ -283,6 +343,33 @@ type keyedIndex struct {
 	idx int
 }
 
+// sortKeyed fills buf with (value, index) pairs for idx on dimension d
+// and sorts them ascending by value, reusing buf's capacity across calls.
+func sortKeyed(points []geom.Point, idx []int, d int, buf *[]keyedIndex) []keyedIndex {
+	n := len(idx)
+	keyed := *buf
+	if cap(keyed) < n {
+		keyed = make([]keyedIndex, n)
+		*buf = keyed
+	} else {
+		keyed = keyed[:n]
+	}
+	for j, i := range idx {
+		keyed[j] = keyedIndex{key: points[i][d], idx: i}
+	}
+	slices.SortFunc(keyed, func(a, b keyedIndex) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return keyed
+}
+
 // gini returns the Gini impurity of a node with pos positives out of n.
 func gini(pos, n int) float64 {
 	if n == 0 {
@@ -294,6 +381,13 @@ func gini(pos, n int) float64 {
 
 // Dims returns the dimensionality the tree was trained on.
 func (t *Tree) Dims() int { return t.dims }
+
+// NumNodes returns the total node count of the tree.
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// Capped reports whether the MaxNodes budget stopped at least one split
+// during induction.
+func (t *Tree) Capped() bool { return t.capped }
 
 // Predict classifies a point as relevant (true) or irrelevant (false).
 func (t *Tree) Predict(p geom.Point) bool {

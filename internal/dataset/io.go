@@ -4,11 +4,19 @@ import (
 	"bufio"
 	"encoding/csv"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// ErrNonFinite marks imports rejected because a value was NaN or ±Inf.
+// The exploration space is built from finite attribute domains; a single
+// non-finite value would poison normalization and every index over the
+// column, so imports fail fast instead.
+var ErrNonFinite = errors.New("dataset: non-finite value")
 
 // This file provides table import/export: CSV for interchange with other
 // tools, and a gob-based binary format for fast save/restore of generated
@@ -94,6 +102,9 @@ func ReadCSV(r io.Reader, name string, schema Schema) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d column %q: %w", line, names[i], err)
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: line %d column %q: %v", ErrNonFinite, line, names[i], v)
+			}
 			cols[i] = append(cols[i], v)
 		}
 	}
@@ -154,6 +165,17 @@ func ReadBinary(r io.Reader) (*Table, error) {
 	var bt binaryTable
 	if err := gob.NewDecoder(br).Decode(&bt); err != nil {
 		return nil, fmt.Errorf("dataset: decoding table: %w", err)
+	}
+	for c, col := range bt.Cols {
+		name := fmt.Sprintf("#%d", c)
+		if c < len(bt.Schema) {
+			name = bt.Schema[c].Name
+		}
+		for r, v := range col {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: row %d column %q: %v", ErrNonFinite, r+1, name, v)
+			}
+		}
 	}
 	return NewTable(bt.Name, bt.Schema, bt.Cols)
 }

@@ -219,6 +219,24 @@ func (v *View) singleConstrainedDim(rect geom.Rect) int {
 	return dim
 }
 
+// validRect reports whether rect is a well-formed query region for this
+// view: the view's dimensionality with NaN-free, non-inverted intervals.
+// An invalid rect matches no rows, so the scan entry points return empty
+// results for it instead of feeding NaN into the grid-cell arithmetic
+// (where int(NaN) would index out of range). ±Inf endpoints are fine:
+// cellRange clamps them to the domain.
+func (v *View) validRect(rect geom.Rect) bool {
+	if len(rect) != len(v.cols) {
+		return false
+	}
+	for _, iv := range rect {
+		if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) || iv.Lo > iv.Hi {
+			return false
+		}
+	}
+	return true
+}
+
 // Table returns the underlying table.
 func (v *View) Table() *dataset.Table { return v.tab }
 
@@ -290,6 +308,10 @@ func (v *View) Count(rect geom.Rect) int {
 	faultinject.Latency("engine.scan")
 	faultinject.Panic("engine.scan")
 	v.stats.Queries.Add(1)
+	if !v.validRect(rect) {
+		obsInvalidRects.Inc()
+		return 0
+	}
 	obsPathGrid.Inc()
 	blocks := v.grid.collectCells(rect)
 	type counts struct{ matched, examined int64 }
@@ -329,6 +351,10 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 	faultinject.Latency("engine.scan")
 	faultinject.Panic("engine.scan")
 	v.stats.Queries.Add(1)
+	if !v.validRect(rect) {
+		obsInvalidRects.Inc()
+		return nil
+	}
 	obsPathGrid.Inc()
 	blocks := v.grid.collectCells(rect)
 	type chunkRows struct {
@@ -378,6 +404,10 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 // cell scan with the full-cell len() fast path instead (benchmarked
 // against this in bench_test.go).
 func (v *View) scanRect(rect geom.Rect, fn func(row int) bool) {
+	if !v.validRect(rect) {
+		obsInvalidRects.Inc()
+		return
+	}
 	obsPathGrid.Inc()
 	examined := int64(0)
 	defer func() {

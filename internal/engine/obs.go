@@ -16,6 +16,7 @@ var (
 	obsPathIndex    = obs.GetCounter("engine.path_index")
 	obsPathGrid     = obs.GetCounter("engine.path_grid")
 	obsQuerySeconds = obs.GetHistogram("engine.query_seconds")
+	obsInvalidRects = obs.GetCounter("engine.invalid_rects")
 )
 
 // observeQuery records one engine query: call as

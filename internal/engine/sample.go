@@ -29,6 +29,10 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 	if n <= 0 {
 		return nil
 	}
+	if !v.validRect(rect) {
+		obsInvalidRects.Inc()
+		return nil
+	}
 	// Fast path: a rect constrained in exactly one dimension (the shape
 	// of boundary-exploitation slabs with whole-domain sampling) is a
 	// range scan of that attribute's sorted index — no grid walk.

@@ -305,9 +305,9 @@ func TestRunTraceConverges(t *testing.T) {
 	if n, ok := tr.SamplesToAccuracy(0.7); !ok || n <= 0 {
 		t.Errorf("SamplesToAccuracy = %d,%v", n, ok)
 	}
-	// Reviewed should match labeled count (each label request reviewed
-	// exactly once).
-	if user.Reviewed != s.LabeledCount() {
+	// Every labeled row was reviewed; re-proposed rows are reviewed again
+	// for conflict detection, so Reviewed can exceed the labeled count.
+	if user.Reviewed < s.LabeledCount() {
 		t.Errorf("user reviewed %d, session labeled %d", user.Reviewed, s.LabeledCount())
 	}
 }

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/explore"
+)
+
+// The golden sessions below pin the exact predicted queries of three
+// full steering runs, captured before the conflict ledger and resource
+// budgets were introduced. They are the bit-identity property: a default
+// configuration — no noise, no budget, default conflict policy — must
+// reproduce the historical output byte for byte, proving the robustness
+// machinery sits entirely off the unconstrained hot path (nil training
+// weights, no degradations, unchanged rng consumption).
+//
+// If one of these fails after an intentional algorithm change, re-derive
+// the strings with a throwaway main that prints FinalQuery().SQL() for
+// the same seeds — but never to paper over an accidental divergence.
+
+func runGolden(t *testing.T, view *engine.View, target Target, opts explore.Options, maxIter int) (int, string, *explore.Session) {
+	t.Helper()
+	user := NewSimulatedUser(target)
+	s, err := explore.NewSession(view, user, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := explore.RunUntil(s, func(r *explore.IterationResult) bool { return r.TotalLabeled >= 400 }, maxIter); err != nil {
+		t.Fatal(err)
+	}
+	return s.LabeledCount(), s.FinalQuery().SQL(), s
+}
+
+func TestGoldenBitIdentity(t *testing.T) {
+	sdss := dataset.GenerateSDSS(20000, 7)
+	v1, err := engine.NewView(sdss, []string{"rowc", "colc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := GenerateTarget(v1, TargetSpec{NumAreas: 2, Size: Large}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := dataset.GenerateUniform(10000, 2, 3)
+	v2, err := engine.NewView(uni, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := GenerateTarget(v2, TargetSpec{NumAreas: 1, Size: Large}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name        string
+		view        *engine.View
+		target      Target
+		seed        int64
+		discovery   explore.DiscoveryStrategy
+		maxIter     int
+		wantLabeled int
+		wantSQL     string
+	}{
+		{
+			name: "sdss-grid", view: v1, target: t1, seed: 42,
+			discovery: explore.DiscoveryGrid, maxIter: 40, wantLabeled: 400,
+			wantSQL: `SELECT * FROM PhotoObjAll WHERE (rowc >= 155.75593 AND rowc <= 237.073233 AND colc >= 1738.670318 AND colc <= 2048) OR (rowc >= 1112.251242 AND rowc <= 1221.56503 AND colc >= 1065.286244 AND colc <= 1239.969774);`,
+		},
+		{
+			name: "uni-cluster", view: v2, target: t2, seed: 9,
+			discovery: explore.DiscoveryClustering, maxIter: 40, wantLabeled: 400,
+			wantSQL: `SELECT * FROM uniform WHERE (a0 >= 47.484197 AND a0 <= 55.360533 AND a1 >= 54.483519 AND a1 <= 63.225439);`,
+		},
+		{
+			name: "sdss-hybrid", view: v1, target: t1, seed: 5,
+			discovery: explore.DiscoveryHybrid, maxIter: 30, wantLabeled: 400,
+			wantSQL: `SELECT * FROM PhotoObjAll WHERE (rowc >= 1109.266226 AND rowc <= 1218.146335 AND colc >= 1067.401043 AND colc <= 1239.421102) OR (rowc >= 0 AND rowc <= 277.633617 AND colc >= 1720.227043 AND colc <= 1854.032457);`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := explore.DefaultOptions()
+			opts.Seed = tc.seed
+			opts.Discovery = tc.discovery
+			labeled, sql, s := runGolden(t, tc.view, tc.target, opts, tc.maxIter)
+			if labeled != tc.wantLabeled {
+				t.Errorf("labeled = %d, want %d", labeled, tc.wantLabeled)
+			}
+			if sql != tc.wantSQL {
+				t.Errorf("predicted query diverged from pre-ledger capture\n got: %s\nwant: %s", sql, tc.wantSQL)
+			}
+			stats := s.Stats()
+			if stats.Conflicts != (explore.ConflictStats{}) {
+				t.Errorf("noise-free session reported conflicts: %+v", stats.Conflicts)
+			}
+			if len(stats.Degradations) != 0 {
+				t.Errorf("unbudgeted session reported degradations: %v", stats.Degradations)
+			}
+		})
+	}
+}
+
+// TestBudgetlessOptionsBitIdentical is the same property stated
+// differently: an explicitly-zero Budget and explicit ConflictLastWins
+// must match the implicit defaults exactly, sample for sample.
+func TestBudgetlessOptionsBitIdentical(t *testing.T) {
+	uni := dataset.GenerateUniform(8000, 2, 21)
+	v, err := engine.NewView(uni, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 1, Size: Medium}, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := explore.DefaultOptions()
+	base.Seed = 77
+	explicit := base
+	explicit.Budget = explore.Budget{}
+	explicit.ConflictPolicy = explore.ConflictLastWins
+
+	_, sqlA, sa := runGolden(t, v, target, base, 25)
+	_, sqlB, sb := runGolden(t, v, target, explicit, 25)
+	if sqlA != sqlB {
+		t.Errorf("explicit zero budget diverged:\n base: %s\nexplicit: %s", sqlA, sqlB)
+	}
+	if sa.LabeledCount() != sb.LabeledCount() {
+		t.Errorf("labeled counts differ: %d vs %d", sa.LabeledCount(), sb.LabeledCount())
+	}
+}

@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/explore"
+)
+
+// TestNoiseSweepGracefulDegradation drives full sessions against an
+// oracle that flips each answer with increasing probability and checks
+// the robustness contract: every noisy session completes without error,
+// and accuracy degrades gracefully — monotonic within a tolerance rather
+// than collapsing — as the flip rate grows. Run with -race in CI.
+func TestNoiseSweepGracefulDegradation(t *testing.T) {
+	sdss := dataset.GenerateSDSS(20000, 7)
+	v, err := engine.NewView(sdss, []string{"rowc", "colc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 1, Size: Large}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Improvement tolerance: a noisier run may luck into a slightly
+	// better fit, but a higher flip rate must never beat a lower one by
+	// more than this.
+	const tol = 0.15
+	rates := []float64{0, 0.05, 0.1, 0.2}
+	maxF := make([]float64, len(rates))
+
+	for i, rate := range rates {
+		user := NewSimulatedUser(target)
+		oracle := explore.NewNoisyOracle(user, rate, 1234)
+		opts := explore.DefaultOptions()
+		opts.Seed = 99
+		s, err := explore.NewSession(v, oracle, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := RunTrace(s, v, target, 0, 40)
+		if err != nil {
+			t.Fatalf("rate %v: session failed: %v", rate, err)
+		}
+		maxF[i] = tr.MaxF()
+		stats := s.Stats()
+		t.Logf("rate=%.2f maxF=%.3f flips=%d conflicts=%+v", rate, maxF[i], oracle.Flips(), stats.Conflicts)
+		if rate == 0 {
+			if oracle.Flips() != 0 {
+				t.Errorf("rate 0 flipped %d answers", oracle.Flips())
+			}
+			if stats.Conflicts != (explore.ConflictStats{}) {
+				t.Errorf("rate 0 reported conflicts: %+v", stats.Conflicts)
+			}
+		} else if oracle.Flips() == 0 {
+			t.Errorf("rate %v flipped no answers over %d reviews", rate, user.Reviewed)
+		}
+		if rate >= 0.1 && stats.Conflicts.ConflictEvents == 0 {
+			t.Errorf("rate %v: no conflicts detected despite %d flips", rate, oracle.Flips())
+		}
+	}
+
+	if maxF[0] < 0.7 {
+		t.Errorf("noise-free session only reached F=%.3f", maxF[0])
+	}
+	for i := 1; i < len(rates); i++ {
+		if maxF[i] > maxF[i-1]+tol {
+			t.Errorf("F at rate %v (%.3f) beats rate %v (%.3f) beyond tolerance %v",
+				rates[i], maxF[i], rates[i-1], maxF[i-1], tol)
+		}
+	}
+	if maxF[len(maxF)-1] > maxF[0]+tol {
+		t.Errorf("20%% noise (F=%.3f) outperformed clean run (F=%.3f)", maxF[len(maxF)-1], maxF[0])
+	}
+}
+
+// TestNoisyStrictPolicyErrors checks that the strict-error policy turns
+// the first contradiction into a typed, non-panicking failure.
+func TestNoisyStrictPolicyErrors(t *testing.T) {
+	uni := dataset.GenerateUniform(10000, 2, 3)
+	v, err := engine.NewView(uni, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := GenerateTarget(v, TargetSpec{NumAreas: 1, Size: Large}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := NewSimulatedUser(target)
+	oracle := explore.NewNoisyOracle(user, 0.3, 7)
+	opts := explore.DefaultOptions()
+	opts.Seed = 99
+	opts.ConflictPolicy = explore.ConflictStrict
+	s, err := explore.NewSession(v, oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := explore.RunUntil(s, nil, 40)
+	if runErr == nil {
+		t.Skip("no row was ever re-proposed with a flipped label")
+	}
+	var ce *explore.ConflictError
+	if !errors.As(runErr, &ce) {
+		t.Fatalf("error is %T (%v), want *explore.ConflictError", runErr, runErr)
+	}
+	if ce.Row < 0 {
+		t.Errorf("conflict error has invalid row %d", ce.Row)
+	}
+}

@@ -27,7 +27,7 @@ import (
 //   - Whole-domain sampling: non-boundary dimensions of a slab span the
 //     entire domain, so irrelevant attributes get unskewed coverage and
 //     fall out of the tree.
-func (s *Session) planBoundary() ([]sampleRequest, []geom.Rect) {
+func (s *Session) planBoundary(res *IterationResult) ([]sampleRequest, []geom.Rect) {
 	areas := s.areas
 	k := len(areas)
 	if k == 0 {
@@ -36,6 +36,14 @@ func (s *Session) planBoundary() ([]sampleRequest, []geom.Rect) {
 	d := s.view.Dims()
 	faces := k * 2 * d
 	base := float64(s.opts.AlphaMax) / float64(faces)
+	if cap := s.opts.Budget.MaxSamplesPerIteration; cap > 0 {
+		// Budgeted sessions shrink the per-face budget so boundary demand
+		// alone cannot exceed the iteration's sample cap.
+		if capped := float64(cap) / float64(faces); capped < base {
+			base = capped
+			s.degrade(res, DegradeBoundaryFaceShrink)
+		}
+	}
 
 	var reqs []sampleRequest
 	var slabs []geom.Rect

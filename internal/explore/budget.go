@@ -1,0 +1,135 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// ErrBadBudget marks a Budget rejected at construction.
+var ErrBadBudget = errors.New("explore: invalid budget")
+
+// Budget caps the resources one session may consume. Every field is a
+// soft ceiling with a deterministic degradation rather than a hard
+// failure: when a cap trips, the session sheds the most expendable work
+// (fewer clusters, smaller boundary budgets, shallower trees, grid
+// instead of k-means discovery) and records what it gave up in the
+// iteration's Degradations list, so callers can tell a converged answer
+// from a budget-shaped one. The zero value means unlimited everywhere.
+type Budget struct {
+	// MaxLabeledRows caps the total labeling effort: once reached, no new
+	// rows are shown to the oracle (re-labeling already-seen rows is still
+	// allowed) and the session idles to a stop.
+	MaxLabeledRows int
+	// MaxIterationTime bounds one iteration's wall-clock time: when
+	// exceeded mid-iteration, remaining sample extraction is abandoned and
+	// the iteration proceeds straight to retraining. Degradations become
+	// timing-dependent, so set it only when interactivity beats
+	// reproducibility.
+	MaxIterationTime time.Duration
+	// MaxSamplesPerIteration caps new labels per iteration, on top of
+	// Options.SamplesPerIteration (the smaller wins).
+	MaxSamplesPerIteration int
+	// MaxTreeNodes caps the CART classifier's node count (mapped to
+	// cart.Params.MaxNodes).
+	MaxTreeNodes int
+	// MaxMemBytes bounds the session's large auxiliary allocations.
+	// Cluster-based discovery falls back to the grid strategy when its
+	// estimated footprint would exceed the cap.
+	MaxMemBytes int64
+}
+
+// validate rejects negative caps (zero = unlimited).
+func (b *Budget) validate() error {
+	if b.MaxLabeledRows < 0 {
+		return fmt.Errorf("%w: MaxLabeledRows = %d", ErrBadBudget, b.MaxLabeledRows)
+	}
+	if b.MaxIterationTime < 0 {
+		return fmt.Errorf("%w: MaxIterationTime = %v", ErrBadBudget, b.MaxIterationTime)
+	}
+	if b.MaxSamplesPerIteration < 0 {
+		return fmt.Errorf("%w: MaxSamplesPerIteration = %d", ErrBadBudget, b.MaxSamplesPerIteration)
+	}
+	if b.MaxTreeNodes < 0 {
+		return fmt.Errorf("%w: MaxTreeNodes = %d", ErrBadBudget, b.MaxTreeNodes)
+	}
+	if b.MaxMemBytes < 0 {
+		return fmt.Errorf("%w: MaxMemBytes = %d", ErrBadBudget, b.MaxMemBytes)
+	}
+	return nil
+}
+
+// Degradation kinds recorded in IterationResult.Degradations. Each names
+// the subsystem that shed work and what it shed.
+const (
+	// DegradeDiscoveryGridFallback: cluster-based discovery was replaced
+	// by the grid strategy because fitting the k-means hierarchy would
+	// exceed Budget.MaxMemBytes.
+	DegradeDiscoveryGridFallback = "discovery:grid_fallback"
+	// DegradeMisclassClusterCap: misclassified exploitation grouped false
+	// negatives into fewer clusters than it wanted.
+	DegradeMisclassClusterCap = "misclass:cluster_cap"
+	// DegradeBoundaryFaceShrink: boundary exploitation shrank its
+	// per-face sample budget.
+	DegradeBoundaryFaceShrink = "boundary:face_shrink"
+	// DegradeCartNodeCap: classifier training stopped splitting at
+	// Budget.MaxTreeNodes.
+	DegradeCartNodeCap = "cart:node_cap"
+	// DegradeMaxLabeledRows: the session refused new samples because the
+	// total labeling budget is spent.
+	DegradeMaxLabeledRows = "labels:max_labeled_rows"
+	// DegradeIterTimeCap: sample extraction was abandoned mid-iteration
+	// because Budget.MaxIterationTime elapsed.
+	DegradeIterTimeCap = "iteration:time_cap"
+	// DegradeIterSamplesCap: Budget.MaxSamplesPerIteration trimmed the
+	// iteration's sample budget below what the phases wanted.
+	DegradeIterSamplesCap = "iteration:samples_cap"
+)
+
+// Process-wide robustness metrics. Budget trips get one counter per
+// degradation kind, resolved lazily (':' is not valid in a metric name).
+var (
+	obsLabelConflicts = obs.GetCounter("aide_label_conflicts_total")
+	obsDegradations   = obs.GetCounter("aide_degradations_total")
+)
+
+func budgetTripCounter(kind string) *obs.Counter {
+	return obs.GetCounter("aide_budget_trips_total." + strings.ReplaceAll(kind, ":", "_"))
+}
+
+// degrade records one degradation on the iteration result (deduplicated)
+// and bumps the process-wide counters on first occurrence per iteration.
+func (s *Session) degrade(res *IterationResult, kind string) {
+	for _, d := range res.Degradations {
+		if d == kind {
+			return
+		}
+	}
+	res.Degradations = append(res.Degradations, kind)
+	obsDegradations.Inc()
+	budgetTripCounter(kind).Inc()
+}
+
+// iterTimeUp reports whether the active iteration has exhausted
+// Budget.MaxIterationTime.
+func (s *Session) iterTimeUp() bool {
+	return s.opts.Budget.MaxIterationTime > 0 &&
+		time.Since(s.iterStart) >= s.opts.Budget.MaxIterationTime
+}
+
+// stepHalted reports whether a sampling loop must stop mid-phase: the
+// iteration was cancelled, a strict-policy label conflict tripped, or
+// the iteration time budget ran out (recorded as a degradation).
+func (s *Session) stepHalted(res *IterationResult) bool {
+	if s.cancelled() || s.conflictErr != nil {
+		return true
+	}
+	if s.iterTimeUp() {
+		s.degrade(res, DegradeIterTimeCap)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package explore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func TestBudgetValidation(t *testing.T) {
+	bad := []Budget{
+		{MaxLabeledRows: -1},
+		{MaxIterationTime: -time.Second},
+		{MaxSamplesPerIteration: -1},
+		{MaxTreeNodes: -1},
+		{MaxMemBytes: -1},
+	}
+	for _, b := range bad {
+		opts := DefaultOptions()
+		opts.Budget = b
+		_, err := NewSession(testView(t, 100, 1), rectOracle(), opts)
+		if !errors.Is(err, ErrBadBudget) {
+			t.Errorf("budget %+v: err = %v, want ErrBadBudget", b, err)
+		}
+	}
+	opts := DefaultOptions()
+	opts.Budget = Budget{} // zero = unlimited, always valid
+	if _, err := NewSession(testView(t, 100, 1), rectOracle(), opts); err != nil {
+		t.Errorf("zero budget rejected: %v", err)
+	}
+}
+
+func TestBudgetMaxLabeledRows(t *testing.T) {
+	v := testView(t, 5000, 4)
+	opts := DefaultOptions()
+	opts.Budget.MaxLabeledRows = 60
+	s, err := NewSession(v, rectOracle(geom.R(30, 60, 30, 60)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunUntil(s, nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LabeledCount(); got > 60 {
+		t.Errorf("labeled %d rows, budget was 60", got)
+	}
+	if len(results) >= 50 {
+		t.Error("session did not idle to a stop after the labeling budget")
+	}
+	found := false
+	for _, r := range results {
+		for _, d := range r.Degradations {
+			if d == DegradeMaxLabeledRows {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no iteration reported the max-labeled-rows degradation")
+	}
+}
+
+func TestBudgetMaxSamplesPerIteration(t *testing.T) {
+	v := testView(t, 5000, 4)
+	opts := DefaultOptions()
+	opts.SamplesPerIteration = 20
+	opts.Budget.MaxSamplesPerIteration = 8
+	s, err := NewSession(v, rectOracle(geom.R(30, 60, 30, 60)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		res, err := s.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NewSamples > 8 {
+			t.Fatalf("iteration %d labeled %d new samples, cap is 8", i, res.NewSamples)
+		}
+		if res.NewSamples > 0 && !hasDegradation(res, DegradeIterSamplesCap) {
+			t.Fatalf("iteration %d missing samples-cap degradation: %v", i, res.Degradations)
+		}
+	}
+}
+
+func TestBudgetMaxTreeNodes(t *testing.T) {
+	v := testView(t, 8000, 4)
+	opts := DefaultOptions()
+	opts.Budget.MaxTreeNodes = 5
+	s, err := NewSession(v, rectOracle(geom.R(20, 40, 20, 40), geom.R(60, 80, 60, 80)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := false
+	for i := 0; i < 25; i++ {
+		res, err := s.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr := s.Tree(); tr != nil {
+			if n := tr.NumNodes(); n > 5 {
+				t.Fatalf("tree has %d nodes, budget is 5", n)
+			}
+			if tr.Capped() {
+				capped = true
+				if !hasDegradation(res, DegradeCartNodeCap) {
+					t.Fatalf("capped tree but no node-cap degradation: %v", res.Degradations)
+				}
+			}
+		}
+	}
+	if !capped {
+		t.Error("node budget of 5 never capped any tree over 25 iterations")
+	}
+}
+
+func TestBudgetMemFallbackToGrid(t *testing.T) {
+	v := testView(t, 5000, 4)
+	opts := DefaultOptions()
+	opts.Discovery = DiscoveryClustering
+	opts.Budget.MaxMemBytes = 1024 // far below the clustering estimate
+	s, err := NewSession(v, rectOracle(geom.R(30, 60, 30, 60)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.disc.(*gridDiscovery); !ok {
+		t.Fatalf("discovery is %T, want grid fallback under 1KiB budget", s.disc)
+	}
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDegradation(res, DegradeDiscoveryGridFallback) {
+		t.Errorf("grid fallback not reported: %v", res.Degradations)
+	}
+	// The permanent degradation must reappear on every iteration.
+	res2, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDegradation(res2, DegradeDiscoveryGridFallback) {
+		t.Errorf("grid fallback missing from second iteration: %v", res2.Degradations)
+	}
+}
+
+func TestBudgetIterationTimeCap(t *testing.T) {
+	v := testView(t, 5000, 4)
+	opts := DefaultOptions()
+	opts.SamplesPerIteration = 0 // unbounded: only time can stop it
+	opts.Budget.MaxIterationTime = time.Nanosecond
+	s, err := NewSession(v, rectOracle(geom.R(30, 60, 30, 60)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDegradation(res, DegradeIterTimeCap) {
+		t.Errorf("1ns time budget not reported as degradation: %v", res.Degradations)
+	}
+}
+
+func hasDegradation(res *IterationResult, kind string) bool {
+	for _, d := range res.Degradations {
+		if d == kind {
+			return true
+		}
+	}
+	return false
+}

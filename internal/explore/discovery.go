@@ -19,8 +19,19 @@ type discoverer interface {
 }
 
 // newDiscoverer builds the discovery strategy selected by the options.
+// Under a MaxMemBytes budget, cluster-based strategies fall back to the
+// grid when fitting the k-means hierarchy would exceed the cap — the
+// grid needs no auxiliary sample matrix. The fallback is decided once at
+// session construction, so it is deterministic and recorded as a
+// session-permanent degradation.
 func newDiscoverer(s *Session) (discoverer, error) {
-	switch s.opts.Discovery {
+	strategy := s.opts.Discovery
+	if strategy != DiscoveryGrid && s.opts.Budget.MaxMemBytes > 0 &&
+		clusterMemEstimate(s) > s.opts.Budget.MaxMemBytes {
+		s.permDegr = append(s.permDegr, DegradeDiscoveryGridFallback)
+		strategy = DiscoveryGrid
+	}
+	switch strategy {
 	case DiscoveryGrid:
 		return newGridDiscovery(s)
 	case DiscoveryClustering:
@@ -34,6 +45,13 @@ func newDiscoverer(s *Session) (discoverer, error) {
 	default:
 		return nil, fmt.Errorf("explore: unknown discovery strategy %v", s.opts.Discovery)
 	}
+}
+
+// clusterMemEstimate approximates the footprint of fitting the k-means
+// discovery hierarchy: the normalized sample matrix dominates, with a 2x
+// factor covering assignments, centroids and scratch across levels.
+func clusterMemEstimate(s *Session) int64 {
+	return int64(s.opts.ClusterSampleSize) * int64(s.view.Dims()+2) * 8 * 2
 }
 
 // gridDiscovery walks the hierarchical exploration grid of Section 3:
@@ -80,7 +98,7 @@ func (d *gridDiscovery) exhausted() bool {
 
 func (d *gridDiscovery) step(s *Session, budget int, res *IterationResult) {
 	for budget > 0 {
-		if s.cancelled() {
+		if s.stepHalted(res) {
 			return // iteration abandoned; frontier state stays consistent
 		}
 		if len(d.frontier) == 0 {
@@ -242,7 +260,7 @@ func (d *clusterDiscovery) exhausted() bool {
 
 func (d *clusterDiscovery) step(s *Session, budget int, res *IterationResult) {
 	for budget > 0 {
-		if s.cancelled() {
+		if s.stepHalted(res) {
 			return // iteration abandoned; frontier state stays consistent
 		}
 		if len(d.frontier) == 0 {

@@ -247,9 +247,9 @@ func TestMisclassPerObjectVsClusteredQueries(t *testing.T) {
 		t.Skip("never accumulated 2+ false negatives with this seed")
 	}
 	s.opts.Misclass = MisclassPerObject
-	perObj := s.planMisclass()
+	perObj := s.planMisclass(&IterationResult{})
 	s.opts.Misclass = MisclassClustered
-	clustered := s.planMisclass()
+	clustered := s.planMisclass(&IterationResult{})
 	if len(perObj) != len(fns) {
 		t.Errorf("per-object planned %d queries for %d FNs", len(perObj), len(fns))
 	}
@@ -288,7 +288,7 @@ func TestPlanBoundaryShape(t *testing.T) {
 	if len(s.areas) == 0 {
 		t.Skip("no areas formed with this seed")
 	}
-	reqs, slabs := s.planBoundary()
+	reqs, slabs := s.planBoundary(&IterationResult{})
 	wantFaces := len(s.areas) * 2 * v.Dims()
 	if len(slabs) != wantFaces {
 		t.Errorf("slabs = %d, want %d (one per face)", len(slabs), wantFaces)
@@ -334,7 +334,7 @@ func TestPlanBoundaryAdaptiveShrinksBudget(t *testing.T) {
 	for i, a := range s.areas {
 		s.prevAreas[i] = a.Clone()
 	}
-	reqs, _ := s.planBoundary()
+	reqs, _ := s.planBoundary(&IterationResult{})
 	for _, rq := range reqs {
 		if rq.n > s.opts.BoundaryErr {
 			t.Errorf("unmoved boundary got %d samples, want <= er=%d", rq.n, s.opts.BoundaryErr)

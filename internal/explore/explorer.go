@@ -8,9 +8,13 @@ import (
 )
 
 // Oracle supplies relevance labels: the human in the loop, or the
-// simulated user of the evaluation harness. Label is called at most once
-// per row per session; AIDE assumes a binary, non-noisy relevance system
-// where labels never change (Section 2.1).
+// simulated user of the evaluation harness. The paper assumes a binary,
+// non-noisy relevance system where labels never change (Section 2.1);
+// this implementation relaxes that: when exploration re-proposes an
+// already-labeled row, Label is consulted again and any contradiction is
+// resolved under the session's ConflictPolicy. Oracles backed by a human
+// should memoize their answers to avoid re-prompting (the bundled CLI
+// and service oracles do).
 type Oracle interface {
 	// Label reports whether the given row of the view is relevant to the
 	// exploration task.
@@ -74,6 +78,12 @@ type IterationResult struct {
 	Duration time.Duration
 	// TrainDuration is the classifier-training share of Duration.
 	TrainDuration time.Duration
+	// Conflicts counts label contradictions detected this iteration.
+	Conflicts int
+	// Degradations lists the budget degradations active this iteration
+	// (see the Degrade* constants), deduplicated, in first-trip order.
+	// Empty means the iteration ran unconstrained.
+	Degradations []string
 }
 
 // Explorer is the common surface of AIDE and the baseline strategies

@@ -1,0 +1,139 @@
+package explore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+)
+
+func fuzzView(t *testing.T, n int, seed int64) *engine.View {
+	t.Helper()
+	tab := dataset.GenerateUniform(n, 2, seed)
+	v, err := engine.NewView(tab, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// checkInvariants asserts the session's training-set bookkeeping is
+// internally consistent regardless of what the oracle did.
+func checkInvariants(t *testing.T, s *Session) {
+	t.Helper()
+	if len(s.rows) != len(s.labels) || len(s.rows) != len(s.points) {
+		t.Fatalf("ragged training set: %d rows, %d labels, %d points", len(s.rows), len(s.labels), len(s.points))
+	}
+	pos := 0
+	for _, lab := range s.labels {
+		if lab {
+			pos++
+		}
+	}
+	if pos != s.nPos {
+		t.Fatalf("nPos = %d, training set has %d positives", s.nPos, pos)
+	}
+	if len(s.idxOf) != len(s.rows) {
+		t.Fatalf("idxOf has %d entries for %d rows", len(s.idxOf), len(s.rows))
+	}
+	for row, i := range s.idxOf {
+		if i < 0 || i >= len(s.rows) || s.rows[i] != row {
+			t.Fatalf("idxOf[%d] = %d out of sync with rows", row, i)
+		}
+		if s.labelOf[row] != s.labels[i] {
+			t.Fatalf("labelOf[%d] = %v, labels[%d] = %v", row, s.labelOf[row], i, s.labels[i])
+		}
+	}
+}
+
+// FuzzSessionFeedback feeds arbitrary — including self-contradictory —
+// label streams through full steering iterations under every conflict
+// policy. The session must never panic, never corrupt its training-set
+// bookkeeping, and only fail with a ConflictError (strict policy only).
+func FuzzSessionFeedback(f *testing.F) {
+	f.Add(int64(1), uint8(0), []byte{0xAA, 0x55})
+	f.Add(int64(7), uint8(1), []byte{0xFF, 0x00, 0x13})
+	f.Add(int64(42), uint8(2), []byte{0x01})
+	f.Add(int64(-3), uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, policyRaw uint8, feedback []byte) {
+		v := fuzzView(t, 300, 5)
+		policy := ConflictPolicy(int(policyRaw) % int(numConflictPolicies))
+		calls := 0
+		oracle := OracleFunc(func(view *engine.View, row int) bool {
+			if len(feedback) == 0 {
+				return row%2 == 0
+			}
+			b := feedback[(calls/8)%len(feedback)]
+			bit := b>>(uint(calls)%8)&1 == 1
+			calls++
+			return bit
+		})
+		opts := DefaultOptions()
+		opts.Seed = seed
+		opts.ConflictPolicy = policy
+		s, err := NewSession(v, oracle, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunUntil(s, nil, 5); err != nil {
+			var ce *ConflictError
+			if policy == ConflictStrict && errors.As(err, &ce) {
+				checkInvariants(t, s)
+				return // contradiction under strict policy is the contract
+			}
+			t.Fatalf("session failed: %v", err)
+		}
+		checkInvariants(t, s)
+	})
+}
+
+// FuzzBudget throws arbitrary budget values at session construction and
+// a few iterations: negatives must be rejected with ErrBadBudget, and
+// any accepted budget must be enforced without panics.
+func FuzzBudget(f *testing.F) {
+	f.Add(int64(1), 10, int64(1_000_000), 5, 7, int64(1<<20))
+	f.Add(int64(2), 0, int64(0), 0, 0, int64(0))
+	f.Add(int64(3), -1, int64(-5), -2, -3, int64(-1))
+	f.Add(int64(4), 1, int64(1), 1, 1, int64(1))
+	f.Fuzz(func(t *testing.T, seed int64, maxRows int, maxIterNanos int64, maxSamples, maxNodes int, maxMem int64) {
+		v := fuzzView(t, 200, 9)
+		opts := DefaultOptions()
+		opts.Seed = seed
+		opts.Budget = Budget{
+			MaxLabeledRows:         maxRows,
+			MaxIterationTime:       time.Duration(maxIterNanos),
+			MaxSamplesPerIteration: maxSamples,
+			MaxTreeNodes:           maxNodes,
+			MaxMemBytes:            maxMem,
+		}
+		negative := maxRows < 0 || maxIterNanos < 0 || maxSamples < 0 || maxNodes < 0 || maxMem < 0
+		s, err := NewSession(v, rectOracle(), opts)
+		if err != nil {
+			if errors.Is(err, ErrBadBudget) && negative {
+				return
+			}
+			t.Fatalf("unexpected construction error: %v", err)
+		}
+		if negative {
+			t.Fatal("negative budget accepted")
+		}
+		for i := 0; i < 3; i++ {
+			res, err := s.RunIteration()
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			if maxRows > 0 && res.TotalLabeled > maxRows {
+				t.Fatalf("labeled %d rows over budget %d", res.TotalLabeled, maxRows)
+			}
+			if maxSamples > 0 && res.NewSamples > maxSamples {
+				t.Fatalf("iteration labeled %d samples over cap %d", res.NewSamples, maxSamples)
+			}
+			if tr := s.Tree(); tr != nil && maxNodes > 0 && tr.NumNodes() > maxNodes {
+				t.Fatalf("tree has %d nodes over cap %d", tr.NumNodes(), maxNodes)
+			}
+		}
+		checkInvariants(t, s)
+	})
+}

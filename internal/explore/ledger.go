@@ -1,0 +1,243 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/explore-by-example/aide/internal/engine"
+)
+
+// The paper assumes a non-noisy relevance system: each object has one
+// true label and the user never contradicts themselves (Section 2.1).
+// Real users do. The label ledger keeps every labeling event per row so
+// the session can detect contradictions, resolve them under a
+// configurable policy, and down-weight flip-flopping rows during
+// classifier training instead of silently trusting whichever label
+// happened to arrive first.
+
+// ConflictPolicy selects how a session resolves contradictory labels for
+// the same row.
+type ConflictPolicy int
+
+const (
+	// ConflictLastWins keeps the most recent label (the default: users
+	// refine their intent as exploration progresses, so later labels are
+	// usually better informed).
+	ConflictLastWins ConflictPolicy = iota
+	// ConflictMajority keeps the label with the most votes across all
+	// labeling events for the row; a tie keeps the current label.
+	ConflictMajority
+	// ConflictStrict treats any contradiction as fatal: the iteration
+	// aborts with a *ConflictError so the caller can surface the
+	// inconsistency to the user.
+	ConflictStrict
+	numConflictPolicies
+)
+
+// String implements fmt.Stringer.
+func (p ConflictPolicy) String() string {
+	switch p {
+	case ConflictLastWins:
+		return "last-wins"
+	case ConflictMajority:
+		return "majority"
+	case ConflictStrict:
+		return "strict-error"
+	default:
+		return fmt.Sprintf("ConflictPolicy(%d)", int(p))
+	}
+}
+
+// ParseConflictPolicy parses the textual policy names accepted by the
+// CLI and HTTP API. The empty string maps to the default policy.
+func ParseConflictPolicy(s string) (ConflictPolicy, error) {
+	switch s {
+	case "", "last-wins", "last":
+		return ConflictLastWins, nil
+	case "majority":
+		return ConflictMajority, nil
+	case "strict-error", "strict":
+		return ConflictStrict, nil
+	default:
+		return 0, fmt.Errorf("explore: unknown conflict policy %q (want last-wins, majority or strict-error)", s)
+	}
+}
+
+// ConflictError reports a label contradiction under ConflictStrict.
+type ConflictError struct {
+	// Row is the conflicting row id.
+	Row int
+	// Iteration is the iteration during which the contradiction arrived.
+	Iteration int
+}
+
+// Error implements error.
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("explore: conflicting labels for row %d (iteration %d) under strict-error policy", e.Row, e.Iteration)
+}
+
+// ConflictStats summarizes label disagreement over a session.
+type ConflictStats struct {
+	// ConflictingRows is the number of distinct rows that received both a
+	// relevant and an irrelevant label at least once.
+	ConflictingRows int `json:"conflicting_rows"`
+	// ConflictEvents counts labeling events that contradicted the row's
+	// then-current resolved label, including events the policy rejected.
+	ConflictEvents int `json:"conflict_events"`
+	// LabelFlips counts how often conflict resolution actually changed a
+	// row's effective label.
+	LabelFlips int `json:"label_flips"`
+}
+
+// rowVotes accumulates the labeling events of one row.
+type rowVotes struct {
+	pos, neg int
+}
+
+// conflicted reports whether the row has received both labels.
+func (v *rowVotes) conflicted() bool { return v.pos > 0 && v.neg > 0 }
+
+// labelLedger records every labeling event and resolves contradictions.
+type labelLedger struct {
+	votes  map[int]*rowVotes
+	events int // contradiction events (see ConflictStats.ConflictEvents)
+	flips  int // resolved label changes
+}
+
+func newLabelLedger() *labelLedger {
+	return &labelLedger{votes: make(map[int]*rowVotes)}
+}
+
+// record adds one labeling event for row and returns the row's resolved
+// label under the policy. changed reports whether the resolved label
+// differs from cur (the row's current effective label; ignored for the
+// first event). Under ConflictStrict a contradiction returns a
+// *ConflictError and leaves the resolved label at cur.
+func (l *labelLedger) record(row int, lab bool, iter int, cur bool, policy ConflictPolicy) (resolved, changed bool, err error) {
+	v := l.votes[row]
+	if v == nil {
+		v = &rowVotes{}
+		l.votes[row] = v
+	}
+	first := v.pos == 0 && v.neg == 0
+	if lab {
+		v.pos++
+	} else {
+		v.neg++
+	}
+	if first {
+		return lab, false, nil
+	}
+	if lab != cur {
+		l.events++
+		obsLabelConflicts.Inc()
+	}
+	switch policy {
+	case ConflictStrict:
+		if v.conflicted() {
+			return cur, false, &ConflictError{Row: row, Iteration: iter}
+		}
+		resolved = lab
+	case ConflictMajority:
+		switch {
+		case v.pos > v.neg:
+			resolved = true
+		case v.neg > v.pos:
+			resolved = false
+		default:
+			resolved = cur // tie keeps the current label
+		}
+	default: // ConflictLastWins
+		resolved = lab
+	}
+	if resolved != cur {
+		l.flips++
+	}
+	return resolved, resolved != cur, nil
+}
+
+// seed installs a vote tally for row without running conflict
+// resolution. Snapshot restore uses it to rebuild the ledger.
+func (l *labelLedger) seed(row, pos, neg int) {
+	if pos == 0 && neg == 0 {
+		return
+	}
+	l.votes[row] = &rowVotes{pos: pos, neg: neg}
+}
+
+// weights returns per-row training weights in the order of rows, or nil
+// when no row is conflicted. A conflicted row's weight is the agreement
+// ratio max(pos,neg)/(pos+neg) — always in (0.5, 1] — so a row the user
+// flip-flopped on pulls less on the classifier; unanimous rows keep
+// weight 1. The nil return on conflict-free sessions lets training take
+// the exact unweighted integer path, preserving bit-identical behavior.
+func (l *labelLedger) weights(rows []int) []float64 {
+	any := false
+	for _, row := range rows {
+		if v := l.votes[row]; v != nil && v.conflicted() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	w := make([]float64, len(rows))
+	for i, row := range rows {
+		w[i] = 1
+		if v := l.votes[row]; v != nil && v.conflicted() {
+			maj := v.pos
+			if v.neg > maj {
+				maj = v.neg
+			}
+			w[i] = float64(maj) / float64(v.pos+v.neg)
+		}
+	}
+	return w
+}
+
+// stats returns the ledger's conflict summary.
+func (l *labelLedger) stats() ConflictStats {
+	n := 0
+	for _, v := range l.votes {
+		if v.conflicted() {
+			n++
+		}
+	}
+	return ConflictStats{ConflictingRows: n, ConflictEvents: l.events, LabelFlips: l.flips}
+}
+
+// NoisyOracle wraps an oracle and flips each answer with a fixed
+// probability, simulating an inaccurate user. The flips are driven by a
+// dedicated seeded rng, independent of the session's, so a noisy run is
+// reproducible and a rate of 0 is bit-identical to the bare oracle.
+type NoisyOracle struct {
+	inner Oracle
+	rate  float64
+	rng   *rand.Rand
+	flips int
+}
+
+// NewNoisyOracle wraps inner with the given flip probability in [0, 1].
+func NewNoisyOracle(inner Oracle, flipRate float64, seed int64) *NoisyOracle {
+	if flipRate < 0 {
+		flipRate = 0
+	}
+	if flipRate > 1 {
+		flipRate = 1
+	}
+	return &NoisyOracle{inner: inner, rate: flipRate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Label implements Oracle.
+func (o *NoisyOracle) Label(v *engine.View, row int) bool {
+	lab := o.inner.Label(v, row)
+	if o.rate > 0 && o.rng.Float64() < o.rate {
+		o.flips++
+		return !lab
+	}
+	return lab
+}
+
+// Flips returns how many answers have been flipped so far.
+func (o *NoisyOracle) Flips() int { return o.flips }

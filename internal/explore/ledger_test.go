@@ -1,0 +1,175 @@
+package explore
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+func TestLedgerPolicies(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy ConflictPolicy
+		// events: label sequence for one row; want: resolved label after
+		// each event (ignored when wantErrAt >= 0 cuts the run short).
+		events    []bool
+		want      []bool
+		wantErrAt int // index of the event that must error, -1 for none
+	}{
+		{"last-wins flip", ConflictLastWins, []bool{true, false, true}, []bool{true, false, true}, -1},
+		{"majority holds", ConflictMajority, []bool{true, true, false}, []bool{true, true, true}, -1},
+		{"majority flips", ConflictMajority, []bool{true, false, false}, []bool{true, true, false}, -1},
+		{"majority tie keeps current", ConflictMajority, []bool{true, false}, []bool{true, true}, -1},
+		{"strict errors on contradiction", ConflictStrict, []bool{true, true, false}, []bool{true, true}, 2},
+		{"strict tolerates agreement", ConflictStrict, []bool{false, false, false}, []bool{false, false, false}, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := newLabelLedger()
+			cur := false
+			for i, lab := range tc.events {
+				resolved, changed, err := l.record(7, lab, i, cur, tc.policy)
+				if tc.wantErrAt == i {
+					if err == nil {
+						t.Fatalf("event %d: no error under strict policy", i)
+					}
+					var ce *ConflictError
+					if !errors.As(err, &ce) || ce.Row != 7 {
+						t.Fatalf("event %d: error = %v, want ConflictError for row 7", i, err)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("event %d: unexpected error %v", i, err)
+				}
+				if resolved != tc.want[i] {
+					t.Errorf("event %d: resolved = %v, want %v", i, resolved, tc.want[i])
+				}
+				if changed != (i > 0 && resolved != cur) {
+					t.Errorf("event %d: changed = %v inconsistent with resolution", i, changed)
+				}
+				cur = resolved
+			}
+		})
+	}
+}
+
+func TestLedgerWeights(t *testing.T) {
+	l := newLabelLedger()
+	l.record(1, true, 0, true, ConflictLastWins) // unanimous
+	l.record(2, true, 0, true, ConflictLastWins) // will conflict 2:1
+	l.record(2, true, 1, true, ConflictLastWins)
+	l.record(2, false, 2, true, ConflictLastWins)
+
+	if w := l.weights([]int{1}); w != nil {
+		t.Errorf("conflict-free rows must yield nil weights, got %v", w)
+	}
+	w := l.weights([]int{1, 2})
+	if w == nil {
+		t.Fatal("conflicted row yielded nil weights")
+	}
+	if w[0] != 1 {
+		t.Errorf("unanimous row weight = %v, want 1", w[0])
+	}
+	if want := 2.0 / 3.0; w[1] != want {
+		t.Errorf("2:1 conflicted row weight = %v, want %v", w[1], want)
+	}
+	st := l.stats()
+	if st.ConflictingRows != 1 || st.ConflictEvents != 1 || st.LabelFlips != 1 {
+		t.Errorf("stats = %+v, want 1 row / 1 event / 1 flip", st)
+	}
+}
+
+func TestParseConflictPolicy(t *testing.T) {
+	for in, want := range map[string]ConflictPolicy{
+		"":             ConflictLastWins,
+		"last-wins":    ConflictLastWins,
+		"last":         ConflictLastWins,
+		"majority":     ConflictMajority,
+		"strict":       ConflictStrict,
+		"strict-error": ConflictStrict,
+	} {
+		got, err := ParseConflictPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseConflictPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseConflictPolicy("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	for _, p := range []ConflictPolicy{ConflictLastWins, ConflictMajority, ConflictStrict} {
+		back, err := ParseConflictPolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("round-trip of %v failed: %v, %v", p, back, err)
+		}
+	}
+}
+
+func TestLabelRowConflictResolution(t *testing.T) {
+	v := testView(t, 100, 12)
+	answers := []bool{true, false, false}
+	i := 0
+	oracle := OracleFunc(func(view *engine.View, row int) bool {
+		a := answers[i%len(answers)]
+		i++
+		return a
+	})
+	opts := DefaultOptions()
+	opts.ConflictPolicy = ConflictMajority
+	s, err := NewSession(v, oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &IterationResult{}
+	s.labelRow(5, PhaseDiscovery, res) // true
+	if got := s.labelOf[5]; !got {
+		t.Fatal("first label not recorded")
+	}
+	s.labelRow(5, PhaseDiscovery, res) // false: 1-1 tie keeps true
+	if got := s.labelOf[5]; !got {
+		t.Error("majority tie flipped the label")
+	}
+	s.labelRow(5, PhaseDiscovery, res) // false: 1-2 flips to false
+	if got := s.labelOf[5]; got {
+		t.Error("majority did not flip the label at 1-2")
+	}
+	if s.labels[s.idxOf[5]] != s.labelOf[5] {
+		t.Error("training-set label out of sync with labelOf")
+	}
+	if s.nPos != 0 {
+		t.Errorf("nPos = %d after flip to irrelevant, want 0", s.nPos)
+	}
+	st := s.ledger.stats()
+	if st.ConflictingRows != 1 || st.ConflictEvents != 2 {
+		t.Errorf("stats = %+v, want 1 conflicting row and 2 events", st)
+	}
+}
+
+func TestNoisyOracleDeterministic(t *testing.T) {
+	base := rectOracle(geom.R(0, 50, 0, 50))
+	v := testView(t, 200, 3)
+	a := NewNoisyOracle(base, 0.3, 42)
+	b := NewNoisyOracle(base, 0.3, 42)
+	for row := 0; row < 200; row++ {
+		if a.Label(v, row) != b.Label(v, row) {
+			t.Fatalf("same-seed noisy oracles diverged at row %d", row)
+		}
+	}
+	if a.Flips() == 0 {
+		t.Error("rate 0.3 flipped nothing over 200 rows")
+	}
+	if a.Flips() != b.Flips() {
+		t.Errorf("flip counts differ: %d vs %d", a.Flips(), b.Flips())
+	}
+	zero := NewNoisyOracle(base, 0, 42)
+	for row := 0; row < 200; row++ {
+		if zero.Label(v, row) != base.Label(v, row) {
+			t.Fatalf("rate 0 altered an answer at row %d", row)
+		}
+	}
+	if zero.Flips() != 0 {
+		t.Errorf("rate 0 reported %d flips", zero.Flips())
+	}
+}

@@ -17,12 +17,25 @@ import (
 // already "hit"); one sample-extraction query then serves each cluster.
 // Clustering only runs when it reduces the number of extraction queries
 // (k < #false negatives), exactly as Section 4.2 specifies.
-func (s *Session) planMisclass() []sampleRequest {
+func (s *Session) planMisclass(res *IterationResult) []sampleRequest {
 	fns := s.falseNegatives()
 	if len(fns) == 0 {
 		return nil
 	}
 	k := s.discoveryHits
+	if cap := s.opts.Budget.MaxSamplesPerIteration; cap > 0 {
+		// Budgeted sessions bound the cluster count so the plan — and its
+		// per-cluster extraction queries — stays proportionate to the
+		// sample cap (each cluster asks for F samples per member).
+		maxK := cap / s.opts.F
+		if maxK < 1 {
+			maxK = 1
+		}
+		if k > maxK {
+			k = maxK
+			s.degrade(res, DegradeMisclassClusterCap)
+		}
+	}
 	if s.opts.Misclass == MisclassClustered && k > 0 && k < len(fns) {
 		if reqs := s.planMisclassClustered(fns, k); reqs != nil {
 			return reqs

@@ -178,6 +178,15 @@ type Options struct {
 	// MaxIterations bounds RunUntil loops.
 	MaxIterations int
 
+	// ConflictPolicy selects how contradictory labels for the same row are
+	// resolved (default ConflictLastWins).
+	ConflictPolicy ConflictPolicy
+
+	// Budget caps the session's resource consumption; exceeding a cap
+	// degrades the iteration deterministically instead of failing it. The
+	// zero value is unlimited.
+	Budget Budget
+
 	// Workers sets the worker count for the session's parallel hot paths
 	// (CART split search, engine grid scans, k-means assignment): 0 means
 	// automatic (the AIDE_WORKERS environment variable, else GOMAXPROCS),
@@ -263,8 +272,21 @@ func (o *Options) validate(dims int) error {
 	if o.Workers < 0 {
 		return fmt.Errorf("explore: Workers = %d", o.Workers)
 	}
+	if o.ConflictPolicy < 0 || o.ConflictPolicy >= numConflictPolicies {
+		return fmt.Errorf("explore: ConflictPolicy = %d", int(o.ConflictPolicy))
+	}
+	if err := o.Budget.validate(); err != nil {
+		return err
+	}
 	if o.Tree.Workers == 0 {
 		o.Tree.Workers = o.Workers
+	}
+	if o.Budget.MaxTreeNodes > 0 &&
+		(o.Tree.MaxNodes == 0 || o.Tree.MaxNodes > o.Budget.MaxTreeNodes) {
+		o.Tree.MaxNodes = o.Budget.MaxTreeNodes
+	}
+	if err := o.Tree.Validate(); err != nil {
+		return err
 	}
 	if o.SamplesPerIteration < 0 {
 		return fmt.Errorf("explore: SamplesPerIteration = %d", o.SamplesPerIteration)

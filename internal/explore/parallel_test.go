@@ -55,7 +55,7 @@ func TestSessionParallelEquivalence(t *testing.T) {
 		// Timing fields aside, effort accounting must match exactly.
 		statsSeq.ExecTime, statsPar.ExecTime = 0, 0
 		statsSeq.TrainTime, statsPar.TrainTime = 0, 0
-		if statsSeq != statsPar {
+		if !reflect.DeepEqual(statsSeq, statsPar) {
 			t.Fatalf("%v: session stats differ\nworkers=1: %+v\nworkers=8: %+v", disc, statsSeq, statsPar)
 		}
 	}

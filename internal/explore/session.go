@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"time"
 
 	"github.com/explore-by-example/aide/internal/cart"
@@ -23,12 +24,26 @@ type Session struct {
 	rng    *rand.Rand
 	bounds geom.Rect // exploration bounds: RangeHint or the full domain
 
-	// Labeled training set. rows, points and labels are parallel.
+	// Labeled training set. rows, points and labels are parallel; idxOf
+	// maps a row id to its index in them so conflict resolution can flip a
+	// label in place.
 	labelOf map[int]bool
+	idxOf   map[int]int
 	rows    []int
 	points  []geom.Point
 	labels  []bool
 	nPos    int
+
+	// ledger records every labeling event for conflict detection;
+	// conflictErr is the sticky failure of the strict-error policy.
+	ledger      *labelLedger
+	conflictErr error
+
+	// permDegr holds degradations decided once for the whole session
+	// (e.g. the discovery grid fallback); they are re-reported on every
+	// iteration result. iterStart anchors the MaxIterationTime budget.
+	permDegr  []string
+	iterStart time.Time
 
 	tree  *cart.Tree
 	areas []geom.Rect // current relevant areas (normalized, unmerged)
@@ -71,6 +86,11 @@ type SessionStats struct {
 	ExecTime time.Duration
 	// TrainTime is the classifier-training share of ExecTime.
 	TrainTime time.Duration
+	// Conflicts summarizes label contradictions seen so far.
+	Conflicts ConflictStats
+	// Degradations lists the budget degradations of the most recent
+	// iteration (including session-permanent ones).
+	Degradations []string
 }
 
 // sampleRequest is one planned sample-extraction query.
@@ -103,6 +123,8 @@ func NewSession(view *engine.View, oracle Oracle, opts Options) (*Session, error
 		opts:    opts,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		labelOf: make(map[int]bool),
+		idxOf:   make(map[int]int),
+		ledger:  newLabelLedger(),
 	}
 	if opts.RangeHint != nil {
 		s.bounds = opts.RangeHint.Clone()
@@ -180,6 +202,11 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("explore: iteration %d cancelled: %w", s.iter, err)
 	}
+	if s.conflictErr != nil {
+		// A strict-policy conflict is sticky: the training set is tainted
+		// and the user must resolve the contradiction out of band.
+		return nil, s.conflictErr
+	}
 	if ctx != context.Background() {
 		// Bind the iteration context to the session and its view so
 		// engine scans issued by the phase planners observe cancellation
@@ -193,7 +220,15 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 		}()
 	}
 	start := time.Now()
+	s.iterStart = start
 	res := &IterationResult{Iteration: s.iter}
+	conflictsBefore := s.ledger.events
+	// Session-permanent degradations (e.g. the discovery grid fallback)
+	// apply to every iteration; re-report them so each result is
+	// self-describing.
+	for _, d := range s.permDegr {
+		s.degrade(res, d)
+	}
 
 	root := s.rec.Start("iteration")
 	root.SetAttr("iteration", s.iter)
@@ -202,6 +237,10 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 	if budget == 0 {
 		budget = math.MaxInt32
 	}
+	if cap := s.opts.Budget.MaxSamplesPerIteration; cap > 0 && cap < budget {
+		budget = cap
+		s.degrade(res, DegradeIterSamplesCap)
+	}
 
 	// Phases 2 and 3 need a classifier; the first iteration is discovery
 	// only (Section 3: "no other phases are applied in the first
@@ -209,12 +248,12 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 	if s.tree != nil {
 		var reqs []sampleRequest
 		if !s.opts.DisableMisclass {
-			reqs = append(reqs, s.planMisclass()...)
+			reqs = append(reqs, s.planMisclass(res)...)
 		}
 		var slabs []geom.Rect
 		if !s.opts.DisableBoundary {
 			var breqs []sampleRequest
-			breqs, slabs = s.planBoundary()
+			breqs, slabs = s.planBoundary(res)
 			reqs = append(reqs, breqs...)
 		}
 		reqs = trimRequests(reqs, budget)
@@ -224,6 +263,9 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 		for _, rq := range reqs {
 			if s.cancelled() {
 				return s.abort(root, ctx)
+			}
+			if s.stepHalted(res) {
+				break // budget or conflict stop: keep what we have
 			}
 			if rq.phase != curPhase {
 				s.phaseSpan.End()
@@ -247,7 +289,7 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 
 	// Remaining effort goes to discovery ("we used the remaining of 20
 	// samples to sample unexplored yet grid cells", Section 6.2).
-	if remaining := budget - res.NewSamples; remaining > 0 {
+	if remaining := budget - res.NewSamples; remaining > 0 && !s.stepHalted(res) {
 		s.phaseSpan = root.Child(PhaseDiscovery.String())
 		before := res.NewSamples
 		s.disc.step(s, remaining, res)
@@ -259,12 +301,24 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 		}
 	}
 
+	if s.conflictErr != nil {
+		// Strict-error policy: the contradiction aborts the iteration
+		// before a classifier trained on tainted labels is published.
+		root.SetAttr("conflict", true)
+		root.End()
+		return nil, s.conflictErr
+	}
+
 	// Retrain the classifier on the grown training set.
 	trainStart := time.Now()
 	ts := root.Child("train")
 	s.prevAreas = s.areas
 	if s.nPos > 0 && s.nPos < len(s.rows) {
-		tree, err := cart.TrainCtx(s.iterCtx(), s.points, s.labels, s.opts.Tree)
+		// Conflict-free sessions get a nil weight slice, which routes
+		// training through the exact unweighted integer path — the session
+		// stays bit-identical to one without the ledger. Conflicted rows
+		// train with their agreement ratio as weight.
+		tree, err := cart.TrainWeightedCtx(s.iterCtx(), s.points, s.labels, s.ledger.weights(s.rows), s.opts.Tree)
 		if err != nil {
 			ts.End()
 			root.End()
@@ -272,6 +326,9 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 		}
 		s.tree = tree
 		s.areas = tree.RelevantAreas(s.bounds)
+		if tree.Capped() {
+			s.degrade(res, DegradeCartNodeCap)
+		}
 	} else {
 		s.tree = nil
 		s.areas = nil
@@ -282,12 +339,15 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 	res.Duration = time.Since(start)
 	res.TotalLabeled = len(s.rows)
 	res.RelevantAreas = len(s.areas)
+	res.Conflicts = s.ledger.events - conflictsBefore
 
 	s.iter++
 	s.stats.Iterations++
 	s.stats.TotalLabeled = len(s.rows)
 	s.stats.ExecTime += res.Duration
 	s.stats.TrainTime += res.TrainDuration
+	s.stats.Conflicts = s.ledger.stats()
+	s.stats.Degradations = res.Degradations
 
 	obsIterations.Inc()
 	obsIterationSeconds.Observe(res.Duration.Seconds())
@@ -297,23 +357,65 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 	root.SetAttr("new_relevant", res.NewRelevant)
 	root.SetAttr("total_labeled", res.TotalLabeled)
 	root.SetAttr("areas", res.RelevantAreas)
+	if res.Conflicts > 0 {
+		root.SetAttr("conflicts", res.Conflicts)
+	}
+	if len(res.Degradations) > 0 {
+		root.SetAttr("degradations", strings.Join(res.Degradations, ","))
+	}
 	root.End()
 	return res, nil
 }
 
-// labelRow shows one tuple to the oracle unless it was already labeled.
-// It returns the label and whether it consumed user effort.
+// labelRow shows one tuple to the oracle and records the labeling event
+// in the conflict ledger. A row the session has already labeled is shown
+// again: the oracle's fresh answer either confirms the current label (a
+// no-op) or contradicts it, in which case the session's ConflictPolicy
+// decides the row's effective label — the paper's silent keep-the-first
+// behavior systematically trusted the oldest (least informed) answer.
+// It returns the row's effective label and whether a new training sample
+// was added.
 func (s *Session) labelRow(row int, phase Phase, res *IterationResult) (relevant, isNew bool) {
 	obsSamplesProposed.Inc()
-	if lab, ok := s.labelOf[row]; ok {
-		return lab, false
+	if s.conflictErr != nil {
+		return s.labelOf[row], false
+	}
+	if cur, ok := s.labelOf[row]; ok {
+		lab := s.oracle.Label(s.view, row)
+		obsLabelsReceived.Inc()
+		resolved, changed, err := s.ledger.record(row, lab, s.iter, cur, s.opts.ConflictPolicy)
+		if err != nil {
+			s.conflictErr = err
+			return cur, false
+		}
+		if changed {
+			i := s.idxOf[row]
+			s.labelOf[row] = resolved
+			s.labels[i] = resolved
+			if resolved {
+				s.nPos++
+				s.stats.TotalRelevant++
+			} else {
+				s.nPos--
+				s.stats.TotalRelevant--
+			}
+		}
+		return s.labelOf[row], false
+	}
+	if max := s.opts.Budget.MaxLabeledRows; max > 0 && len(s.rows) >= max {
+		// Labeling budget spent: refuse new rows. The session then idles
+		// to a stop (RunUntil's no-progress detection) instead of failing.
+		s.degrade(res, DegradeMaxLabeledRows)
+		return false, false
 	}
 	lab := s.oracle.Label(s.view, row)
 	obsLabelsReceived.Inc()
 	if lab {
 		obsLabelsRelevant.Inc()
 	}
+	s.ledger.record(row, lab, s.iter, lab, s.opts.ConflictPolicy)
 	s.labelOf[row] = lab
+	s.idxOf[row] = len(s.rows)
 	s.rows = append(s.rows, row)
 	s.points = append(s.points, s.view.NormPoint(row))
 	s.labels = append(s.labels, lab)

@@ -405,11 +405,19 @@ func TestLabelRowDedup(t *testing.T) {
 	res := &IterationResult{}
 	s.labelRow(5, PhaseDiscovery, res)
 	s.labelRow(5, PhaseDiscovery, res)
-	if calls != 1 {
-		t.Errorf("oracle called %d times for one row", calls)
+	// The second sighting re-consults the oracle (conflict detection) but
+	// must not add a second training sample.
+	if calls != 2 {
+		t.Errorf("oracle called %d times for a twice-proposed row, want 2", calls)
 	}
 	if res.NewSamples != 1 {
 		t.Errorf("NewSamples = %d, want 1", res.NewSamples)
+	}
+	if n := len(s.rows); n != 1 {
+		t.Errorf("training set has %d rows, want 1", n)
+	}
+	if s.stats.Conflicts != (ConflictStats{}) && s.ledger.stats() != (ConflictStats{}) {
+		t.Errorf("consistent re-label reported conflicts: %+v", s.ledger.stats())
 	}
 }
 

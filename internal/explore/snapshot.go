@@ -41,6 +41,13 @@ type sessionSnapshot struct {
 	TableName string
 	TableRows int
 	Attrs     []string
+
+	// Conflict-ledger vote tallies per row and session-permanent
+	// degradations. Absent (nil) in snapshots from older versions; Resume
+	// then rebuilds a single-vote ledger from Labels.
+	LedgerPos map[int]int
+	LedgerNeg map[int]int
+	PermDegr  []string
 }
 
 // discoverySnapshot captures the strategy state.
@@ -86,6 +93,13 @@ func (s *Session) Save(w io.Writer) error {
 		TableName: s.view.Table().Name(),
 		TableRows: s.view.NumRows(),
 		Attrs:     s.view.Attrs(),
+		LedgerPos: make(map[int]int, len(s.ledger.votes)),
+		LedgerNeg: make(map[int]int, len(s.ledger.votes)),
+		PermDegr:  s.permDegr,
+	}
+	for row, v := range s.ledger.votes {
+		snap.LedgerPos[row] = v.pos
+		snap.LedgerNeg[row] = v.neg
 	}
 	var err error
 	snap.Discovery, err = snapshotDiscovery(s.disc)
@@ -201,6 +215,9 @@ func Resume(r io.Reader, view *engine.View, oracle Oracle) (*Session, error) {
 		// comment above about determinism across restores.
 		rng:           rand.New(rand.NewSource(snap.Options.Seed*31 + int64(snap.Iter) + 1)),
 		labelOf:       make(map[int]bool, len(snap.Rows)),
+		idxOf:         make(map[int]int, len(snap.Rows)),
+		ledger:        newLabelLedger(),
+		permDegr:      snap.PermDegr,
 		iter:          snap.Iter,
 		discoveryHits: snap.Hits,
 		lastSlabs:     snap.LastSlabs,
@@ -216,6 +233,7 @@ func Resume(r io.Reader, view *engine.View, oracle Oracle) (*Session, error) {
 		if row < 0 || row >= view.NumRows() {
 			return nil, fmt.Errorf("explore: corrupt snapshot: row %d out of range", row)
 		}
+		s.idxOf[row] = len(s.rows)
 		s.rows = append(s.rows, row)
 		s.labels = append(s.labels, snap.Labels[i])
 		s.points = append(s.points, view.NormPoint(row))
@@ -223,7 +241,20 @@ func Resume(r io.Reader, view *engine.View, oracle Oracle) (*Session, error) {
 		if snap.Labels[i] {
 			s.nPos++
 		}
+		// Restore the conflict ledger's vote tallies; a pre-ledger
+		// snapshot has no tallies, so each label seeds one unanimous vote.
+		if pos, neg := snap.LedgerPos[row], snap.LedgerNeg[row]; pos > 0 || neg > 0 {
+			s.ledger.seed(row, pos, neg)
+		} else if snap.Labels[i] {
+			s.ledger.seed(row, 1, 0)
+		} else {
+			s.ledger.seed(row, 0, 1)
+		}
 	}
+	// The event/flip counters live in the persisted stats; carry them back
+	// into the ledger so post-resume conflict accounting keeps counting.
+	s.ledger.events = snap.Stats.Conflicts.ConflictEvents
+	s.ledger.flips = snap.Stats.Conflicts.LabelFlips
 	var err error
 	s.disc, err = restoreDiscovery(s, snap.Discovery)
 	if err != nil {
@@ -232,7 +263,7 @@ func Resume(r io.Reader, view *engine.View, oracle Oracle) (*Session, error) {
 	// Rebuild the classifier so areas/prediction are immediately
 	// available (they are derived state).
 	if s.nPos > 0 && s.nPos < len(s.rows) {
-		tree, err := cart.Train(s.points, s.labels, s.opts.Tree)
+		tree, err := cart.TrainWeighted(s.points, s.labels, s.ledger.weights(s.rows), s.opts.Tree)
 		if err != nil {
 			return nil, fmt.Errorf("explore: retraining after resume: %w", err)
 		}

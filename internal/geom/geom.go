@@ -10,10 +10,16 @@
 package geom
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 )
+
+// ErrInvalid is the sentinel wrapped by every validation error this
+// package reports: NaN or infinite coordinates, inverted intervals,
+// dimension mismatches. Callers gate with errors.Is(err, geom.ErrInvalid).
+var ErrInvalid = errors.New("geom: invalid geometry")
 
 // NormMin and NormMax bound the canonical normalized domain. The paper
 // normalizes every attribute domain to [0,100] so that distances are
@@ -31,6 +37,19 @@ func (p Point) Clone() Point {
 	q := make(Point, len(p))
 	copy(q, p)
 	return q
+}
+
+// Validate rejects NaN and infinite coordinates. Points cross the
+// geom/dataset/engine boundary from user-controlled inputs (CSV loads,
+// HTTP bodies, hints), so non-finite values must be caught before they
+// poison index arithmetic or classifier training.
+func (p Point) Validate() error {
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: point coordinate %d is %v", ErrInvalid, i, v)
+		}
+	}
+	return nil
 }
 
 // Dist returns the Euclidean distance between p and q.
@@ -86,6 +105,22 @@ func (iv Interval) Clamp(v float64) float64 {
 		return iv.Hi
 	}
 	return v
+}
+
+// Validate rejects NaN or infinite endpoints and inverted intervals.
+func (iv Interval) Validate() error {
+	if math.IsNaN(iv.Lo) || math.IsInf(iv.Lo, 0) || math.IsNaN(iv.Hi) || math.IsInf(iv.Hi, 0) {
+		return fmt.Errorf("%w: interval [%v,%v] has non-finite endpoint", ErrInvalid, iv.Lo, iv.Hi)
+	}
+	if iv.Lo > iv.Hi {
+		return fmt.Errorf("%w: inverted interval [%v,%v]", ErrInvalid, iv.Lo, iv.Hi)
+	}
+	return nil
+}
+
+// IsFinite reports whether both endpoints are finite (no NaN, no ±Inf).
+func (iv Interval) IsFinite() bool {
+	return !math.IsNaN(iv.Lo) && !math.IsInf(iv.Lo, 0) && !math.IsNaN(iv.Hi) && !math.IsInf(iv.Hi, 0)
 }
 
 // Intersect returns the overlap of two intervals and whether it is
@@ -152,6 +187,36 @@ func (r Rect) Clone() Rect {
 	q := make(Rect, len(r))
 	copy(q, r)
 	return q
+}
+
+// Validate rejects rectangles with non-finite endpoints or inverted
+// intervals. A zero-dimensional rectangle is valid (and empty).
+func (r Rect) Validate() error {
+	for i := range r {
+		if err := r[i].Validate(); err != nil {
+			return fmt.Errorf("dimension %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clamp returns a copy of r with every interval clipped to bounds and
+// non-finite endpoints replaced by the corresponding bound. Inverted
+// intervals are preserved (still empty after clamping); the result is
+// always finite when bounds is finite.
+func (r Rect) Clamp(bounds Rect) Rect {
+	out := make(Rect, len(r))
+	for i := range r {
+		lo, hi := r[i].Lo, r[i].Hi
+		if math.IsNaN(lo) || math.IsInf(lo, -1) {
+			lo = bounds[i].Lo
+		}
+		if math.IsNaN(hi) || math.IsInf(hi, 1) {
+			hi = bounds[i].Hi
+		}
+		out[i] = Interval{bounds[i].Clamp(lo), bounds[i].Clamp(hi)}
+	}
+	return out
 }
 
 // Contains reports whether p lies inside r (boundaries inclusive).
@@ -335,8 +400,11 @@ func NewNormalizer(mins, maxs []float64) (*Normalizer, error) {
 	}
 	n := &Normalizer{mins: make([]float64, len(mins)), widths: make([]float64, len(mins))}
 	for i := range mins {
+		if iv := (Interval{mins[i], maxs[i]}); !iv.IsFinite() {
+			return nil, fmt.Errorf("%w: non-finite domain on dimension %d: [%g,%g]", ErrInvalid, i, mins[i], maxs[i])
+		}
 		if maxs[i] < mins[i] {
-			return nil, fmt.Errorf("geom: inverted domain on dimension %d: [%g,%g]", i, mins[i], maxs[i])
+			return nil, fmt.Errorf("%w: inverted domain on dimension %d: [%g,%g]", ErrInvalid, i, mins[i], maxs[i])
 		}
 		n.mins[i] = mins[i]
 		n.widths[i] = maxs[i] - mins[i]

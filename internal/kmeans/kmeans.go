@@ -8,6 +8,7 @@ package kmeans
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -122,6 +123,28 @@ type Params struct {
 	Workers int
 }
 
+// ErrBadParams marks Params rejected by Validate.
+var ErrBadParams = errors.New("kmeans: invalid params")
+
+// Validate rejects nonsensical parameter values with a typed error. Zero
+// values are legal (they select the documented defaults); negatives and
+// non-finite tolerances are construction bugs and fail fast.
+func (p Params) Validate() error {
+	if p.K < 0 {
+		return fmt.Errorf("%w: K = %d", ErrBadParams, p.K)
+	}
+	if p.MaxIters < 0 {
+		return fmt.Errorf("%w: MaxIters = %d", ErrBadParams, p.MaxIters)
+	}
+	if p.Tol < 0 || math.IsNaN(p.Tol) || math.IsInf(p.Tol, 0) {
+		return fmt.Errorf("%w: Tol = %v", ErrBadParams, p.Tol)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("%w: Workers = %d", ErrBadParams, p.Workers)
+	}
+	return nil
+}
+
 // Cluster partitions points into K clusters. The run is deterministic for
 // a given rng state. It returns an error for empty input or K < 1.
 func Cluster(points []geom.Point, params Params, rng *rand.Rand) (*Result, error) {
@@ -139,13 +162,16 @@ func ClusterCtx(ctx context.Context, points []geom.Point, params Params, rng *ra
 	if len(points) == 0 {
 		return nil, fmt.Errorf("kmeans: no points")
 	}
-	if params.K < 1 {
-		return nil, fmt.Errorf("kmeans: K = %d", params.K)
+	if err := params.Validate(); err != nil {
+		return nil, err
 	}
-	if params.MaxIters <= 0 {
+	if params.K < 1 {
+		return nil, fmt.Errorf("%w: K = %d", ErrBadParams, params.K)
+	}
+	if params.MaxIters == 0 {
 		params.MaxIters = 50
 	}
-	if params.Tol <= 0 {
+	if params.Tol == 0 {
 		params.Tol = 1e-6
 	}
 	d := len(points[0])

@@ -1,6 +1,7 @@
 package kmeans
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -242,5 +243,32 @@ func TestQuickSizesConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{K: -1},
+		{K: 2, MaxIters: -1},
+		{K: 2, Tol: -1},
+		{K: 2, Tol: math.NaN()},
+		{K: 2, Tol: math.Inf(1)},
+		{K: 2, Workers: -1},
+	}
+	points := []geom.Point{{1, 1}, {2, 2}, {3, 3}}
+	for _, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("params %+v: Validate = %v, want ErrBadParams", p, err)
+		}
+		if _, err := Cluster(points, p, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadParams) {
+			t.Errorf("Cluster with %+v: err = %v, want ErrBadParams", p, err)
+		}
+	}
+	// Zero MaxIters/Tol keep their documented defaults.
+	if err := (Params{K: 2}).Validate(); err != nil {
+		t.Errorf("zero-default params rejected: %v", err)
+	}
+	if _, err := Cluster(points, Params{K: 2}, rand.New(rand.NewSource(1))); err != nil {
+		t.Errorf("default params failed: %v", err)
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/explore-by-example/aide/internal/explore"
 )
 
 // Client is a Go client for the exploration service. It wraps the
@@ -161,6 +163,10 @@ type Status struct {
 	RelevantAreas int     `json:"relevant_areas"`
 	Done          bool    `json:"done"`
 	WaitSeconds   float64 `json:"avg_wait_seconds"`
+	// Conflicts summarizes contradictory labels and their resolution.
+	Conflicts explore.ConflictStats `json:"conflicts"`
+	// Degradations lists budget fallbacks from the latest iteration.
+	Degradations []string `json:"degradations,omitempty"`
 }
 
 // do executes one JSON request/response exchange, retrying 503s (load

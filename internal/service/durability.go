@@ -77,7 +77,7 @@ func (s *Server) recoverOne(id string) error {
 		log.Close()
 		return fmt.Errorf("view %q not registered", req.View)
 	}
-	opts, err := optsFromRequest(req)
+	opts, err := s.optsFromRequest(req)
 	if err != nil {
 		log.Close()
 		return fmt.Errorf("corrupt create record: %w", err)

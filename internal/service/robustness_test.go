@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/explore"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// TestBudgetedSessionReportsDegradations drives a budget-capped session
+// over HTTP and asserts the degradations surface in the status response,
+// the iteration trace, and the /v1/metrics counters.
+func TestBudgetedSessionReportsDegradations(t *testing.T) {
+	srv, v := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	id, err := c.CreateSession(ctx, CreateSessionRequest{
+		View: "uniform", Seed: 5,
+		SamplesPerIteration:    10,
+		MaxIterations:          15,
+		MaxSamplesPerIteration: 4,
+		ConflictPolicy:         "majority",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(ctx, id)
+
+	target := geom.R(20, 70, 25, 75)
+	for i := 0; i < 200; i++ {
+		sample, err := c.NextSample(ctx, id)
+		if errors.Is(err, ErrSessionDone) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := v.Normalizer().ToNorm(geom.Point{sample.Values["a0"], sample.Values["a1"]})
+		if err := c.SubmitLabel(ctx, id, sample.Row, target.Contains(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range st.Degradations {
+		if d == explore.DegradeIterSamplesCap {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("status degradations = %v, want %s", st.Degradations, explore.DegradeIterSamplesCap)
+	}
+	if st.Conflicts.ConflictEvents != 0 {
+		// The service oracle memoizes labels, so a consistent client can
+		// never contradict itself.
+		t.Errorf("consistent HTTP labeling produced conflicts: %+v", st.Conflicts)
+	}
+
+	// The per-iteration trace records the same degradations.
+	tr, err := c.Trace(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := false
+	for _, sp := range tr.Spans {
+		if d, ok := sp.Attrs["degradations"].(string); ok && strings.Contains(d, explore.DegradeIterSamplesCap) {
+			traced = true
+		}
+	}
+	if !traced {
+		t.Error("no iteration span carries the samples-cap degradation")
+	}
+
+	// The robustness counters are registered and visible over /v1/metrics.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m["aide_degradations_total"].(float64); !ok || v <= 0 {
+		t.Errorf("aide_degradations_total = %v, want > 0", m["aide_degradations_total"])
+	}
+	trips := "aide_budget_trips_total.iteration_samples_cap"
+	if v, ok := m[trips].(float64); !ok || v <= 0 {
+		t.Errorf("%s = %v, want > 0", trips, m[trips])
+	}
+	if _, ok := m["aide_label_conflicts_total"].(float64); !ok {
+		t.Errorf("aide_label_conflicts_total missing from /v1/metrics: %v", m["aide_label_conflicts_total"])
+	}
+}
+
+// TestCreateSessionValidatesRobustnessParams exercises the new wire
+// parameters' validation and the server-wide defaults.
+func TestCreateSessionValidatesRobustnessParams(t *testing.T) {
+	srv, _ := newTestServer(t)
+	srv.DefaultBudget = explore.Budget{MaxLabeledRows: 500}
+	srv.DefaultConflictPolicy = explore.ConflictMajority
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	if _, err := c.CreateSession(ctx, CreateSessionRequest{View: "uniform", ConflictPolicy: "bogus"}); err == nil {
+		t.Error("unknown conflict policy accepted")
+	}
+	if _, err := c.CreateSession(ctx, CreateSessionRequest{View: "uniform", MaxLabeledRows: -4}); err == nil {
+		t.Error("negative budget accepted")
+	}
+
+	// Server defaults flow into sessions that don't override them, and
+	// request values win when both are set.
+	opts, err := srv.optsFromRequest(CreateSessionRequest{View: "uniform"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Budget.MaxLabeledRows != 500 || opts.ConflictPolicy != explore.ConflictMajority {
+		t.Errorf("defaults not applied: budget %+v policy %v", opts.Budget, opts.ConflictPolicy)
+	}
+	opts, err = srv.optsFromRequest(CreateSessionRequest{
+		View: "uniform", MaxLabeledRows: 80, ConflictPolicy: "strict", MaxTreeNodes: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Budget.MaxLabeledRows != 80 || opts.ConflictPolicy != explore.ConflictStrict || opts.Budget.MaxTreeNodes != 9 {
+		t.Errorf("request overrides lost: budget %+v policy %v", opts.Budget, opts.ConflictPolicy)
+	}
+
+	id, err := c.CreateSession(ctx, CreateSessionRequest{View: "uniform", Seed: 3, ConflictPolicy: "last-wins"})
+	if err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	c.Close(ctx, id)
+}

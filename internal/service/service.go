@@ -82,6 +82,13 @@ type Server struct {
 	// MaxSessionRestarts bounds how many times a panicked session is
 	// rebuilt and replayed before it is quarantined (default 2).
 	MaxSessionRestarts int
+	// DefaultBudget is applied to every session that does not override a
+	// given cap in its creation request. Zero fields are unlimited.
+	DefaultBudget explore.Budget
+	// DefaultConflictPolicy resolves contradictory labels for sessions
+	// whose creation request leaves conflict_policy empty (default
+	// last-wins).
+	DefaultConflictPolicy explore.ConflictPolicy
 
 	// inflight counts requests currently being served, for the
 	// MaxInflight shedding gate.
@@ -219,6 +226,12 @@ type sessionStatus struct {
 	Done          bool    `json:"done"`
 	SQL           string  `json:"sql"`
 	WaitSeconds   float64 `json:"avg_wait_seconds"`
+	// Conflicts summarizes contradictory labels seen so far and how the
+	// session resolved them.
+	Conflicts explore.ConflictStats `json:"conflicts"`
+	// Degradations lists the budget fallbacks applied in the most recent
+	// iteration (empty when the session ran unconstrained).
+	Degradations []string `json:"degradations,omitempty"`
 }
 
 // liveSession is one running exploration.
@@ -321,6 +334,23 @@ type CreateSessionRequest struct {
 	// automatic — AIDE_WORKERS or GOMAXPROCS; 1: sequential). Session
 	// results are identical at every setting.
 	Workers int `json:"workers,omitempty"`
+	// ConflictPolicy resolves contradictory labels for the same tuple:
+	// "last-wins", "majority" or "strict" ("" = server default).
+	ConflictPolicy string `json:"conflict_policy,omitempty"`
+	// MaxLabeledRows caps the session's total labeled rows (0 = server
+	// default; the session idles once the cap is hit).
+	MaxLabeledRows int `json:"max_labeled_rows,omitempty"`
+	// MaxIterationMillis soft-caps one steering iteration's wall time;
+	// the iteration finishes early with a degradation instead of failing.
+	MaxIterationMillis int64 `json:"max_iteration_millis,omitempty"`
+	// MaxSamplesPerIteration hard-caps labels per iteration below
+	// SamplesPerIteration.
+	MaxSamplesPerIteration int `json:"max_samples_per_iteration,omitempty"`
+	// MaxTreeNodes caps the decision-tree classifier's size.
+	MaxTreeNodes int `json:"max_tree_nodes,omitempty"`
+	// MaxMemBytes bounds estimated per-iteration scratch memory;
+	// clustering discovery degrades to grid when it would exceed this.
+	MaxMemBytes int64 `json:"max_mem_bytes,omitempty"`
 }
 
 // CreateSessionResponse is the reply to POST /v1/sessions.
@@ -502,9 +532,11 @@ func (s *Server) dispatchSession(w http.ResponseWriter, r *http.Request, id, act
 }
 
 // optsFromRequest validates and translates the wire-level creation
-// parameters. It is shared by session creation, crash recovery and
-// post-panic rebuild so all three produce the identical configuration.
-func optsFromRequest(req CreateSessionRequest) (explore.Options, error) {
+// parameters, layering server-wide budget and conflict-policy defaults
+// under the request's explicit values. It is shared by session creation,
+// crash recovery and post-panic rebuild so all three produce the
+// identical configuration.
+func (s *Server) optsFromRequest(req CreateSessionRequest) (explore.Options, error) {
 	opts := explore.DefaultOptions()
 	opts.Seed = req.Seed
 	if req.SamplesPerIteration > 0 {
@@ -528,6 +560,30 @@ func optsFromRequest(req CreateSessionRequest) (explore.Options, error) {
 		opts.Discovery = explore.DiscoveryHybrid
 	default:
 		return opts, fmt.Errorf("unknown discovery strategy %q", req.Discovery)
+	}
+	opts.ConflictPolicy = s.DefaultConflictPolicy
+	if req.ConflictPolicy != "" {
+		policy, err := explore.ParseConflictPolicy(req.ConflictPolicy)
+		if err != nil {
+			return opts, err
+		}
+		opts.ConflictPolicy = policy
+	}
+	opts.Budget = s.DefaultBudget
+	if req.MaxLabeledRows != 0 {
+		opts.Budget.MaxLabeledRows = req.MaxLabeledRows
+	}
+	if req.MaxIterationMillis != 0 {
+		opts.Budget.MaxIterationTime = time.Duration(req.MaxIterationMillis) * time.Millisecond
+	}
+	if req.MaxSamplesPerIteration != 0 {
+		opts.Budget.MaxSamplesPerIteration = req.MaxSamplesPerIteration
+	}
+	if req.MaxTreeNodes != 0 {
+		opts.Budget.MaxTreeNodes = req.MaxTreeNodes
+	}
+	if req.MaxMemBytes != 0 {
+		opts.Budget.MaxMemBytes = req.MaxMemBytes
 	}
 	return opts, nil
 }
@@ -590,7 +646,7 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown view %q", req.View))
 		return
 	}
-	opts, err := optsFromRequest(req)
+	opts, err := s.optsFromRequest(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -727,6 +783,8 @@ func (s *Server) runSession(ls *liveSession, sess *explore.Session, view *engine
 			Iteration:     st.Iterations,
 			Done:          done,
 			SQL:           string(payload),
+			Conflicts:     st.Conflicts,
+			Degradations:  st.Degradations,
 		}
 		if res != nil {
 			status.RelevantAreas = res.RelevantAreas
