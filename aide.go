@@ -83,6 +83,14 @@ type (
 	// Query is a disjunction of conjunctive range predicates — AIDE's
 	// final output.
 	Query = engine.Query
+	// ViewRegistry shares immutable views (and their indexes) across
+	// sessions and servers, keyed by data content.
+	ViewRegistry = engine.Registry
+	// Cache is a bounded predicate-result cache attachable to a View;
+	// cached results are bit-identical to uncached ones.
+	Cache = engine.Cache
+	// CacheStats reports a Cache's hit/miss/eviction counters.
+	CacheStats = engine.CacheStats
 )
 
 // Exploration core.
@@ -295,6 +303,19 @@ func NewView(tab *Table, attrs []string) (*View, error) { return engine.NewView(
 func NewViewWorkers(tab *Table, attrs []string, workers int) (*View, error) {
 	return engine.NewViewWorkers(tab, attrs, workers)
 }
+
+// SharedViews is the process-wide view registry: Acquire through it (or
+// through ServiceServer.RegisterTable) and sessions over the same data
+// share one set of covering indexes.
+var SharedViews = engine.SharedViews
+
+// NewViewRegistry creates an empty, independent view registry.
+func NewViewRegistry() *ViewRegistry { return engine.NewRegistry() }
+
+// NewCache creates a predicate-result cache of roughly maxBytes; attach
+// it with View.WithCache. Cached Count/RowsIn results are bit-identical
+// to uncached ones (sampling is never cached).
+func NewCache(maxBytes int64) *Cache { return engine.NewCache(maxBytes) }
 
 // DefaultOptions returns the configuration matching the paper's
 // evaluation setup.

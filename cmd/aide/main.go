@@ -46,6 +46,8 @@ func main() {
 		budgetSamples  = flag.Int("budget-samples-per-iteration", 0, "hard cap on labels per iteration (0 unlimited)")
 		budgetNodes    = flag.Int("budget-tree-nodes", 0, "cap on decision-tree nodes (0 unlimited)")
 		budgetMem      = flag.Int64("budget-mem-bytes", 0, "per-iteration scratch-memory bound; clustering degrades to grid beyond it (0 unlimited)")
+
+		cacheBytes = flag.Int64("cache-bytes", 0, "predicate-result cache budget in bytes (0 disables); results are bit-identical either way")
 	)
 	flag.Parse()
 	level := slog.LevelWarn
@@ -70,13 +72,13 @@ func main() {
 		MaxTreeNodes:           *budgetNodes,
 		MaxMemBytes:            *budgetMem,
 	}
-	if err := run(*kind, *csvPath, *attrs, *rows, *iters, *budget, *seed, *showViz, *state, policy, bud, os.Stdin, os.Stdout); err != nil {
+	if err := run(*kind, *csvPath, *attrs, *rows, *iters, *budget, *seed, *showViz, *state, policy, bud, *cacheBytes, os.Stdin, os.Stdout); err != nil {
 		logger.Error("session failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, showViz bool, statePath string, policy aide.ConflictPolicy, bud aide.Budget, stdin io.Reader, stdout io.Writer) error {
+func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, showViz bool, statePath string, policy aide.ConflictPolicy, bud aide.Budget, cacheBytes int64, stdin io.Reader, stdout io.Writer) error {
 	var tab *aide.Table
 	var err error
 	switch {
@@ -164,6 +166,7 @@ func run(kind, csvPath, attrCSV string, rows, iters, budget int, seed int64, sho
 		opts.SamplesPerIteration = budget
 		opts.ConflictPolicy = policy
 		opts.Budget = bud
+		opts.CacheBytes = cacheBytes
 		var err error
 		session, err = aide.NewSession(view, oracle, opts)
 		if err != nil {

@@ -58,7 +58,7 @@ func TestRunInteractiveSession(t *testing.T) {
 	// final query block without crashing.
 	input := strings.NewReader(strings.Repeat("n\n", 10) + "y\nq\n")
 	var out strings.Builder
-	err := run("sdss", "", "rowc,colc", 3000, 3, 4, 1, true, "", aide.ConflictLastWins, aide.Budget{}, input, &out)
+	err := run("sdss", "", "rowc,colc", 3000, 3, 4, 1, true, "", aide.ConflictLastWins, aide.Budget{}, 0, input, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestRunBudgetedSessionReportsDegradation(t *testing.T) {
 	input := strings.NewReader(strings.Repeat("n\n", 30))
 	var out strings.Builder
 	bud := aide.Budget{MaxLabeledRows: 2}
-	if err := run("sdss", "", "rowc,colc", 3000, 2, 4, 1, false, "", aide.ConflictMajority, bud, input, &out); err != nil {
+	if err := run("sdss", "", "rowc,colc", 3000, 2, 4, 1, false, "", aide.ConflictMajority, bud, 0, input, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "degraded (budget)") {
@@ -85,7 +85,7 @@ func TestRunBudgetedSessionReportsDegradation(t *testing.T) {
 }
 
 func TestRunUnknownDataset(t *testing.T) {
-	err := run("bogus", "", "", 10, 1, 1, 1, false, "", aide.ConflictLastWins, aide.Budget{}, strings.NewReader(""), &strings.Builder{})
+	err := run("bogus", "", "", 10, 1, 1, 1, false, "", aide.ConflictLastWins, aide.Budget{}, 0, strings.NewReader(""), &strings.Builder{})
 	if err == nil {
 		t.Error("unknown dataset should error")
 	}
@@ -104,7 +104,7 @@ func TestRunWithCSV(t *testing.T) {
 	}
 	input := strings.NewReader(strings.Repeat("n\n", 5) + "q\n")
 	var out strings.Builder
-	if err := run("", path, "", 0, 2, 3, 1, false, "", aide.ConflictLastWins, aide.Budget{}, input, &out); err != nil {
+	if err := run("", path, "", 0, 2, 3, 1, false, "", aide.ConflictLastWins, aide.Budget{}, 0, input, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "final predicted query") {
@@ -117,7 +117,7 @@ func TestRunSaveAndResumeState(t *testing.T) {
 	// First run: label a few tuples, then quit; state is saved.
 	in := strings.NewReader("n\nn\ny\nq\n")
 	var out strings.Builder
-	if err := run("sdss", "", "rowc,colc", 2000, 2, 3, 1, false, state, aide.ConflictLastWins, aide.Budget{}, in, &out); err != nil {
+	if err := run("sdss", "", "rowc,colc", 2000, 2, 3, 1, false, state, aide.ConflictLastWins, aide.Budget{}, 0, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "session saved to") {
@@ -126,7 +126,7 @@ func TestRunSaveAndResumeState(t *testing.T) {
 	// Second run resumes and reports the prior labels.
 	in = strings.NewReader("q\n")
 	out.Reset()
-	if err := run("sdss", "", "rowc,colc", 2000, 1, 3, 1, false, state, aide.ConflictLastWins, aide.Budget{}, in, &out); err != nil {
+	if err := run("sdss", "", "rowc,colc", 2000, 1, 3, 1, false, state, aide.ConflictLastWins, aide.Budget{}, 0, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Resumed session from") {

@@ -15,6 +15,15 @@
 //
 //	aidebench -json BENCH_hotpaths.json
 //	aidebench -json - -workers 8 -quick
+//
+// The -throughput flag runs the multi-session compute-reuse benchmark
+// (N concurrent sessions over one registry-shared, cache-backed view vs
+// per-session private views), writes the report tracked as
+// BENCH_throughput.json, and exits nonzero when cached results are not
+// bit-identical to uncached ones or the shared cache never hits:
+//
+//	aidebench -throughput BENCH_throughput.json
+//	aidebench -throughput - -sessions 4 -quick
 package main
 
 import (
@@ -43,6 +52,10 @@ func main() {
 		metrics  = flag.String("metrics", "", "after all runs, dump internal counters as JSON to this file ('-' for stdout)")
 		jsonOut  = flag.String("json", "", "run the hot-path worker-pool benchmark and write its JSON report to this file ('-' for stdout)")
 		workers  = flag.Int("workers", 0, "worker count for the -json benchmark's parallel side (0: AIDE_WORKERS or GOMAXPROCS)")
+
+		throughputOut = flag.String("throughput", "", "run the multi-session compute-reuse benchmark (shared view registry + predicate cache vs per-session views) and write its JSON report to this file ('-' for stdout); exits nonzero when the bit-identity or cache-hit gate fails")
+		cacheBytes    = flag.Int64("cache-bytes", 0, "shared cache budget for -throughput (default 32 MiB)")
+		iters         = flag.Int("iters", 0, "steering iterations per session for -throughput (default 8)")
 	)
 	flag.Parse()
 
@@ -57,12 +70,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aidebench: %v\n", err)
 			os.Exit(1)
 		}
+		if *run == "" && *throughputOut == "" {
+			return
+		}
+	}
+	if *throughputOut != "" {
+		if err := runThroughput(*throughputOut, *sessions, *rows, *iters, *seed, *cacheBytes, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "aidebench: %v\n", err)
+			os.Exit(1)
+		}
 		if *run == "" {
 			return
 		}
 	}
 	if *run == "" {
-		fmt.Fprintln(os.Stderr, "usage: aidebench -run <id>[,<id>...] | -run all | -json <path> | -list")
+		fmt.Fprintln(os.Stderr, "usage: aidebench -run <id>[,<id>...] | -run all | -json <path> | -throughput <path> | -list")
 		os.Exit(2)
 	}
 
@@ -146,6 +168,55 @@ func runHotpaths(path string, workers, rows int, seed int64, quick bool) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runThroughput measures N concurrent sessions over a registry-shared
+// cached view against per-session views, writes the JSON report (see
+// BENCH_throughput.json), and fails when the bit-identity or cache-hit
+// gate trips.
+func runThroughput(path string, sessions, rows, iters int, seed, cacheBytes int64, quick bool) error {
+	cfg := bench.DefaultThroughputConfig()
+	if quick {
+		cfg.Rows, cfg.Iterations = 40_000, 8
+	}
+	if sessions > 0 {
+		cfg.Sessions = sessions
+	}
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	if iters > 0 {
+		cfg.Iterations = iters
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if cacheBytes > 0 {
+		cfg.CacheBytes = cacheBytes
+	}
+	rep, err := bench.RunThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, rep.String())
+	if path == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return rep.Gate()
 }
 
 // dumpMetrics writes the cumulative internal counters (engine work,

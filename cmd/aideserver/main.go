@@ -46,7 +46,6 @@ import (
 
 	"github.com/explore-by-example/aide/internal/dataset"
 	"github.com/explore-by-example/aide/internal/durable"
-	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/explore"
 	"github.com/explore-by-example/aide/internal/obs"
 	"github.com/explore-by-example/aide/internal/service"
@@ -90,6 +89,8 @@ func main() {
 		maxBodyBytes      = flag.Int64("max-body-bytes", 1<<20, "largest accepted request body")
 		addrFile          = flag.String("addr-file", "", "write the bound listen address to this file (useful with -listen :0)")
 
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "shared predicate-result cache budget per view, in bytes (0 disables); cached results are bit-identical to uncached ones")
+
 		conflictPolicy = flag.String("conflict-policy", "last-wins", "default resolution of contradictory labels: last-wins, majority or strict (sessions may override)")
 		budgetRows     = flag.Int("budget-labeled-rows", 0, "default cap on labeled rows per session (0 unlimited)")
 		budgetIterTime = flag.Duration("budget-iteration-time", 0, "default soft cap on one steering iteration's wall time (0 unlimited)")
@@ -114,21 +115,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	views := map[string]*engine.View{}
+	// Views are acquired through the shared registry: identical data
+	// registered twice (here or by another server in-process) shares one
+	// set of covering indexes, and -cache-bytes attaches a predicate
+	// result cache shared by every session over the view.
+	srv := service.NewServer(nil)
+	srv.CacheBytes = *cacheBytes
+	defer srv.Close()
 	if *sdssRows > 0 {
-		v, err := engine.NewView(dataset.GenerateSDSS(*sdssRows, *seed), splitAttrs(*attrs))
-		if err != nil {
+		tab := dataset.GenerateSDSS(*sdssRows, *seed)
+		if err := srv.RegisterTable("sdss", tab, splitAttrs(*attrs), 0); err != nil {
 			fatal("building sdss view", "err", err)
 		}
-		views["sdss"] = v
 	}
 	if *auctionRows > 0 {
 		tab := dataset.GenerateAuction(*auctionRows, *seed)
-		v, err := engine.NewView(tab, []string{"current_price", "num_bids"})
-		if err != nil {
+		if err := srv.RegisterTable("auction", tab, []string{"current_price", "num_bids"}, 0); err != nil {
 			fatal("building auction view", "err", err)
 		}
-		views["auction"] = v
 	}
 	for name, path := range csvs {
 		f, err := os.Open(path)
@@ -140,17 +144,14 @@ func main() {
 		if err != nil {
 			fatal("reading csv", "path", path, "err", err)
 		}
-		v, err := engine.NewView(tab, tab.Schema().Names())
-		if err != nil {
+		if err := srv.RegisterTable(name, tab, tab.Schema().Names(), 0); err != nil {
 			fatal("building csv view", "name", name, "err", err)
 		}
-		views[name] = v
 	}
-	if len(views) == 0 {
+	if len(srv.Views()) == 0 {
 		fatal("no views configured (use -sdss, -auction or -csv)")
 	}
 
-	srv := service.NewServer(views)
 	srv.SessionTTL = *sessionTTL
 	srv.SnapshotEvery = *snapshotEvery
 	srv.MaxInflight = *maxInflight

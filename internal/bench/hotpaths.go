@@ -58,6 +58,13 @@ type HotpathResult struct {
 	NsPerOpWorkersN int64 `json:"ns_per_op_workers_n"`
 	// Speedup is NsPerOpWorkers1 / NsPerOpWorkersN.
 	Speedup float64 `json:"speedup"`
+	// BytesPerOpWorkers1/N and AllocsPerOpWorkers1/N track heap traffic
+	// per op (testing.B AllocedBytesPerOp-style), so allocation
+	// regressions on the hot paths are as visible as time regressions.
+	BytesPerOpWorkers1  int64 `json:"bytes_per_op_workers_1"`
+	BytesPerOpWorkersN  int64 `json:"bytes_per_op_workers_n"`
+	AllocsPerOpWorkers1 int64 `json:"allocs_per_op_workers_1"`
+	AllocsPerOpWorkersN int64 `json:"allocs_per_op_workers_n"`
 	// Identical reports that the parallel output matched the sequential
 	// output exactly — the determinism gate the speedup rides on.
 	Identical bool `json:"identical"`
@@ -84,27 +91,46 @@ func (r *HotpathReport) WriteJSON(w io.Writer) error {
 // String renders a human-readable summary table.
 func (r *HotpathReport) String() string {
 	s := fmt.Sprintf("hotpaths: GOMAXPROCS=%d workers=%d rows=%d\n", r.GOMAXPROCS, r.Workers, r.Rows)
-	s += fmt.Sprintf("%-16s %14s %14s %8s %10s\n", "kernel", "w=1 ns/op", "w=N ns/op", "speedup", "identical")
+	s += fmt.Sprintf("%-16s %14s %14s %8s %12s %12s %10s\n",
+		"kernel", "w=1 ns/op", "w=N ns/op", "speedup", "w=N B/op", "w=N allocs", "identical")
 	for _, b := range r.Results {
-		s += fmt.Sprintf("%-16s %14d %14d %7.2fx %10v\n",
-			b.Name, b.NsPerOpWorkers1, b.NsPerOpWorkersN, b.Speedup, b.Identical)
+		s += fmt.Sprintf("%-16s %14d %14d %7.2fx %12d %12d %10v\n",
+			b.Name, b.NsPerOpWorkers1, b.NsPerOpWorkersN, b.Speedup,
+			b.BytesPerOpWorkersN, b.AllocsPerOpWorkersN, b.Identical)
 	}
 	return s
 }
 
+// measurement is one timed pass's per-op cost.
+type measurement struct {
+	nsPerOp     int64
+	bytesPerOp  int64
+	allocsPerOp int64
+}
+
 // measure times op: one warmup call, then repeated timing passes until
-// minTime has elapsed, returning ns/op over the measured passes.
-func measure(minTime time.Duration, op func()) int64 {
+// minTime has elapsed, returning per-op time and heap traffic over the
+// measured passes (ReadMemStats deltas, the same counters -benchmem
+// reports).
+func measure(minTime time.Duration, op func()) measurement {
 	op() // warmup
 	var elapsed time.Duration
 	reps := 0
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	for elapsed < minTime {
 		start := time.Now()
 		op()
 		elapsed += time.Since(start)
 		reps++
 	}
-	return elapsed.Nanoseconds() / int64(reps)
+	runtime.ReadMemStats(&after)
+	n := int64(reps)
+	return measurement{
+		nsPerOp:     elapsed.Nanoseconds() / n,
+		bytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		allocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+	}
 }
 
 // RunHotpaths benchmarks the four parallelized hot paths — CART training,
@@ -205,17 +231,21 @@ func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
 	return rep, nil
 }
 
-func hotpathResult(name string, seqNs, parNs int64, identical bool) HotpathResult {
+func hotpathResult(name string, seq, parl measurement, identical bool) HotpathResult {
 	speedup := 0.0
-	if parNs > 0 {
-		speedup = float64(seqNs) / float64(parNs)
+	if parl.nsPerOp > 0 {
+		speedup = float64(seq.nsPerOp) / float64(parl.nsPerOp)
 	}
 	return HotpathResult{
-		Name:            name,
-		NsPerOpWorkers1: seqNs,
-		NsPerOpWorkersN: parNs,
-		Speedup:         speedup,
-		Identical:       identical,
+		Name:                name,
+		NsPerOpWorkers1:     seq.nsPerOp,
+		NsPerOpWorkersN:     parl.nsPerOp,
+		Speedup:             speedup,
+		BytesPerOpWorkers1:  seq.bytesPerOp,
+		BytesPerOpWorkersN:  parl.bytesPerOp,
+		AllocsPerOpWorkers1: seq.allocsPerOp,
+		AllocsPerOpWorkersN: parl.allocsPerOp,
+		Identical:           identical,
 	}
 }
 

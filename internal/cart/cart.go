@@ -111,6 +111,7 @@ type Tree struct {
 	// unweighted integer-arithmetic path).
 	scratch [][]keyedIndex
 	dimBest []splitResult
+	part    []int // right-side buffer for build's in-place partition
 	ctx     context.Context
 	weights []float64
 }
@@ -164,9 +165,10 @@ func train(ctx context.Context, points []geom.Point, labels []bool, weights []fl
 	chunks := par.ChunkCount(params.Workers, d, 1)
 	t.scratch = make([][]keyedIndex, chunks)
 	t.dimBest = make([]splitResult, d)
+	t.part = make([]int, 0, len(points))
 	t.nodes = 1 // the root; each split commits two more
 	t.root = t.build(points, labels, idx, 0)
-	t.scratch, t.dimBest, t.weights = nil, nil, nil
+	t.scratch, t.dimBest, t.part, t.weights = nil, nil, nil, nil
 	if t.ctx != nil {
 		if err := t.ctx.Err(); err != nil {
 			t.ctx = nil
@@ -231,14 +233,25 @@ func (t *Tree) build(points []geom.Point, labels []bool, idx []int, depth int) *
 	if dim < 0 || gain < t.params.MinGain {
 		return nd
 	}
-	var left, right []int
+	// Partition idx in place around the split, preserving relative order
+	// on both sides (left as a prefix, right as a suffix) exactly as the
+	// old left/right append loops did. t.part buffers the right side; its
+	// contents are dead before the recursive calls below, so one per-tree
+	// buffer serves every node with zero per-node allocation. Permuting
+	// idx is safe even when the split is then rejected: callers never
+	// re-read their index slice after passing it down.
+	k := 0
+	t.part = t.part[:0]
 	for _, i := range idx {
 		if points[i][dim] <= thr {
-			left = append(left, i)
+			idx[k] = i
+			k++
 		} else {
-			right = append(right, i)
+			t.part = append(t.part, i)
 		}
 	}
+	copy(idx[k:], t.part)
+	left, right := idx[:k], idx[k:]
 	if len(left) < t.params.MinLeaf || len(right) < t.params.MinLeaf {
 		return nd
 	}
@@ -290,7 +303,11 @@ func (t *Tree) bestSplit(points []geom.Point, labels []bool, idx []int) (bestDim
 	}
 	parent := gini(nPos, n)
 
-	par.For(kernelSplit, t.params.Workers, t.dims, 1, func(chunk, lo, hi int) {
+	// Work hint: the sweep sorts len(idx) pairs per dimension, so total
+	// cost scales with dims × len(idx). Deep nodes with a handful of
+	// samples run inline instead of paying chunk handoff — the fix for the
+	// chunked path being a net slowdown on small subtrees.
+	par.ForWork(kernelSplit, t.params.Workers, t.dims, 1, t.dims*len(idx), func(chunk, lo, hi int) {
 		for d := lo; d < hi; d++ {
 			t.dimBest[d] = bestSplitDim(points, labels, idx, d, parent, nPos, &t.scratch[chunk])
 		}

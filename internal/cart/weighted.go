@@ -56,7 +56,9 @@ func (t *Tree) bestSplitWeighted(points []geom.Point, labels []bool, idx []int) 
 	}
 	parent := giniW(wPos, wTot)
 
-	par.For(kernelSplit, t.params.Workers, t.dims, 1, func(chunk, lo, hi int) {
+	// Same work hint as the unweighted path: sub-threshold nodes sweep
+	// inline instead of paying chunk handoff.
+	par.ForWork(kernelSplit, t.params.Workers, t.dims, 1, t.dims*len(idx), func(chunk, lo, hi int) {
 		for d := lo; d < hi; d++ {
 			t.dimBest[d] = bestSplitDimWeighted(points, labels, t.weights, idx, d, parent, wPos, wTot, &t.scratch[chunk])
 		}

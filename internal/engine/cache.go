@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// Process-wide cache metrics, aggregated across every Cache instance so
+// /v1/metrics reflects total reuse regardless of how many caches exist.
+// Per-cache numbers come from Cache.Stats.
+var (
+	obsCacheHits      = obs.GetCounter("engine.cache.hits")
+	obsCacheMisses    = obs.GetCounter("engine.cache.misses")
+	obsCacheEvictions = obs.GetCounter("engine.cache.evictions")
+)
+
+const (
+	// cacheShardCount spreads the LRU over independently locked shards so
+	// concurrent sessions over one shared view don't serialize on a single
+	// mutex. Sharding is by rect hash, so a given rect always lands in the
+	// same shard.
+	cacheShardCount = 16
+
+	// cacheQuantum is the grid rect endpoints snap to for HASHING ONLY:
+	// near-identical floats land in the same bucket, where the exact
+	// (bit-level) rect comparison decides whether the cached result
+	// applies. Quantization never changes what a lookup returns — that
+	// would break the cached-vs-uncached bit-identity guarantee — it only
+	// co-locates near-misses so they overwrite each other instead of
+	// piling up.
+	cacheQuantum = 1e-6
+
+	// minCacheBytes floors the budget so a Cache is never too small to
+	// hold a single typical entry.
+	minCacheBytes = 1 << 16
+)
+
+type cacheKind uint8
+
+const (
+	kindCount cacheKind = iota
+	kindRows
+)
+
+// cacheKey is the bucket address of one memoized result: the result kind
+// plus the quantized rect hash. Two distinct rects may share a key
+// (quantization or plain hash collision); the entry's exact rect
+// disambiguates at lookup.
+type cacheKey struct {
+	kind cacheKind
+	hash uint64
+}
+
+// cacheEntry is one memoized result. rect is a private clone compared
+// bit-for-bit on lookup; rows is a private copy, copied again on every
+// hit, because RowsIn callers may mutate the returned slice.
+type cacheEntry struct {
+	key   cacheKey
+	rect  geom.Rect
+	count int
+	rows  []int
+	size  int64
+}
+
+// entrySize approximates an entry's memory footprint for the byte
+// budget: struct + list element overhead, interval endpoints, row ids.
+func entrySize(rect geom.Rect, rows []int) int64 {
+	return 128 + int64(len(rect))*16 + int64(len(rows))*8
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used
+	table map[cacheKey]*list.Element
+	bytes int64
+}
+
+// Cache is a bounded, sharded LRU memoizing Count and RowsIn results on
+// immutable views. Because views never change after construction, a
+// cached result is exactly the result a fresh scan would produce, so
+// cached and uncached runs are bit-identical — pinned by equivalence
+// tests. RNG-driven queries (SampleRect and friends) are never cached:
+// their results depend on the caller's rng state, not just the rect.
+//
+// A Cache is safe for concurrent use and may back any number of views
+// (attach with View.WithCache); sharing one Cache across all sessions
+// over a dataset is what turns AIDE's heavily overlapping steering
+// queries — grid-cell density counts during discovery, repeated
+// evaluation scans — into cross-session cache hits.
+type Cache struct {
+	shardMax int64 // per-shard byte budget
+	shards   [cacheShardCount]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's counters and
+// occupancy.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewCache returns a cache bounded to roughly maxBytes of memoized
+// results (floored to a usable minimum). The budget is split evenly
+// across shards; eviction is LRU per shard.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes < minCacheBytes {
+		maxBytes = minCacheBytes
+	}
+	c := &Cache{shardMax: maxBytes / cacheShardCount}
+	if c.shardMax < 1 {
+		c.shardMax = 1
+	}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].table = make(map[cacheKey]*list.Element)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the cache's counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	s := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		MaxBytes:  c.shardMax * cacheShardCount,
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += sh.lru.Len()
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// quantBits maps one rect endpoint into the hash domain: finite values
+// snap to the cacheQuantum grid; non-finite or astronomically large
+// values (which the grid cannot represent) hash their raw bits instead.
+func quantBits(x float64) uint64 {
+	if math.IsNaN(x) || math.Abs(x) > 1e15 {
+		return math.Float64bits(x)
+	}
+	return uint64(int64(math.Round(x / cacheQuantum)))
+}
+
+// rectHash is FNV-1a over the kind, dimensionality and quantized
+// endpoints of rect.
+func rectHash(kind cacheKind, rect geom.Rect) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= 1099511628211
+			u >>= 8
+		}
+	}
+	mix(uint64(kind)<<32 | uint64(len(rect)))
+	for _, iv := range rect {
+		mix(quantBits(iv.Lo))
+		mix(quantBits(iv.Hi))
+	}
+	return h
+}
+
+// rectEqual reports exact floating-point equality of two rects — the
+// lookup predicate that keeps cached results bit-identical to fresh
+// scans. (-0 == 0 compares equal, which is correct: the two produce
+// identical scan results.)
+func rectEqual(a, b geom.Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Lo != b[i].Lo || a[i].Hi != b[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the memoized entry for (kind, rect), if any. The returned
+// entry is immutable; callers must copy rows before handing them out.
+func (c *Cache) get(kind cacheKind, rect geom.Rect) (*cacheEntry, bool) {
+	key := cacheKey{kind: kind, hash: rectHash(kind, rect)}
+	s := &c.shards[key.hash%cacheShardCount]
+	s.mu.Lock()
+	if el, ok := s.table[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if rectEqual(e.rect, rect) {
+			s.lru.MoveToFront(el)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			obsCacheHits.Inc()
+			return e, true
+		}
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	obsCacheMisses.Inc()
+	return nil, false
+}
+
+// put memoizes a result, cloning rect and copying rows so the entry
+// shares no memory with the caller. Inserting past the shard budget
+// evicts LRU entries (possibly including the new one, when a single
+// result exceeds the whole budget).
+func (c *Cache) put(kind cacheKind, rect geom.Rect, count int, rows []int) {
+	e := &cacheEntry{
+		key:   cacheKey{kind: kind, hash: rectHash(kind, rect)},
+		rect:  rect.Clone(),
+		count: count,
+		size:  entrySize(rect, rows),
+	}
+	if rows != nil {
+		e.rows = make([]int, len(rows))
+		copy(e.rows, rows)
+	}
+	s := &c.shards[e.key.hash%cacheShardCount]
+	s.mu.Lock()
+	if el, ok := s.table[e.key]; ok {
+		// Same bucket: refresh (same rect) or overwrite (quantized
+		// near-miss/collision) — either way the old entry goes.
+		old := el.Value.(*cacheEntry)
+		s.bytes -= old.size
+		el.Value = e
+		s.bytes += e.size
+		s.lru.MoveToFront(el)
+	} else {
+		s.table[e.key] = s.lru.PushFront(e)
+		s.bytes += e.size
+	}
+	evicted := int64(0)
+	for s.bytes > c.shardMax {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		be := back.Value.(*cacheEntry)
+		s.lru.Remove(back)
+		delete(s.table, be.key)
+		s.bytes -= be.size
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+		obsCacheEvictions.Add(evicted)
+	}
+}
+
+// WithCache returns a view sharing this view's table, indexes and stats
+// whose Count and RowsIn results are memoized in c. Attach one Cache to
+// the shared view of a dataset and every session over it reuses each
+// other's scans; results are bit-identical to the uncached view. A nil
+// c disables caching.
+func (v *View) WithCache(c *Cache) *View {
+	cp := *v
+	cp.cache = c
+	return &cp
+}
+
+// Cache returns the cache attached to this view, or nil.
+func (v *View) Cache() *Cache { return v.cache }

@@ -58,8 +58,19 @@ type View struct {
 	grid    *gridIndex
 	sorted  [][]int32 // per-dimension row ids in ascending value order
 	stats   *Stats
+	fp      string          // content fingerprint, set at build (fingerprint.go)
+	cache   *Cache          // memoized Count/RowsIn results; nil = uncached
+	buf     *scanBuf        // single-owner scan scratch; nil on shared views
 	workers int             // scan worker knob: 0 auto, 1 sequential
 	ctx     context.Context // scan cancellation; nil = never cancelled
+}
+
+// scanBuf is per-owner scratch reused across grid scans. A view carrying
+// one must be confined to a single goroutine (each exploration session
+// wraps the shared view with its own via WithScanBuffer); the base
+// shared view carries none and stays safe for concurrent readers.
+type scanBuf struct {
+	blocks []cellBlock
 }
 
 // Parallel scan kernels. minScanBlocks is the smallest number of grid
@@ -94,6 +105,7 @@ func NewViewWorkers(tab *dataset.Table, attrs []string, workers int) (*View, err
 		return nil, err
 	}
 	v := &View{tab: tab, cols: cols, norm: norm, stats: &Stats{}, workers: workers}
+	v.fp = viewFingerprint(tab, attrs)
 	rows := tab.NumRows()
 	v.ncols = make([][]float64, len(cols))
 	v.sorted = make([][]int32, len(cols))
@@ -144,6 +156,28 @@ func (v *View) WithContext(ctx context.Context) *View {
 	}
 	c.ctx = ctx
 	return &c
+}
+
+// WithScanBuffer returns a view sharing this view's table, indexes and
+// stats that reuses a private scratch buffer across grid scans instead
+// of allocating a fresh cell list per query. The returned view must be
+// confined to one goroutine (sessions are); the receiver is unchanged
+// and stays safe for concurrent readers.
+func (v *View) WithScanBuffer() *View {
+	c := *v
+	c.buf = &scanBuf{}
+	return &c
+}
+
+// collect returns the cell blocks overlapping rect, reusing the view's
+// scan buffer when it has one. The returned slice is valid until the
+// owner's next query.
+func (v *View) collect(rect geom.Rect) []cellBlock {
+	if v.buf == nil {
+		return v.grid.collectCells(rect, nil)
+	}
+	v.buf.blocks = v.grid.collectCells(rect, v.buf.blocks)
+	return v.buf.blocks
 }
 
 // scanCtx returns the view's cancellation context (Background when
@@ -303,6 +337,8 @@ func (v *View) MatchesAny(rects []geom.Rect, row int) bool {
 // Count returns the number of rows inside rect (normalized space). Cells
 // fully contained in rect contribute len(rows) directly — no per-row
 // verification or callback — and cell chunks are counted in parallel.
+// With a cache attached (WithCache), repeated rects return the memoized
+// count — bit-identical to a fresh scan, since the view is immutable.
 func (v *View) Count(rect geom.Rect) int {
 	defer observeQuery(time.Now())
 	faultinject.Latency("engine.scan")
@@ -312,10 +348,15 @@ func (v *View) Count(rect geom.Rect) int {
 		obsInvalidRects.Inc()
 		return 0
 	}
+	if v.cache != nil {
+		if e, ok := v.cache.get(kindCount, rect); ok {
+			return e.count
+		}
+	}
 	obsPathGrid.Inc()
-	blocks := v.grid.collectCells(rect)
+	blocks := v.collect(rect)
 	type counts struct{ matched, examined int64 }
-	parts, _ := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) counts {
+	parts, err := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) counts {
 		var c counts
 		for _, b := range blocks[lo:hi] {
 			c.examined += int64(len(b.rows))
@@ -338,6 +379,11 @@ func (v *View) Count(rect geom.Rect) int {
 	}
 	v.stats.RowsExamined.Add(total.examined)
 	obsRowsExamined.Add(total.examined)
+	if v.cache != nil && err == nil {
+		// Never memoize a cancelled scan: its partial result is garbage by
+		// contract, and a poisoned entry would outlive the cancellation.
+		v.cache.put(kindCount, rect, int(total.matched), nil)
+	}
 	return int(total.matched)
 }
 
@@ -345,7 +391,8 @@ func (v *View) Count(rect geom.Rect) int {
 // unspecified but deterministic: grid cells in row-major order, rows
 // ascending within each cell, independent of the worker count (cell
 // chunks are scanned in parallel into per-chunk buffers concatenated in
-// cell order).
+// cell order). With a cache attached (WithCache), repeated rects return
+// a copy of the memoized rows in that same order.
 func (v *View) RowsIn(rect geom.Rect) []int {
 	defer observeQuery(time.Now())
 	faultinject.Latency("engine.scan")
@@ -355,13 +402,25 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 		obsInvalidRects.Inc()
 		return nil
 	}
+	if v.cache != nil {
+		if e, ok := v.cache.get(kindRows, rect); ok {
+			if e.rows == nil {
+				return nil
+			}
+			// Callers may mutate the returned slice, so every hit hands out
+			// a private copy.
+			out := make([]int, len(e.rows))
+			copy(out, e.rows)
+			return out
+		}
+	}
 	obsPathGrid.Inc()
-	blocks := v.grid.collectCells(rect)
+	blocks := v.collect(rect)
 	type chunkRows struct {
 		rows     []int
 		examined int64
 	}
-	parts, _ := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkRows {
+	parts, err := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkRows {
 		var c chunkRows
 		for _, b := range blocks[lo:hi] {
 			c.examined += int64(len(b.rows))
@@ -388,11 +447,19 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 	v.stats.RowsExamined.Add(examined)
 	obsRowsExamined.Add(examined)
 	if n == 0 {
+		if v.cache != nil && err == nil {
+			v.cache.put(kindRows, rect, 0, nil)
+		}
 		return nil
 	}
 	out := make([]int, 0, n)
 	for _, c := range parts {
 		out = append(out, c.rows...)
+	}
+	if v.cache != nil && err == nil {
+		// The cache stores its own copy (see Cache.put): never a cancelled
+		// scan's garbage, never memory the caller can mutate.
+		v.cache.put(kindRows, rect, len(out), out)
 	}
 	return out
 }
@@ -570,9 +637,10 @@ type cellBlock struct {
 
 // collectCells returns the non-empty cells overlapping rect in row-major
 // (odometer) order — the deterministic work list the parallel scans
-// chunk over.
-func (g *gridIndex) collectCells(rect geom.Rect) []cellBlock {
-	var out []cellBlock
+// chunk over. buf, when non-nil, is reused as the backing array (its
+// contents are overwritten); pass nil to allocate fresh.
+func (g *gridIndex) collectCells(rect geom.Rect, buf []cellBlock) []cellBlock {
+	out := buf[:0]
 	g.visitCells(rect, func(rows []int32, full bool) bool {
 		out = append(out, cellBlock{rows: rows, full: full})
 		return true

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+)
+
+// TableFingerprint returns a cheap content hash identifying a table: its
+// name, schema (column names and domains), row count, and the values of
+// the first and last rows. It is O(columns), not O(rows) — enough to
+// tell "same dataset" from "different dataset" for registry keying and
+// WAL-recovery sanity checks, not a cryptographic digest. Tables with
+// equal fingerprints are treated as interchangeable by the view
+// registry.
+func TableFingerprint(tab *dataset.Table) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w64 := func(u uint64) {
+		binary.LittleEndian.PutUint64(b[:], u)
+		h.Write(b[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	io.WriteString(h, tab.Name())
+	h.Write([]byte{0})
+	for _, col := range tab.Schema() {
+		io.WriteString(h, col.Name)
+		h.Write([]byte{0})
+		wf(col.Min)
+		wf(col.Max)
+	}
+	n := tab.NumRows()
+	w64(uint64(n))
+	if n > 0 {
+		for _, v := range tab.Row(0) {
+			wf(v)
+		}
+		for _, v := range tab.Row(n - 1) {
+			wf(v)
+		}
+	}
+	return h.Sum64()
+}
+
+// viewFingerprint combines the table fingerprint with the ordered
+// exploration attributes: two views agree iff they project the same data
+// onto the same attributes.
+func viewFingerprint(tab *dataset.Table, attrs []string) string {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], TableFingerprint(tab))
+	h.Write(b[:])
+	for _, a := range attrs {
+		io.WriteString(h, a)
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("aide-fp1-%016x", h.Sum64())
+}
+
+// Fingerprint returns a stable content hash of the view: table identity
+// (name, schema, row count, first/last rows) plus the ordered
+// exploration attributes. The service writes it into each session's WAL
+// create record and asserts it on recovery, so a resurrected session
+// never silently binds to a different dataset; the view registry keys
+// shared views by the same table hash. Worker knobs, contexts, caches
+// and scan buffers do not affect the fingerprint.
+func (v *View) Fingerprint() string { return v.fp }

@@ -65,7 +65,7 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 	// Cell chunks are verified in parallel; per-chunk results concatenate
 	// in cell order, so the candidate layout — and therefore the sampled
 	// rows for a given rng state — is identical at every worker count.
-	blocks := v.grid.collectCells(rect)
+	blocks := v.collect(rect)
 	type chunkCand struct {
 		full     [][]int32 // verified-by-construction candidate blocks
 		partial  []int     // verified matching rows from boundary cells

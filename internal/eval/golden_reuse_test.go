@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/explore"
+)
+
+// TestGoldenBitIdentityWithReuse replays the three pinned golden
+// sessions of TestGoldenBitIdentity over the compute-reuse stack —
+// registry-shared views carrying a shared predicate-result cache, two
+// of them sharing one view and one cache — and requires the exact same
+// byte-for-byte SQL. This is the contract the cache and registry rest
+// on: memoization and sharing may change where a Count/RowsIn answer
+// comes from, never what it is.
+func TestGoldenBitIdentityWithReuse(t *testing.T) {
+	registry := engine.NewRegistry()
+	cache := engine.NewCache(16 << 20)
+
+	sdss := dataset.GenerateSDSS(20000, 7)
+	v1, err := registry.Acquire(sdss, []string{"rowc", "colc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer registry.Release(v1)
+	t1, err := GenerateTarget(v1, TargetSpec{NumAreas: 2, Size: Large}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := dataset.GenerateUniform(10000, 2, 3)
+	v2, err := registry.Acquire(uni, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer registry.Release(v2)
+	t2, err := GenerateTarget(v2, TargetSpec{NumAreas: 1, Size: Large}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name      string
+		view      *engine.View
+		target    Target
+		seed      int64
+		discovery explore.DiscoveryStrategy
+		maxIter   int
+		wantSQL   string
+	}{
+		{
+			name: "sdss-grid", view: v1, target: t1, seed: 42,
+			discovery: explore.DiscoveryGrid, maxIter: 40,
+			wantSQL: `SELECT * FROM PhotoObjAll WHERE (rowc >= 155.75593 AND rowc <= 237.073233 AND colc >= 1738.670318 AND colc <= 2048) OR (rowc >= 1112.251242 AND rowc <= 1221.56503 AND colc >= 1065.286244 AND colc <= 1239.969774);`,
+		},
+		{
+			name: "uni-cluster", view: v2, target: t2, seed: 9,
+			discovery: explore.DiscoveryClustering, maxIter: 40,
+			wantSQL: `SELECT * FROM uniform WHERE (a0 >= 47.484197 AND a0 <= 55.360533 AND a1 >= 54.483519 AND a1 <= 63.225439);`,
+		},
+		{
+			name: "sdss-hybrid", view: v1, target: t1, seed: 5,
+			discovery: explore.DiscoveryHybrid, maxIter: 30,
+			wantSQL: `SELECT * FROM PhotoObjAll WHERE (rowc >= 1109.266226 AND rowc <= 1218.146335 AND colc >= 1067.401043 AND colc <= 1239.421102) OR (rowc >= 0 AND rowc <= 277.633617 AND colc >= 1720.227043 AND colc <= 1854.032457);`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := explore.DefaultOptions()
+			opts.Seed = tc.seed
+			opts.Discovery = tc.discovery
+			labeled, sql, _ := runGolden(t, tc.view.WithCache(cache), tc.target, opts, tc.maxIter)
+			if labeled != 400 {
+				t.Errorf("labeled = %d, want 400", labeled)
+			}
+			if sql != tc.wantSQL {
+				t.Errorf("cached+shared session diverged from golden capture\n got: %s\nwant: %s", sql, tc.wantSQL)
+			}
+		})
+	}
+	// The first session again, now against a warm cache: its probes are
+	// answered from memo entries and the output is still golden.
+	opts := explore.DefaultOptions()
+	opts.Seed = 42
+	opts.Discovery = explore.DiscoveryGrid
+	if _, sql, _ := runGolden(t, v1.WithCache(cache), t1, opts, 40); sql != cases[0].wantSQL {
+		t.Errorf("warm-cache rerun diverged:\n got: %s\nwant: %s", sql, cases[0].wantSQL)
+	}
+	if s := cache.Stats(); s.Hits == 0 {
+		t.Errorf("replaying a session against a warm shared cache produced no hits: %+v", s)
+	}
+}

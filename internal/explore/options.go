@@ -194,6 +194,15 @@ type Options struct {
 	// independent of the worker count, so sessions with equal seeds stay
 	// identical at any Workers setting.
 	Workers int
+
+	// CacheBytes, when positive, attaches a session-private predicate
+	// result cache of roughly this many bytes to the view (memoizing
+	// Count/RowsIn; see engine.Cache) — unless the view already carries a
+	// shared cache, which then wins so cross-session reuse is preserved.
+	// Cached sessions are bit-identical to uncached ones; the knob trades
+	// memory for repeated-scan latency only. Zero disables; negative is
+	// rejected.
+	CacheBytes int64
 }
 
 // DefaultOptions returns the configuration matching the paper's
@@ -271,6 +280,9 @@ func (o *Options) validate(dims int) error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("explore: Workers = %d", o.Workers)
+	}
+	if o.CacheBytes < 0 {
+		return fmt.Errorf("explore: CacheBytes = %d", o.CacheBytes)
 	}
 	if o.ConflictPolicy < 0 || o.ConflictPolicy >= numConflictPolicies {
 		return fmt.Errorf("explore: ConflictPolicy = %d", int(o.ConflictPolicy))

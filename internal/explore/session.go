@@ -117,6 +117,15 @@ func NewSession(view *engine.View, oracle Oracle, opts Options) (*Session, error
 		// without touching the (possibly shared) underlying view.
 		view = view.WithWorkers(opts.Workers)
 	}
+	if opts.CacheBytes > 0 && view.Cache() == nil {
+		// Session-private predicate result cache; a shared cache already on
+		// the view wins, keeping cross-session reuse.
+		view = view.WithCache(engine.NewCache(opts.CacheBytes))
+	}
+	// Sessions are single-goroutine, so the session's view copy gets a
+	// private scan scratch buffer; the underlying shared view (and any
+	// other session's copy) is untouched.
+	view = view.WithScanBuffer()
 	s := &Session{
 		view:    view,
 		oracle:  oracle,

@@ -186,6 +186,14 @@ func ClusterCtx(ctx context.Context, points []geom.Point, params Params, rng *ra
 	assign := make([]int, len(points))
 	sizes := make([]int, k)
 
+	// Double-buffered centroid set: sums accumulate into next (never the
+	// buffer cents currently aliases) and the two swap at the end of each
+	// iteration, so Lloyd's loop allocates nothing per iteration.
+	next := make([]geom.Point, k)
+	for c := range next {
+		next[c] = make(geom.Point, d)
+	}
+
 	iters := 0
 	for iters < params.MaxIters {
 		if err := ctx.Err(); err != nil {
@@ -203,9 +211,8 @@ func ClusterCtx(ctx context.Context, points []geom.Point, params Params, rng *ra
 			sizes[a]++
 		}
 		// Update step.
-		next := make([]geom.Point, k)
 		for c := range next {
-			next[c] = make(geom.Point, d)
+			clear(next[c])
 		}
 		for i, p := range points {
 			c := next[assign[i]]
@@ -218,7 +225,7 @@ func ClusterCtx(ctx context.Context, points []geom.Point, params Params, rng *ra
 			if sizes[c] == 0 {
 				// Re-seed an empty cluster at the farthest point from its
 				// old centroid to keep k stable.
-				next[c] = farthestPoint(points, cents).Clone()
+				copy(next[c], farthestPoint(points, cents))
 				sizes[c] = 0
 				moved = math.Inf(1)
 				continue
@@ -228,7 +235,7 @@ func ClusterCtx(ctx context.Context, points []geom.Point, params Params, rng *ra
 			}
 			moved += math.Sqrt(sqDist(cents[c], next[c]))
 		}
-		cents = next
+		cents, next = next, cents
 		if moved < params.Tol {
 			break
 		}
@@ -253,7 +260,11 @@ func ClusterCtx(ctx context.Context, points []geom.Point, params Params, rng *ra
 // points across the worker pool. Writes are disjoint per point, so the
 // result is independent of the worker count.
 func assignNearest(points, cents []geom.Point, workers int, assign []int, dists []float64) {
-	par.For(kernelAssign, workers, len(points), minAssignChunk, func(_, lo, hi int) {
+	// Work hint: one distance computation per (point, centroid) pair.
+	// Misclassified-exploitation clusterings over a handful of false
+	// negatives run inline; full-dataset discovery clusterings still fan
+	// out.
+	par.ForWork(kernelAssign, workers, len(points), minAssignChunk, len(points)*len(cents), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			best, bestD := 0, math.Inf(1)
 			for c, cent := range cents {
@@ -282,8 +293,9 @@ func seedPlusPlus(points []geom.Point, k int, rng *rand.Rand, workers int) []geo
 	for len(cents) < k {
 		// Distance-to-nearest-center is independent per point; the total
 		// (which shapes the rng draw) accumulates sequentially in point
-		// order to stay reproducible at every worker count.
-		par.For(kernelSeed, workers, len(points), minAssignChunk, func(_, lo, hi int) {
+		// order to stay reproducible at every worker count. Work scales
+		// with (point, center) pairs, so tiny inputs skip the pool.
+		par.ForWork(kernelSeed, workers, len(points), minAssignChunk, len(points)*len(cents), func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				best := math.Inf(1)
 				for _, c := range cents {

@@ -82,6 +82,30 @@ func Resolve(n int) int {
 	return n
 }
 
+// DefaultMinParallelWork is the work-hint threshold below which ForWork
+// and MapWork run sequentially in the caller's goroutine. "Work" is a
+// caller-chosen proxy for total cost (typically items × a per-item cost
+// factor); 8192 covers the regime where chunk scheduling and the
+// help-drain wait cost more than the loop body itself — e.g. the
+// per-dimension Gini sweeps at deep CART nodes, whose tiny index slices
+// made the chunked path a net slowdown.
+const DefaultMinParallelWork = 1 << 13
+
+// MinParallelWork returns the effective sequential-below threshold for
+// ForWork/MapWork: the AIDE_MIN_PARALLEL environment variable when set
+// to a non-negative integer (0 disables the gate), else
+// DefaultMinParallelWork.
+func MinParallelWork() int { return minParallelWork() }
+
+var minParallelWork = sync.OnceValue(func() int {
+	if s := os.Getenv("AIDE_MIN_PARALLEL"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return DefaultMinParallelWork
+})
+
 // Kernel identifies one parallelized hot path; it carries the per-kernel
 // obs counters so scheduling cost on the hot path stays two atomic adds.
 type Kernel struct {
@@ -258,6 +282,41 @@ func ForCtx(ctx context.Context, k *Kernel, workers, n, minChunk int, fn func(ch
 			task()
 		}
 	}
+}
+
+// ForWork is For with an explicit work hint: when work — a caller-chosen
+// estimate of the call's total cost, typically items × a per-item cost
+// factor — is below MinParallelWork(), the whole range runs sequentially
+// in the caller's goroutine, exactly like workers == 1. Because every
+// kernel is bit-identical at any worker count by construction, gating on
+// the hint changes scheduling only, never results. Use it for kernels
+// invoked across a huge dynamic range of input sizes (CART split search,
+// k-means assignment) where sub-threshold calls would pay more in chunk
+// handoff than they save.
+func ForWork(k *Kernel, workers, n, minChunk, work int, fn func(chunk, lo, hi int)) {
+	if work < MinParallelWork() {
+		if n <= 0 {
+			return
+		}
+		k.seqRuns.Inc()
+		fn(0, 0, n)
+		return
+	}
+	For(k, workers, n, minChunk, fn)
+}
+
+// MapWork is Map with the same work-hint gate as ForWork: sub-threshold
+// calls return a single-chunk result computed inline, identical to the
+// workers == 1 path.
+func MapWork[T any](k *Kernel, workers, n, minChunk, work int, fn func(chunk, lo, hi int) T) []T {
+	if work < MinParallelWork() {
+		if n <= 0 {
+			return nil
+		}
+		k.seqRuns.Inc()
+		return []T{fn(0, 0, n)}
+	}
+	return Map(k, workers, n, minChunk, fn)
 }
 
 // Map runs fn over [0, n) like For and returns the per-chunk results in

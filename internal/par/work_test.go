@@ -1,0 +1,95 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Sub-threshold work hints must run the whole range inline as one chunk,
+// and above-threshold hints must behave exactly like For.
+func TestForWorkInlineBelowThreshold(t *testing.T) {
+	k := NewKernel("test_forwork_seq")
+	var calls atomic.Int32
+	seen := make([]bool, 100)
+	ForWork(k, 8, len(seen), 1, MinParallelWork()-1, func(chunk, lo, hi int) {
+		calls.Add(1)
+		if chunk != 0 || lo != 0 || hi != len(seen) {
+			t.Errorf("sub-threshold chunk = (%d,%d,%d), want (0,0,%d)", chunk, lo, hi, len(seen))
+		}
+		for i := lo; i < hi; i++ {
+			seen[i] = true
+		}
+	})
+	if calls.Load() != 1 {
+		t.Fatalf("sub-threshold ForWork ran %d chunks, want 1", calls.Load())
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("item %d not visited", i)
+		}
+	}
+}
+
+func TestForWorkParallelAboveThreshold(t *testing.T) {
+	k := NewKernel("test_forwork_par")
+	n := 100
+	var visited atomic.Int64
+	chunks := ChunkCount(4, n, 1)
+	var maxChunk atomic.Int32
+	ForWork(k, 4, n, 1, MinParallelWork(), func(chunk, lo, hi int) {
+		visited.Add(int64(hi - lo))
+		for {
+			cur := maxChunk.Load()
+			if int32(chunk) <= cur || maxChunk.CompareAndSwap(cur, int32(chunk)) {
+				break
+			}
+		}
+	})
+	if visited.Load() != int64(n) {
+		t.Fatalf("visited %d items, want %d", visited.Load(), n)
+	}
+	if got := int(maxChunk.Load()); got != chunks-1 {
+		t.Fatalf("max chunk index %d, want %d (same chunking as For)", got, chunks-1)
+	}
+}
+
+func TestForWorkEmptyRange(t *testing.T) {
+	k := NewKernel("test_forwork_empty")
+	called := false
+	ForWork(k, 4, 0, 1, 0, func(chunk, lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestMapWorkMatchesMap(t *testing.T) {
+	k := NewKernel("test_mapwork")
+	n := 64
+	sum := func(chunk, lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s
+	}
+	reduce := func(parts []int) int {
+		total := 0
+		for _, p := range parts {
+			total += p
+		}
+		return total
+	}
+	want := reduce(Map(k, 4, n, 1, sum))
+	if got := reduce(MapWork(k, 4, n, 1, 0, sum)); got != want {
+		t.Fatalf("sub-threshold MapWork total = %d, want %d", got, want)
+	}
+	if parts := MapWork(k, 4, n, 1, 0, sum); len(parts) != 1 {
+		t.Fatalf("sub-threshold MapWork returned %d chunks, want 1", len(parts))
+	}
+	if got := reduce(MapWork(k, 4, n, 1, MinParallelWork(), sum)); got != want {
+		t.Fatalf("above-threshold MapWork total = %d, want %d", got, want)
+	}
+	if got := MapWork(k, 4, 0, 1, 1<<30, sum); got != nil {
+		t.Fatalf("MapWork over empty range = %v, want nil", got)
+	}
+}

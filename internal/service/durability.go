@@ -77,6 +77,14 @@ func (s *Server) recoverOne(id string) error {
 		log.Close()
 		return fmt.Errorf("view %q not registered", req.View)
 	}
+	// Replay is only bit-identical over the exact data the labels were
+	// recorded against. Old logs (pre-fingerprint) carry no fingerprint
+	// and are replayed on trust.
+	if req.ViewFingerprint != "" && req.ViewFingerprint != view.Fingerprint() {
+		log.Close()
+		return fmt.Errorf("view %q fingerprint mismatch: log has %s, view is %s",
+			req.View, req.ViewFingerprint, view.Fingerprint())
+	}
 	opts, err := s.optsFromRequest(req)
 	if err != nil {
 		log.Close()

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/explore-by-example/aide/internal/dataset"
 	"github.com/explore-by-example/aide/internal/durable"
 	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/explore"
@@ -90,6 +91,22 @@ type Server struct {
 	// last-wins).
 	DefaultConflictPolicy explore.ConflictPolicy
 
+	// Registry, when set, is where RegisterTable acquires shared views
+	// from (nil: engine.SharedViews). Views acquired through a registry
+	// are refcounted process-wide: every server — and every session — over
+	// the same dataset shares one covering index, so creating a session
+	// costs O(1) instead of O(index build) after the first.
+	Registry *engine.Registry
+	// CacheBytes, when positive, attaches a shared predicate-result cache
+	// of roughly this many bytes to each view registered with
+	// RegisterTable, memoizing Count/RowsIn across all of the view's
+	// sessions (bit-identical results; see engine.Cache). Zero disables.
+	CacheBytes int64
+
+	// acquired tracks the base registry views RegisterTable took, so
+	// Close can release them.
+	acquired []*engine.View
+
 	// inflight counts requests currently being served, for the
 	// MaxInflight shedding gate.
 	inflight atomic.Int64
@@ -110,6 +127,59 @@ func NewServer(views map[string]*engine.View) *Server {
 		Metrics:            obs.Default,
 		MaxBodyBytes:       1 << 20,
 		MaxSessionRestarts: 2,
+	}
+}
+
+// registry returns the view registry RegisterTable acquires from.
+func (s *Server) registry() *engine.Registry {
+	if s.Registry != nil {
+		return s.Registry
+	}
+	return engine.SharedViews
+}
+
+// RegisterTable registers name over a view of tab acquired through the
+// server's registry. Servers (and, within a server, sessions) that
+// register the same data with the same attrs and workers share one
+// immutable view — the covering indexes are built at most once
+// process-wide, so after the first registration this is O(1). When
+// s.CacheBytes is positive the view also gets a shared predicate-result
+// cache memoizing Count/RowsIn across all of its sessions. Call Close to
+// release the acquired views.
+func (s *Server) RegisterTable(name string, tab *dataset.Table, attrs []string, workers int) error {
+	v, err := s.registry().AcquireWorkers(tab, attrs, workers)
+	if err != nil {
+		return err
+	}
+	shared := v
+	if s.CacheBytes > 0 && shared.Cache() == nil {
+		shared = shared.WithCache(engine.NewCache(s.CacheBytes))
+	}
+	s.mu.Lock()
+	if _, dup := s.views[name]; dup {
+		s.mu.Unlock()
+		s.registry().Release(v)
+		return fmt.Errorf("service: view %q already registered", name)
+	}
+	if s.views == nil {
+		s.views = make(map[string]*engine.View)
+	}
+	s.views[name] = shared
+	s.acquired = append(s.acquired, v)
+	s.mu.Unlock()
+	return nil
+}
+
+// Close releases every registry view acquired by RegisterTable. Views
+// passed directly to NewServer are untouched. Safe to call more than
+// once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	acquired := s.acquired
+	s.acquired = nil
+	s.mu.Unlock()
+	for _, v := range acquired {
+		s.registry().Release(v)
 	}
 }
 
@@ -351,6 +421,15 @@ type CreateSessionRequest struct {
 	// MaxMemBytes bounds estimated per-iteration scratch memory;
 	// clustering discovery degrades to grid when it would exceed this.
 	MaxMemBytes int64 `json:"max_mem_bytes,omitempty"`
+	// CacheBytes, when positive, attaches a session-private predicate
+	// result cache of roughly this many bytes (no effect when the view
+	// already carries a server-wide shared cache, which then wins).
+	CacheBytes int64 `json:"cache_bytes,omitempty"`
+	// ViewFingerprint is set by the server on the persisted creation
+	// record (not by clients): the content fingerprint of the view the
+	// session was created over. Crash recovery refuses to replay a log
+	// against a view whose data has changed since.
+	ViewFingerprint string `json:"view_fingerprint,omitempty"`
 }
 
 // CreateSessionResponse is the reply to POST /v1/sessions.
@@ -585,6 +664,9 @@ func (s *Server) optsFromRequest(req CreateSessionRequest) (explore.Options, err
 	if req.MaxMemBytes != 0 {
 		opts.Budget.MaxMemBytes = req.MaxMemBytes
 	}
+	if req.CacheBytes != 0 {
+		opts.CacheBytes = req.CacheBytes
+	}
 	return opts, nil
 }
 
@@ -652,6 +734,10 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Stamp the view's content fingerprint into the creation record before
+	// it is marshaled into the WAL, so recovery can refuse to replay the
+	// session against changed data.
+	req.ViewFingerprint = view.Fingerprint()
 	ls := s.newLiveSession(newID(), req, opts)
 	sess, err := explore.NewSession(view, s.oracleFor(ls), opts)
 	if err != nil {
