@@ -16,6 +16,14 @@
 //	aidebench -json BENCH_hotpaths.json
 //	aidebench -json - -workers 8 -quick
 //
+// The -trace flag replays an exploration flight-recorder journal (the
+// <id>.events.jsonl the server keeps next to each WAL, or a saved
+// /v1/sessions/{id}/events stream) into a per-phase latency and
+// convergence report, offline:
+//
+//	aidebench -trace data/abc123.events.jsonl
+//	aidebench -trace session.jsonl -trace-json report.json
+//
 // The -throughput flag runs the multi-session compute-reuse benchmark
 // (N concurrent sessions over one registry-shared, cache-backed view vs
 // per-session private views), writes the report tracked as
@@ -53,6 +61,9 @@ func main() {
 		jsonOut  = flag.String("json", "", "run the hot-path worker-pool benchmark and write its JSON report to this file ('-' for stdout)")
 		workers  = flag.Int("workers", 0, "worker count for the -json benchmark's parallel side (0: AIDE_WORKERS or GOMAXPROCS)")
 
+		tracePath = flag.String("trace", "", "replay a flight-recorder JSONL journal into a per-phase latency/convergence report")
+		traceJSON = flag.String("trace-json", "", "also write the -trace report as JSON to this file ('-' for stdout)")
+
 		throughputOut = flag.String("throughput", "", "run the multi-session compute-reuse benchmark (shared view registry + predicate cache vs per-session views) and write its JSON report to this file ('-' for stdout); exits nonzero when the bit-identity or cache-hit gate fails")
 		cacheBytes    = flag.Int64("cache-bytes", 0, "shared cache budget for -throughput (default 32 MiB)")
 		iters         = flag.Int("iters", 0, "steering iterations per session for -throughput (default 8)")
@@ -64,6 +75,15 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+	if *tracePath != "" {
+		if err := runTrace(*tracePath, *traceJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "aidebench: %v\n", err)
+			os.Exit(1)
+		}
+		if *run == "" && *jsonOut == "" && *throughputOut == "" {
+			return
+		}
 	}
 	if *jsonOut != "" {
 		if err := runHotpaths(*jsonOut, *workers, *rows, *seed, *quick); err != nil {
@@ -84,7 +104,7 @@ func main() {
 		}
 	}
 	if *run == "" {
-		fmt.Fprintln(os.Stderr, "usage: aidebench -run <id>[,<id>...] | -run all | -json <path> | -throughput <path> | -list")
+		fmt.Fprintln(os.Stderr, "usage: aidebench -run <id>[,<id>...] | -run all | -json <path> | -throughput <path> | -trace <journal> | -list")
 		os.Exit(2)
 	}
 
@@ -168,6 +188,41 @@ func runHotpaths(path string, workers, rows int, seed int64, quick bool) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runTrace replays a flight-recorder journal into a per-phase
+// latency/convergence report, printed human-readable and optionally
+// written as JSON.
+func runTrace(journal, jsonPath string) error {
+	f, err := os.Open(journal)
+	if err != nil {
+		return err
+	}
+	events, err := obs.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	rep, err := bench.ReplayTrace(events)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if jsonPath == "" {
+		return nil
+	}
+	if jsonPath == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	out, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // runThroughput measures N concurrent sessions over a registry-shared

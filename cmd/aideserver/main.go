@@ -13,10 +13,13 @@
 //	GET    /v1/sessions/{id}/status
 //	GET    /v1/sessions/{id}/query
 //	GET    /v1/sessions/{id}/trace     per-iteration trace spans
+//	GET    /v1/sessions/{id}/events    flight-recorder events (JSONL)
 //	DELETE /v1/sessions/{id}
 //	GET    /v1/views                   view metadata (rows, attrs)
 //	GET    /v1/metrics                 process metrics (expvar-style)
-//	GET    /healthz                    liveness probe
+//	GET    /v1/slo                     SLO burn-rate status
+//	GET    /metrics                    Prometheus text exposition
+//	GET    /healthz                    liveness probe (+ SLO detail)
 //	GET    /debug/pprof/...            profiling (only with -pprof)
 //
 // The server logs one structured line per request (with a request id),
@@ -90,6 +93,12 @@ func main() {
 		addrFile          = flag.String("addr-file", "", "write the bound listen address to this file (useful with -listen :0)")
 
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "shared predicate-result cache budget per view, in bytes (0 disables); cached results are bit-identical to uncached ones")
+
+		sloLatency    = flag.Duration("slo-latency", 500*time.Millisecond, "latency SLO threshold: a request slower than this is bad")
+		sloLatencyObj = flag.Float64("slo-latency-objective", 0.99, "target fraction of requests under -slo-latency")
+		sloErrorObj   = flag.Float64("slo-error-objective", 0.999, "target fraction of non-5xx requests")
+		sloBurn       = flag.Float64("slo-burn-threshold", 2, "burn rate both windows must exceed to report an SLO as burning")
+		sloOff        = flag.Bool("no-slo", false, "disable SLO monitoring (/v1/slo reports empty healthy status)")
 
 		conflictPolicy = flag.String("conflict-policy", "last-wins", "default resolution of contradictory labels: last-wins, majority or strict (sessions may override)")
 		budgetRows     = flag.Int("budget-labeled-rows", 0, "default cap on labeled rows per session (0 unlimited)")
@@ -167,6 +176,19 @@ func main() {
 		MaxSamplesPerIteration: *budgetSamples,
 		MaxTreeNodes:           *budgetNodes,
 		MaxMemBytes:            *budgetMem,
+	}
+
+	if !*sloOff {
+		cfg := obs.DefaultSLOConfig()
+		cfg.LatencyThreshold = *sloLatency
+		cfg.LatencyObjective = *sloLatencyObj
+		cfg.ErrorObjective = *sloErrorObj
+		cfg.BurnAlertThreshold = *sloBurn
+		mon, err := obs.NewSLOMonitor(cfg)
+		if err != nil {
+			fatal("bad SLO configuration", "err", err)
+		}
+		srv.SLO = mon
 	}
 
 	if *dataDir != "" {

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"sort"
 	"time"
 
 	"github.com/explore-by-example/aide/internal/cart"
@@ -14,8 +15,15 @@ import (
 	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/geom"
 	"github.com/explore-by-example/aide/internal/kmeans"
+	"github.com/explore-by-example/aide/internal/obs"
 	"github.com/explore-by-example/aide/internal/par"
 )
+
+// benchKernelSeconds records each kernel's timed reps at the configured
+// worker count (the production path), labeled by kernel, so
+// `aidebench -metrics` carries the same latency distributions
+// BENCH_hotpaths.json summarizes as p50/p95/p99.
+var benchKernelSeconds = obs.GetHistogramVec("bench_kernel_seconds", "kernel")
 
 // HotpathConfig scales the worker-pool benchmark (aidebench -json).
 type HotpathConfig struct {
@@ -65,6 +73,16 @@ type HotpathResult struct {
 	BytesPerOpWorkersN  int64 `json:"bytes_per_op_workers_n"`
 	AllocsPerOpWorkers1 int64 `json:"allocs_per_op_workers_1"`
 	AllocsPerOpWorkersN int64 `json:"allocs_per_op_workers_n"`
+	// P50/P95/P99NsWorkers1/N are nearest-rank latency quantiles over
+	// the individual timed reps of each pass. ns_per_op is the mean; the
+	// spread between p50 and p99 exposes jitter (GC pauses, scheduling)
+	// that a mean alone hides.
+	P50NsWorkers1 int64 `json:"p50_ns_workers_1"`
+	P95NsWorkers1 int64 `json:"p95_ns_workers_1"`
+	P99NsWorkers1 int64 `json:"p99_ns_workers_1"`
+	P50NsWorkersN int64 `json:"p50_ns_workers_n"`
+	P95NsWorkersN int64 `json:"p95_ns_workers_n"`
+	P99NsWorkersN int64 `json:"p99_ns_workers_n"`
 	// Identical reports that the parallel output matched the sequential
 	// output exactly — the determinism gate the speedup rides on.
 	Identical bool `json:"identical"`
@@ -91,12 +109,12 @@ func (r *HotpathReport) WriteJSON(w io.Writer) error {
 // String renders a human-readable summary table.
 func (r *HotpathReport) String() string {
 	s := fmt.Sprintf("hotpaths: GOMAXPROCS=%d workers=%d rows=%d\n", r.GOMAXPROCS, r.Workers, r.Rows)
-	s += fmt.Sprintf("%-16s %14s %14s %8s %12s %12s %10s\n",
-		"kernel", "w=1 ns/op", "w=N ns/op", "speedup", "w=N B/op", "w=N allocs", "identical")
+	s += fmt.Sprintf("%-16s %14s %14s %14s %14s %8s %12s %12s %10s\n",
+		"kernel", "w=1 ns/op", "w=N ns/op", "w=N p50", "w=N p99", "speedup", "w=N B/op", "w=N allocs", "identical")
 	for _, b := range r.Results {
-		s += fmt.Sprintf("%-16s %14d %14d %7.2fx %12d %12d %10v\n",
-			b.Name, b.NsPerOpWorkers1, b.NsPerOpWorkersN, b.Speedup,
-			b.BytesPerOpWorkersN, b.AllocsPerOpWorkersN, b.Identical)
+		s += fmt.Sprintf("%-16s %14d %14d %14d %14d %7.2fx %12d %12d %10v\n",
+			b.Name, b.NsPerOpWorkers1, b.NsPerOpWorkersN, b.P50NsWorkersN, b.P99NsWorkersN,
+			b.Speedup, b.BytesPerOpWorkersN, b.AllocsPerOpWorkersN, b.Identical)
 	}
 	return s
 }
@@ -106,31 +124,60 @@ type measurement struct {
 	nsPerOp     int64
 	bytesPerOp  int64
 	allocsPerOp int64
+	// p50Ns/p95Ns/p99Ns are nearest-rank quantiles over the pass's
+	// individual rep durations.
+	p50Ns, p95Ns, p99Ns int64
 }
 
 // measure times op: one warmup call, then repeated timing passes until
-// minTime has elapsed, returning per-op time and heap traffic over the
-// measured passes (ReadMemStats deltas, the same counters -benchmem
-// reports).
-func measure(minTime time.Duration, op func()) measurement {
+// minTime has elapsed, returning per-op time (mean and p50/p95/p99 over
+// the reps) and heap traffic over the measured passes (ReadMemStats
+// deltas, the same counters -benchmem reports). Each rep is also
+// observed into hist when non-nil, so the full distribution lands in
+// the metrics registry.
+func measure(minTime time.Duration, hist *obs.Histogram, op func()) measurement {
 	op() // warmup
 	var elapsed time.Duration
-	reps := 0
+	var samples []time.Duration
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	for elapsed < minTime {
 		start := time.Now()
 		op()
-		elapsed += time.Since(start)
-		reps++
+		d := time.Since(start)
+		elapsed += d
+		samples = append(samples, d)
+		if hist != nil {
+			hist.Observe(d.Seconds())
+		}
 	}
 	runtime.ReadMemStats(&after)
-	n := int64(reps)
+	n := int64(len(samples))
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	return measurement{
 		nsPerOp:     elapsed.Nanoseconds() / n,
 		bytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
 		allocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		p50Ns:       nearestRankNs(samples, 0.50),
+		p95Ns:       nearestRankNs(samples, 0.95),
+		p99Ns:       nearestRankNs(samples, 0.99),
 	}
+}
+
+// nearestRankNs returns the q-th nearest-rank quantile of the sorted
+// durations in nanoseconds.
+func nearestRankNs(sorted []time.Duration, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Nanoseconds()
 }
 
 // RunHotpaths benchmarks the four parallelized hot paths — CART training,
@@ -174,8 +221,8 @@ func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
 	}
 	seqTree, parTree := trainAt(1), trainAt(workers)
 	rep.Results = append(rep.Results, hotpathResult("cart_train",
-		measure(cfg.MinTime, func() { trainAt(1) }),
-		measure(cfg.MinTime, func() { trainAt(workers) }),
+		measure(cfg.MinTime, nil, func() { trainAt(1) }),
+		measure(cfg.MinTime, benchKernelSeconds.With("cart_train"), func() { trainAt(workers) }),
 		seqTree.String(nil) == parTree.String(nil)))
 
 	// grid_scan: Count + RowsIn over a large region of a 2-d view — the
@@ -190,8 +237,8 @@ func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
 	scanIdentical := seqView.Count(rect) == parView.Count(rect) &&
 		reflect.DeepEqual(seqView.RowsIn(rect), parView.RowsIn(rect))
 	rep.Results = append(rep.Results, hotpathResult("grid_scan",
-		measure(cfg.MinTime, func() { seqView.Count(rect); seqView.RowsIn(rect) }),
-		measure(cfg.MinTime, func() { parView.Count(rect); parView.RowsIn(rect) }),
+		measure(cfg.MinTime, nil, func() { seqView.Count(rect); seqView.RowsIn(rect) }),
+		measure(cfg.MinTime, benchKernelSeconds.With("grid_scan"), func() { parView.Count(rect); parView.RowsIn(rect) }),
 		scanIdentical))
 
 	// index_build: NewView over four attributes — per-attribute
@@ -207,8 +254,8 @@ func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
 	bSeq, bPar := buildAt(1), buildAt(workers)
 	probe := geom.R(20, 70, 20, 70, 20, 70, 20, 70)
 	rep.Results = append(rep.Results, hotpathResult("index_build",
-		measure(cfg.MinTime, func() { buildAt(1) }),
-		measure(cfg.MinTime, func() { buildAt(workers) }),
+		measure(cfg.MinTime, nil, func() { buildAt(1) }),
+		measure(cfg.MinTime, benchKernelSeconds.With("index_build"), func() { buildAt(workers) }),
 		bSeq.Count(probe) == bPar.Count(probe)))
 
 	// kmeans_cluster: the assignment-dominated clustering behind
@@ -224,8 +271,8 @@ func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
 	}
 	cSeq, cPar := clusterAt(1), clusterAt(workers)
 	rep.Results = append(rep.Results, hotpathResult("kmeans_cluster",
-		measure(cfg.MinTime, func() { clusterAt(1) }),
-		measure(cfg.MinTime, func() { clusterAt(workers) }),
+		measure(cfg.MinTime, nil, func() { clusterAt(1) }),
+		measure(cfg.MinTime, benchKernelSeconds.With("kmeans_cluster"), func() { clusterAt(workers) }),
 		reflect.DeepEqual(cSeq.Assign, cPar.Assign) && cSeq.Inertia == cPar.Inertia))
 
 	return rep, nil
@@ -245,6 +292,12 @@ func hotpathResult(name string, seq, parl measurement, identical bool) HotpathRe
 		BytesPerOpWorkersN:  parl.bytesPerOp,
 		AllocsPerOpWorkers1: seq.allocsPerOp,
 		AllocsPerOpWorkersN: parl.allocsPerOp,
+		P50NsWorkers1:       seq.p50Ns,
+		P95NsWorkers1:       seq.p95Ns,
+		P99NsWorkers1:       seq.p99Ns,
+		P50NsWorkersN:       parl.p50Ns,
+		P95NsWorkersN:       parl.p95Ns,
+		P99NsWorkersN:       parl.p99Ns,
 		Identical:           identical,
 	}
 }

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// Flight-journal replay (aidebench -trace): turns a session's recorded
+// wide events — the <id>.events.jsonl the service writes next to each
+// WAL, or a saved /v1/sessions/{id}/events stream — into a per-phase
+// latency breakdown and a convergence trajectory, offline, without the
+// server or the dataset.
+
+// TracePhaseStats aggregates one steering phase's latency across the
+// journal's iterations.
+type TracePhaseStats struct {
+	// Phase is the phase name as recorded (discovery, misclassified,
+	// boundary, train).
+	Phase string `json:"phase"`
+	// Iterations counts iterations in which the phase ran (spent time
+	// or produced samples).
+	Iterations int `json:"iterations"`
+	// TotalMS is the phase's summed execution time; MeanMS/P50MS/P95MS
+	// summarize its per-iteration distribution (nearest-rank quantiles).
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	// Samples and Queries are the phase's summed labeling and
+	// extraction-query effort.
+	Samples int `json:"samples"`
+	Queries int `json:"queries"`
+}
+
+// TraceIteration is one journal event reduced to the convergence
+// signals: how the labeled set, the classifier and the predicted query
+// evolved.
+type TraceIteration struct {
+	Iteration     int     `json:"iteration"`
+	DurationMS    float64 `json:"duration_ms"`
+	NewSamples    int     `json:"new_samples"`
+	NewRelevant   int     `json:"new_relevant"`
+	TotalLabeled  int     `json:"total_labeled"`
+	TreeNodes     int     `json:"tree_nodes"`
+	RelevantAreas int     `json:"relevant_areas"`
+	// PredicateChanged reports whether the rendered predicate differs
+	// from the previous iteration's — a false tail means the steering
+	// loop has converged.
+	PredicateChanged bool `json:"predicate_changed"`
+}
+
+// TraceReport is the replay of one session's flight journal.
+type TraceReport struct {
+	// Session is the recording session's id (from the first event).
+	Session string `json:"session"`
+	// Events is how many iterations the journal holds; a ring-served
+	// journal may have dropped older ones (first iteration > 0).
+	Events         int `json:"events"`
+	FirstIteration int `json:"first_iteration"`
+	LastIteration  int `json:"last_iteration"`
+
+	// TotalMS sums iteration durations; TotalLabeled and Conflicts are
+	// the final cumulative labeling effort and summed label conflicts.
+	TotalMS      float64 `json:"total_ms"`
+	TotalLabeled int     `json:"total_labeled"`
+	Conflicts    int     `json:"conflicts"`
+
+	// CacheHits/CacheMisses/CacheHitRate sum the per-iteration
+	// predicate-cache deltas.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Degradations counts budget fallbacks by reason across the journal.
+	Degradations map[string]int `json:"degradations,omitempty"`
+
+	// Phases is the per-phase latency/effort breakdown, largest total
+	// time first.
+	Phases []TracePhaseStats `json:"phases"`
+
+	// Convergence is the iteration-by-iteration trajectory, oldest
+	// first. StableTail is the length of the final run of iterations
+	// whose predicate did not change.
+	Convergence []TraceIteration `json:"convergence"`
+	StableTail  int              `json:"stable_tail"`
+
+	// FinalPredicate is the last recorded predicted-query predicate.
+	FinalPredicate string `json:"final_predicate,omitempty"`
+}
+
+// ReplayTrace builds a TraceReport from journal events (as parsed by
+// obs.ReadJournal), which must all belong to one session.
+func ReplayTrace(events []obs.FlightEvent) (*TraceReport, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("bench: empty flight journal")
+	}
+	rep := &TraceReport{
+		Session:        events[0].Session,
+		Events:         len(events),
+		FirstIteration: events[0].Iteration,
+		LastIteration:  events[len(events)-1].Iteration,
+	}
+	phaseMS := map[string][]float64{}
+	phaseSamples := map[string]int{}
+	phaseQueries := map[string]int{}
+	prevPredicate := ""
+	for i, ev := range events {
+		if ev.Session != rep.Session {
+			return nil, fmt.Errorf("bench: journal mixes sessions %q and %q", rep.Session, ev.Session)
+		}
+		rep.TotalMS += ev.DurationMS
+		rep.TotalLabeled = ev.TotalLabeled
+		rep.Conflicts += ev.Conflicts
+		rep.CacheHits += ev.CacheHits
+		rep.CacheMisses += ev.CacheMisses
+		for _, d := range ev.Degradations {
+			if rep.Degradations == nil {
+				rep.Degradations = map[string]int{}
+			}
+			rep.Degradations[d]++
+		}
+		for ph, ms := range ev.PhaseMS {
+			phaseMS[ph] = append(phaseMS[ph], ms)
+		}
+		for ph, n := range ev.PhaseSamples {
+			phaseSamples[ph] += n
+		}
+		for ph, n := range ev.PhaseQueries {
+			phaseQueries[ph] += n
+		}
+		changed := i == 0 || ev.Predicate != prevPredicate
+		prevPredicate = ev.Predicate
+		rep.Convergence = append(rep.Convergence, TraceIteration{
+			Iteration:        ev.Iteration,
+			DurationMS:       ev.DurationMS,
+			NewSamples:       ev.NewSamples,
+			NewRelevant:      ev.NewRelevant,
+			TotalLabeled:     ev.TotalLabeled,
+			TreeNodes:        ev.TreeNodes,
+			RelevantAreas:    ev.RelevantAreas,
+			PredicateChanged: changed,
+		})
+		if ev.Predicate != "" {
+			rep.FinalPredicate = ev.Predicate
+		}
+	}
+	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(total)
+	}
+	for i := len(rep.Convergence) - 1; i >= 0 && !rep.Convergence[i].PredicateChanged; i-- {
+		rep.StableTail++
+	}
+
+	names := make([]string, 0, len(phaseMS))
+	for ph := range phaseMS {
+		names = append(names, ph)
+	}
+	for ph := range phaseSamples {
+		if _, ok := phaseMS[ph]; !ok {
+			names = append(names, ph)
+		}
+	}
+	sort.Strings(names)
+	for _, ph := range names {
+		ms := phaseMS[ph]
+		st := TracePhaseStats{
+			Phase:   ph,
+			Samples: phaseSamples[ph],
+			Queries: phaseQueries[ph],
+		}
+		if len(ms) > 0 {
+			sorted := append([]float64(nil), ms...)
+			sort.Float64s(sorted)
+			for _, v := range ms {
+				st.TotalMS += v
+			}
+			st.Iterations = len(ms)
+			st.MeanMS = st.TotalMS / float64(len(ms))
+			st.P50MS = nearestRankF(sorted, 0.50)
+			st.P95MS = nearestRankF(sorted, 0.95)
+		} else {
+			st.Iterations = 0
+		}
+		rep.Phases = append(rep.Phases, st)
+	}
+	sort.SliceStable(rep.Phases, func(i, j int) bool {
+		return rep.Phases[i].TotalMS > rep.Phases[j].TotalMS
+	})
+	return rep, nil
+}
+
+// nearestRankF returns the q-th nearest-rank quantile of sorted values.
+func nearestRankF(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *TraceReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders a human-readable replay summary.
+func (r *TraceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: session=%s iterations=%d..%d (%d events) total=%.1fms labeled=%d\n",
+		r.Session, r.FirstIteration, r.LastIteration, r.Events, r.TotalMS, r.TotalLabeled)
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(&b, "cache: %d hits / %d misses (%.1f%% hit rate)\n",
+			r.CacheHits, r.CacheMisses, 100*r.CacheHitRate)
+	}
+	if r.Conflicts > 0 {
+		fmt.Fprintf(&b, "conflicts: %d\n", r.Conflicts)
+	}
+	if len(r.Degradations) > 0 {
+		names := make([]string, 0, len(r.Degradations))
+		for d := range r.Degradations {
+			names = append(names, d)
+		}
+		sort.Strings(names)
+		for _, d := range names {
+			fmt.Fprintf(&b, "degraded: %s x%d\n", d, r.Degradations[d])
+		}
+	}
+	fmt.Fprintf(&b, "%-14s %6s %12s %10s %10s %10s %8s %8s\n",
+		"phase", "iters", "total ms", "mean ms", "p50 ms", "p95 ms", "samples", "queries")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "%-14s %6d %12.1f %10.2f %10.2f %10.2f %8d %8d\n",
+			p.Phase, p.Iterations, p.TotalMS, p.MeanMS, p.P50MS, p.P95MS, p.Samples, p.Queries)
+	}
+	if n := len(r.Convergence); n > 0 {
+		last := r.Convergence[n-1]
+		fmt.Fprintf(&b, "convergence: tree=%d nodes, %d relevant areas, predicate stable for last %d iterations\n",
+			last.TreeNodes, last.RelevantAreas, r.StableTail)
+	}
+	if r.FinalPredicate != "" {
+		fmt.Fprintf(&b, "final predicate: %s\n", r.FinalPredicate)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+func traceTestEvents() []obs.FlightEvent {
+	return []obs.FlightEvent{
+		{
+			Schema: 1, Session: "s1", Iteration: 0, DurationMS: 10,
+			PhaseMS:      map[string]float64{"discovery": 8, "train": 2},
+			PhaseSamples: map[string]int{"discovery": 10},
+			PhaseQueries: map[string]int{"discovery": 3},
+			NewSamples:   10, NewRelevant: 1, TotalLabeled: 10,
+			CacheHits: 0, CacheMisses: 4, TreeNodes: 3, RelevantAreas: 1,
+			Predicate: "a > 1",
+		},
+		{
+			Schema: 1, Session: "s1", Iteration: 1, DurationMS: 6,
+			PhaseMS:      map[string]float64{"boundary": 4, "train": 2},
+			PhaseSamples: map[string]int{"boundary": 10},
+			PhaseQueries: map[string]int{"boundary": 2},
+			NewSamples:   10, NewRelevant: 4, TotalLabeled: 20,
+			CacheHits: 3, CacheMisses: 1, TreeNodes: 5, RelevantAreas: 2,
+			Degradations: []string{"kmeans_iters"},
+			Predicate:    "a > 2",
+		},
+		{
+			Schema: 1, Session: "s1", Iteration: 2, DurationMS: 5,
+			PhaseMS:      map[string]float64{"boundary": 3, "train": 2},
+			PhaseSamples: map[string]int{"boundary": 10},
+			PhaseQueries: map[string]int{"boundary": 2},
+			NewSamples:   10, NewRelevant: 5, TotalLabeled: 30,
+			CacheHits: 4, CacheMisses: 0, TreeNodes: 5, RelevantAreas: 2,
+			Predicate: "a > 2",
+		},
+	}
+}
+
+func TestReplayTrace(t *testing.T) {
+	rep, err := ReplayTrace(traceTestEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Session != "s1" || rep.Events != 3 || rep.FirstIteration != 0 || rep.LastIteration != 2 {
+		t.Errorf("header = %+v", rep)
+	}
+	if rep.TotalMS != 21 || rep.TotalLabeled != 30 {
+		t.Errorf("totals = %v ms / %d labeled, want 21/30", rep.TotalMS, rep.TotalLabeled)
+	}
+	if rep.CacheHits != 7 || rep.CacheMisses != 5 {
+		t.Errorf("cache = %d/%d, want 7/5", rep.CacheHits, rep.CacheMisses)
+	}
+	if rep.Degradations["kmeans_iters"] != 1 {
+		t.Errorf("degradations = %v", rep.Degradations)
+	}
+
+	byPhase := map[string]TracePhaseStats{}
+	for _, p := range rep.Phases {
+		byPhase[p.Phase] = p
+	}
+	if tr := byPhase["train"]; tr.Iterations != 3 || tr.TotalMS != 6 || tr.MeanMS != 2 {
+		t.Errorf("train phase = %+v", tr)
+	}
+	if b := byPhase["boundary"]; b.TotalMS != 7 || b.Samples != 20 || b.Queries != 4 {
+		t.Errorf("boundary phase = %+v", b)
+	}
+	// Largest total time first: discovery (8ms) leads.
+	if rep.Phases[0].Phase != "discovery" {
+		t.Errorf("phase order = %v", rep.Phases)
+	}
+
+	// Convergence: predicate changed on iterations 0 and 1, stable after.
+	if len(rep.Convergence) != 3 || !rep.Convergence[1].PredicateChanged || rep.Convergence[2].PredicateChanged {
+		t.Errorf("convergence = %+v", rep.Convergence)
+	}
+	if rep.StableTail != 1 || rep.FinalPredicate != "a > 2" {
+		t.Errorf("stable tail = %d, final = %q", rep.StableTail, rep.FinalPredicate)
+	}
+
+	out := rep.String()
+	for _, want := range []string{"session=s1", "discovery", "boundary", "train", "58.3% hit rate", "a > 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplayTraceRejects(t *testing.T) {
+	if _, err := ReplayTrace(nil); err == nil {
+		t.Error("empty journal accepted")
+	}
+	mixed := traceTestEvents()
+	mixed[1].Session = "s2"
+	if _, err := ReplayTrace(mixed); err == nil {
+		t.Error("mixed-session journal accepted")
+	}
+}

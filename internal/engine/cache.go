@@ -17,7 +17,29 @@ var (
 	obsCacheHits      = obs.GetCounter("engine.cache.hits")
 	obsCacheMisses    = obs.GetCounter("engine.cache.misses")
 	obsCacheEvictions = obs.GetCounter("engine.cache.evictions")
+
+	// engine_cache_ops{op="hit"|"miss"|"evict"} is the labeled mirror of
+	// the counters above for Prometheus consumers; children are resolved
+	// once here so the hot path stays one extra atomic per op.
+	obsCacheOpHit   = obs.GetCounterVec("engine_cache_ops", "op").With("hit")
+	obsCacheOpMiss  = obs.GetCounterVec("engine_cache_ops", "op").With("miss")
+	obsCacheOpEvict = obs.GetCounterVec("engine_cache_ops", "op").With("evict")
+
+	// Aggregate occupancy across every live Cache, maintained as deltas
+	// on put/evict and exported as gauges at scrape time. A Cache dropped
+	// without being emptied keeps its last occupancy counted — in the
+	// server there is one long-lived cache per dataset, so in practice
+	// the gauges track real memoized bytes/entries.
+	cacheBytesTotal   atomic.Int64
+	cacheEntriesTotal atomic.Int64
 )
+
+func init() {
+	obs.Default.RegisterCollector(func(r *obs.Registry) {
+		r.Gauge("engine.cache.bytes").Set(float64(cacheBytesTotal.Load()))
+		r.Gauge("engine.cache.entries").Set(float64(cacheEntriesTotal.Load()))
+	})
+}
 
 const (
 	// cacheShardCount spreads the LRU over independently locked shards so
@@ -215,12 +237,14 @@ func (c *Cache) get(kind cacheKind, rect geom.Rect) (*cacheEntry, bool) {
 			s.mu.Unlock()
 			c.hits.Add(1)
 			obsCacheHits.Inc()
+			obsCacheOpHit.Inc()
 			return e, true
 		}
 	}
 	s.mu.Unlock()
 	c.misses.Add(1)
 	obsCacheMisses.Inc()
+	obsCacheOpMiss.Inc()
 	return nil, false
 }
 
@@ -240,6 +264,7 @@ func (c *Cache) put(kind cacheKind, rect geom.Rect, count int, rows []int) {
 		copy(e.rows, rows)
 	}
 	s := &c.shards[e.key.hash%cacheShardCount]
+	var byteDelta, entryDelta int64
 	s.mu.Lock()
 	if el, ok := s.table[e.key]; ok {
 		// Same bucket: refresh (same rect) or overwrite (quantized
@@ -249,9 +274,12 @@ func (c *Cache) put(kind cacheKind, rect geom.Rect, count int, rows []int) {
 		el.Value = e
 		s.bytes += e.size
 		s.lru.MoveToFront(el)
+		byteDelta = e.size - old.size
 	} else {
 		s.table[e.key] = s.lru.PushFront(e)
 		s.bytes += e.size
+		byteDelta = e.size
+		entryDelta = 1
 	}
 	evicted := int64(0)
 	for s.bytes > c.shardMax {
@@ -263,12 +291,17 @@ func (c *Cache) put(kind cacheKind, rect geom.Rect, count int, rows []int) {
 		s.lru.Remove(back)
 		delete(s.table, be.key)
 		s.bytes -= be.size
+		byteDelta -= be.size
+		entryDelta--
 		evicted++
 	}
 	s.mu.Unlock()
+	cacheBytesTotal.Add(byteDelta)
+	cacheEntriesTotal.Add(entryDelta)
 	if evicted > 0 {
 		c.evictions.Add(evicted)
 		obsCacheEvictions.Add(evicted)
+		obsCacheOpEvict.Add(evicted)
 	}
 }
 

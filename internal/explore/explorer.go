@@ -78,6 +78,10 @@ type IterationResult struct {
 	Duration time.Duration
 	// TrainDuration is the classifier-training share of Duration.
 	TrainDuration time.Duration
+	// PhaseDurations breaks the sample-extraction share of Duration down
+	// by phase (discovery, misclassified, boundary); training is
+	// TrainDuration.
+	PhaseDurations [3]time.Duration
 	// Conflicts counts label contradictions detected this iteration.
 	Conflicts int
 	// Degradations lists the budget degradations active this iteration

@@ -54,8 +54,10 @@ type Session struct {
 	disc          discoverer
 	discoveryHits int // relevant objects found by discovery: the paper's k indicator
 
-	rec       *obs.Recorder // per-iteration trace sink (nil: tracing off)
-	phaseSpan *obs.Span     // active phase span while a phase executes
+	rec       *obs.Recorder       // per-iteration trace sink (nil: tracing off)
+	phaseSpan *obs.Span           // active phase span while a phase executes
+	flight    *obs.FlightRecorder // per-iteration wide events (nil: off)
+	annotate  func(*obs.Span)     // stamps request ids on the root span
 
 	// ctx is the active iteration's cancellation context (nil between
 	// iterations and for plain RunIteration calls). Discovery steps and
@@ -241,6 +243,16 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 
 	root := s.rec.Start("iteration")
 	root.SetAttr("iteration", s.iter)
+	if s.annotate != nil {
+		s.annotate(root)
+	}
+	// Flight-recorder baselines: cache counters and query counts are
+	// cumulative, so the iteration's event reports deltas against these.
+	var cacheBefore engine.CacheStats
+	if s.flight != nil && s.view.Cache() != nil {
+		cacheBefore = s.view.Cache().Stats()
+	}
+	queriesBefore := s.stats.PhaseQueries
 
 	budget := s.opts.SamplesPerIteration
 	if budget == 0 {
@@ -269,6 +281,7 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 		// Requests arrive grouped by phase (misclassified before
 		// boundary); one child span covers each contiguous phase run.
 		curPhase := Phase(-1)
+		segStart := time.Now()
 		for _, rq := range reqs {
 			if s.cancelled() {
 				return s.abort(root, ctx)
@@ -277,6 +290,10 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 				break // budget or conflict stop: keep what we have
 			}
 			if rq.phase != curPhase {
+				if curPhase >= 0 {
+					res.PhaseDurations[curPhase] += time.Since(segStart)
+				}
+				segStart = time.Now()
 				s.phaseSpan.End()
 				s.phaseSpan = root.Child(rq.phase.String())
 				curPhase = rq.phase
@@ -291,6 +308,9 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 				s.labelRow(row, rq.phase, res)
 			}
 		}
+		if curPhase >= 0 {
+			res.PhaseDurations[curPhase] += time.Since(segStart)
+		}
 		s.phaseSpan.End()
 		s.phaseSpan = nil
 		s.lastSlabs = slabs
@@ -299,12 +319,14 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 	// Remaining effort goes to discovery ("we used the remaining of 20
 	// samples to sample unexplored yet grid cells", Section 6.2).
 	if remaining := budget - res.NewSamples; remaining > 0 && !s.stepHalted(res) {
+		discStart := time.Now()
 		s.phaseSpan = root.Child(PhaseDiscovery.String())
 		before := res.NewSamples
 		s.disc.step(s, remaining, res)
 		s.phaseSpan.SetAttr("samples", res.NewSamples-before)
 		s.phaseSpan.End()
 		s.phaseSpan = nil
+		res.PhaseDurations[PhaseDiscovery] += time.Since(discStart)
 		if s.cancelled() {
 			return s.abort(root, ctx)
 		}
@@ -362,6 +384,12 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 	obsIterationSeconds.Observe(res.Duration.Seconds())
 	obsTrainSeconds.Observe(res.TrainDuration.Seconds())
 	obsAreasPredicted.Set(float64(res.RelevantAreas))
+	for p, d := range res.PhaseDurations {
+		if d > 0 {
+			obsPhaseSeconds[p].Observe(d.Seconds())
+		}
+	}
+	obsTrainPhaseSeconds.Observe(res.TrainDuration.Seconds())
 	root.SetAttr("new_samples", res.NewSamples)
 	root.SetAttr("new_relevant", res.NewRelevant)
 	root.SetAttr("total_labeled", res.TotalLabeled)
@@ -373,6 +401,7 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 		root.SetAttr("degradations", strings.Join(res.Degradations, ","))
 	}
 	root.End()
+	s.recordFlight(res, budget, cacheBefore, queriesBefore)
 	return res, nil
 }
 

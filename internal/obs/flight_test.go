@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder("s1", 4, nil)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightEvent{Iteration: i})
+	}
+	if f.Total() != 10 {
+		t.Errorf("total = %d, want 10", f.Total())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained = %d, want 4", len(snap))
+	}
+	for i, ev := range snap {
+		if want := 6 + i; ev.Iteration != want {
+			t.Errorf("snap[%d].Iteration = %d, want %d (oldest first)", i, ev.Iteration, want)
+		}
+		if ev.Session != "s1" || ev.Schema != FlightEventSchema {
+			t.Errorf("snap[%d] not stamped: %+v", i, ev)
+		}
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEvent{}) // must not panic
+	if f.Total() != 0 || f.Snapshot() != nil || f.SinkErr() != nil {
+		t.Error("nil recorder not inert")
+	}
+}
+
+func TestFlightJournalRoundtrip(t *testing.T) {
+	var sink strings.Builder
+	f := NewFlightRecorder("s2", 8, &sink)
+	for i := 0; i < 3; i++ {
+		f.Record(FlightEvent{
+			Iteration:  i,
+			Time:       time.Date(2026, 8, 8, 0, 0, i, 0, time.UTC),
+			DurationMS: float64(i) * 1.5,
+			PhaseMS:    map[string]float64{"discovery": float64(i)},
+			Predicate:  fmt.Sprintf("x > %d", i),
+		})
+	}
+	if err := f.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJournal(strings.NewReader(sink.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Iteration != i || ev.Session != "s2" || ev.PhaseMS["discovery"] != float64(i) {
+			t.Errorf("event %d mismatch: %+v", i, ev)
+		}
+	}
+}
+
+func TestReadJournalSkipsAndFails(t *testing.T) {
+	// Blank lines and newer-schema events are skipped.
+	in := fmt.Sprintf("{\"schema\":1,\"iteration\":0}\n\n{\"schema\":%d,\"iteration\":1}\n{\"schema\":1,\"iteration\":2}\n",
+		FlightEventSchema+1)
+	events, err := ReadJournal(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Iteration != 0 || events[1].Iteration != 2 {
+		t.Errorf("events = %+v, want iterations 0 and 2", events)
+	}
+	// A malformed line fails the read.
+	if _, err := ReadJournal(strings.NewReader("{\"schema\":1}\nnot json\n")); err == nil {
+		t.Error("malformed journal line accepted")
+	}
+}
+
+func TestFlightRecorderWriteJSONL(t *testing.T) {
+	f := NewFlightRecorder("s3", 2, nil)
+	for i := 0; i < 5; i++ {
+		f.Record(FlightEvent{Iteration: i})
+	}
+	var b strings.Builder
+	if err := f.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJournal(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Iteration != 3 || events[1].Iteration != 4 {
+		t.Errorf("round-tripped ring = %+v, want iterations 3,4", events)
+	}
+}

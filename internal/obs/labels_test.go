@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := NewHistogram([]float64{1, 2, 3})
+		for _, q := range []float64{0.01, 0.5, 0.99} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty q%v = %v, want 0", q, got)
+			}
+		}
+	})
+	t.Run("single-bucket", func(t *testing.T) {
+		h := NewHistogram([]float64{10})
+		h.Observe(5)
+		h.Observe(5)
+		// Both observations are inside [0,10]; interpolation stays there.
+		if got := h.Quantile(0.5); got < 0 || got > 10 {
+			t.Errorf("q50 = %v, want within [0,10]", got)
+		}
+		// Overflow ranks clamp to the only bound.
+		h.Observe(1e9)
+		h.Observe(1e9)
+		h.Observe(1e9)
+		if got := h.Quantile(0.99); got != 10 {
+			t.Errorf("overflow q99 = %v, want 10", got)
+		}
+	})
+	t.Run("inf-bucket", func(t *testing.T) {
+		// An explicit trailing +Inf bound is redundant with the implicit
+		// overflow bucket: it must not leak +Inf out of Quantile.
+		h := NewHistogram([]float64{1, 2, math.Inf(1)})
+		h.Observe(0.5)
+		h.Observe(100)
+		for _, q := range []float64{0.5, 0.99} {
+			if got := h.Quantile(q); math.IsInf(got, 0) || got > 2 {
+				t.Errorf("q%v = %v, want finite <= last real bound 2", q, got)
+			}
+		}
+		if bounds, _ := h.Buckets(); len(bounds) != 2 {
+			t.Errorf("bounds = %v, want trailing +Inf stripped", bounds)
+		}
+	})
+}
+
+// TestVecConcurrentAccess hammers one vector's label map from many
+// goroutines resolving overlapping label values; run under -race this
+// is the regression test for the map's locking.
+func TestVecConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG, values = 16, 500, 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := fmt.Sprintf("v%d", (g+i)%values)
+				// Resolve through the registry every time: get-or-create
+				// on both the vec and the child must be race-free.
+				r.CounterVec("vec.ctr", "k").With(v).Inc()
+				r.GaugeVec("vec.gauge", "k").With(v).Set(float64(i))
+				r.HistogramVec("vec.hist", "k", nil).With(v).Observe(1e-4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range r.CounterVec("vec.ctr", "k").v.snapshot() {
+		total += s.metric.Value()
+	}
+	if total != goroutines*perG {
+		t.Errorf("counter total = %d, want %d", total, goroutines*perG)
+	}
+	var hcount int64
+	for _, s := range r.HistogramVec("vec.hist", "k", nil).v.snapshot() {
+		hcount += s.metric.Count()
+	}
+	if hcount != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", hcount, goroutines*perG)
+	}
+}
+
+func TestVecCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("capped", "k")
+	for i := 0; i < MaxLabelValues; i++ {
+		cv.With(fmt.Sprintf("v%03d", i)).Inc()
+	}
+	// Beyond the cap every new value lands on the shared overflow child.
+	overflow := cv.With("one-too-many")
+	for i := 0; i < 10; i++ {
+		if got := cv.With(fmt.Sprintf("extra%d", i)); got != overflow {
+			t.Fatalf("extra value %d got its own child past the cap", i)
+		}
+		got := cv.With(OverflowLabel)
+		if got != overflow {
+			t.Fatalf("overflow label resolves to a different child")
+		}
+	}
+	// Existing values keep their own children.
+	if cv.With("v000") == overflow {
+		t.Error("pre-cap value collapsed into overflow")
+	}
+	kids := cv.v.snapshot()
+	if len(kids) != MaxLabelValues+1 {
+		t.Errorf("children = %d, want %d (cap + overflow)", len(kids), MaxLabelValues+1)
+	}
+}
+
+func TestVecLabeledSnapshotKeys(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("ops", "op").With("hit").Add(3)
+	r.CounterVec("ops", "op").With("miss").Add(1)
+	snap := r.Snapshot()
+	if got := snap[`ops{op="hit"}`]; got != int64(3) {
+		t.Errorf(`ops{op="hit"} = %v, want 3`, got)
+	}
+	if got := snap[`ops{op="miss"}`]; got != int64(1) {
+		t.Errorf(`ops{op="miss"} = %v, want 1`, got)
+	}
+}

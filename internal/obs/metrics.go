@@ -73,8 +73,14 @@ type Histogram struct {
 }
 
 // NewHistogram creates a histogram over the given ascending bucket upper
-// bounds (nil: DefaultLatencyBuckets).
+// bounds (nil: DefaultLatencyBuckets). A trailing +Inf bound is dropped:
+// it duplicates the implicit overflow bucket, and keeping it would both
+// render a duplicate le="+Inf" exposition series and poison quantile
+// interpolation.
 func NewHistogram(bounds []float64) *Histogram {
+	for len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], 1) {
+		bounds = bounds[:len(bounds)-1]
+	}
 	if len(bounds) == 0 {
 		bounds = DefaultLatencyBuckets
 	}
@@ -99,6 +105,17 @@ func (h *Histogram) Observe(v float64) {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Buckets returns the bucket upper bounds and the per-bucket counts;
+// counts has one extra trailing element for the overflow (+Inf) bucket.
+// The counts are a snapshot copy.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
@@ -162,18 +179,49 @@ func (h *Histogram) Summary() HistogramSummary {
 // Registry holds named metrics. Lookups take a lock; instrumented
 // packages resolve their metrics once and then touch only atomics.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
+	collectors  []func(*Registry)
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+		histVecs:    make(map[string]*HistogramVec),
+	}
+}
+
+// RegisterCollector adds a scrape-time callback: every Snapshot,
+// WriteJSON and WritePrometheus first runs the collectors, which update
+// gauges/histograms that are cheaper to read on demand than to maintain
+// continuously (the Go runtime stats, occupancy gauges). Collectors run
+// outside the registry lock and must be safe for concurrent calls.
+func (r *Registry) RegisterCollector(fn func(*Registry)) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// collect runs the registered scrape-time collectors.
+func (r *Registry) collect() {
+	r.mu.RLock()
+	fns := r.collectors
+	r.mu.RUnlock()
+	for _, fn := range fns {
+		fn(r)
 	}
 }
 
@@ -217,6 +265,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns the named histogram, creating it with
 // DefaultLatencyBuckets if needed.
 func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, nil)
+}
+
+// HistogramBuckets returns the named histogram, creating it over the
+// given bucket bounds if needed (nil: DefaultLatencyBuckets). An
+// existing histogram keeps its original buckets.
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
 	r.mu.RLock()
 	h := r.hists[name]
 	r.mu.RUnlock()
@@ -226,7 +281,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
-		h = NewHistogram(nil)
+		h = NewHistogram(bounds)
 		r.hists[name] = h
 	}
 	return h
@@ -242,8 +297,11 @@ func GetGauge(name string) *Gauge { return Default.Gauge(name) }
 func GetHistogram(name string) *Histogram { return Default.Histogram(name) }
 
 // Snapshot returns every metric's current value keyed by name: int64 for
-// counters, float64 for gauges, HistogramSummary for histograms.
+// counters, float64 for gauges, HistogramSummary for histograms. Labeled
+// series render under `name{label="value"}` keys. Registered collectors
+// run first so scrape-time gauges are fresh.
 func (r *Registry) Snapshot() map[string]any {
+	r.collect()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
@@ -256,7 +314,27 @@ func (r *Registry) Snapshot() map[string]any {
 	for name, h := range r.hists {
 		out[name] = h.Summary()
 	}
+	for name, cv := range r.counterVecs {
+		for _, s := range cv.v.snapshot() {
+			out[seriesKey(name, cv.v.label, s.value)] = s.metric.Value()
+		}
+	}
+	for name, gv := range r.gaugeVecs {
+		for _, s := range gv.v.snapshot() {
+			out[seriesKey(name, gv.v.label, s.value)] = s.metric.Value()
+		}
+	}
+	for name, hv := range r.histVecs {
+		for _, s := range hv.v.snapshot() {
+			out[seriesKey(name, hv.v.label, s.value)] = s.metric.Summary()
+		}
+	}
 	return out
+}
+
+// seriesKey renders one labeled series' JSON key.
+func seriesKey(name, label, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, label, value)
 }
 
 // WriteJSON writes the registry as expvar-flavored JSON: one flat object

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Go runtime telemetry: goroutine count, heap occupancy and a GC pause
+// histogram, collected at scrape time (Snapshot / WriteJSON /
+// WritePrometheus) rather than continuously — reading MemStats costs a
+// stop-the-world of microseconds, far too much for hot paths but
+// irrelevant at scrape frequency. The default registry installs the
+// collector at package init so every process exposing /v1/metrics or
+// /metrics carries the runtime series with zero setup.
+
+// GCPauseBuckets are the GC pause histogram bounds: 10µs to 100ms.
+var GCPauseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,
+}
+
+// runtimeCollector feeds the go_* series of one registry.
+type runtimeCollector struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+// collect updates the registry's runtime gauges and drains new GC
+// pauses (since the previous scrape) into the pause histogram.
+func (rc *runtimeCollector) collect(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("go_memstats_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("go_memstats_heap_sys_bytes").Set(float64(ms.HeapSys))
+	r.Gauge("go_memstats_heap_objects").Set(float64(ms.HeapObjects))
+	r.Gauge("go_memstats_next_gc_bytes").Set(float64(ms.NextGC))
+	r.Gauge("go_gc_cpu_fraction").Set(ms.GCCPUFraction)
+
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	last := rc.lastNumGC
+	if gc := r.Counter("go_gc_cycles_total"); ms.NumGC >= last {
+		gc.Add(int64(ms.NumGC - last))
+	}
+	// PauseNs is a 256-entry ring of recent pause durations; replay only
+	// the cycles that finished since the last scrape.
+	pauses := r.Histogram("go_gc_pause_seconds")
+	n := ms.NumGC - last
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		cycle := ms.NumGC - i
+		pauses.Observe(float64(ms.PauseNs[(cycle+255)%256]) / 1e9)
+	}
+	rc.lastNumGC = ms.NumGC
+}
+
+// EnableRuntimeMetrics installs the Go runtime collector on the
+// registry (goroutines, heap gauges, GC cycle counter and pause
+// histogram, all prefixed go_). The default registry has it installed
+// already; call this only for private registries.
+func EnableRuntimeMetrics(r *Registry) {
+	rc := &runtimeCollector{}
+	// Seed lastNumGC so the first scrape reports only pauses from the
+	// process's recent history, not an unbounded replay.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.NumGC > 256 {
+		rc.lastNumGC = ms.NumGC - 256
+	}
+	// The pause histogram needs GC-scale buckets, not request-latency
+	// ones; create it before a scrape can default it.
+	r.HistogramBuckets("go_gc_pause_seconds", GCPauseBuckets)
+	r.RegisterCollector(rc.collect)
+}
+
+func init() { EnableRuntimeMetrics(Default) }

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO monitoring: the service records every request's latency and
+// outcome; the monitor keeps time-bucketed good/bad counts and computes
+// multi-window burn rates — how fast the error budget is being spent —
+// following the SRE-workbook pattern: an SLO is breached operationally
+// when BOTH a short window (reacting quickly) and a long window
+// (filtering blips) burn faster than the alert threshold.
+//
+// Two objectives are tracked: a latency SLO (fraction of requests
+// answered under a threshold) and an availability SLO (fraction of
+// requests that do not fail server-side).
+
+// SLOConfig declares the objectives. The zero value is not valid; start
+// from DefaultSLOConfig.
+type SLOConfig struct {
+	// LatencyThreshold is the "fast enough" bound: a request slower
+	// than this is bad for the latency SLO.
+	LatencyThreshold time.Duration
+	// LatencyObjective is the target fraction of fast requests
+	// (e.g. 0.99).
+	LatencyObjective float64
+	// ErrorObjective is the target fraction of non-error requests
+	// (e.g. 0.999). 5xx responses count as errors.
+	ErrorObjective float64
+	// ShortWindow and LongWindow are the two burn-rate windows
+	// (defaults 5m and 1h). LongWindow also bounds how much history the
+	// monitor retains.
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	// BurnAlertThreshold is the burn rate both windows must exceed for
+	// the SLO to report burning (default 2: spending budget at twice
+	// the sustainable rate).
+	BurnAlertThreshold float64
+}
+
+// DefaultSLOConfig returns the service defaults: 99% of requests under
+// 500ms, 99.9% non-error, 5m/1h windows, alert at 2x burn.
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{
+		LatencyThreshold:   500 * time.Millisecond,
+		LatencyObjective:   0.99,
+		ErrorObjective:     0.999,
+		ShortWindow:        5 * time.Minute,
+		LongWindow:         time.Hour,
+		BurnAlertThreshold: 2,
+	}
+}
+
+// Validate rejects nonsensical configurations.
+func (c SLOConfig) Validate() error {
+	if c.LatencyThreshold <= 0 {
+		return fmt.Errorf("obs: slo LatencyThreshold must be positive, got %v", c.LatencyThreshold)
+	}
+	for name, obj := range map[string]float64{"LatencyObjective": c.LatencyObjective, "ErrorObjective": c.ErrorObjective} {
+		if obj <= 0 || obj >= 1 {
+			return fmt.Errorf("obs: slo %s must be in (0,1), got %g", name, obj)
+		}
+	}
+	if c.ShortWindow <= 0 || c.LongWindow <= 0 || c.ShortWindow > c.LongWindow {
+		return fmt.Errorf("obs: slo windows must satisfy 0 < short <= long, got %v/%v", c.ShortWindow, c.LongWindow)
+	}
+	if c.BurnAlertThreshold <= 0 {
+		return fmt.Errorf("obs: slo BurnAlertThreshold must be positive, got %g", c.BurnAlertThreshold)
+	}
+	return nil
+}
+
+// sloBucket is one time slice's counts.
+type sloBucket struct {
+	start  time.Time
+	total  int64
+	slow   int64
+	errors int64
+}
+
+// sloRingBuckets fixes the ring resolution: LongWindow/60 per bucket
+// (1m buckets for the default 1h window).
+const sloRingBuckets = 60
+
+// SLOMonitor accumulates request outcomes into a bucket ring and
+// derives burn rates on demand. Safe for concurrent use; Record is two
+// atomic-free increments under a short mutex, fine at request (not
+// sample-scan) frequency.
+type SLOMonitor struct {
+	cfg  SLOConfig
+	now  func() time.Time // injectable clock for tests
+	mu   sync.Mutex
+	ring [sloRingBuckets]sloBucket
+	gran time.Duration
+}
+
+// NewSLOMonitor builds a monitor for the given config (start from
+// DefaultSLOConfig).
+func NewSLOMonitor(cfg SLOConfig) (*SLOMonitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SLOMonitor{cfg: cfg, now: time.Now, gran: cfg.LongWindow / sloRingBuckets}, nil
+}
+
+// Config returns the monitor's objectives.
+func (m *SLOMonitor) Config() SLOConfig { return m.cfg }
+
+// Record adds one request outcome. Nil-safe.
+func (m *SLOMonitor) Record(latency time.Duration, isError bool) {
+	if m == nil {
+		return
+	}
+	now := m.now()
+	m.mu.Lock()
+	b := m.bucketFor(now)
+	b.total++
+	if latency > m.cfg.LatencyThreshold {
+		b.slow++
+	}
+	if isError {
+		b.errors++
+	}
+	m.mu.Unlock()
+}
+
+// bucketFor returns the live bucket for t, recycling stale slots.
+// Callers hold m.mu.
+func (m *SLOMonitor) bucketFor(t time.Time) *sloBucket {
+	slot := int(t.UnixNano()/int64(m.gran)) % sloRingBuckets
+	if slot < 0 {
+		slot += sloRingBuckets
+	}
+	b := &m.ring[slot]
+	start := t.Truncate(m.gran)
+	if !b.start.Equal(start) {
+		*b = sloBucket{start: start}
+	}
+	return b
+}
+
+// SLOWindowStatus is one objective's state over one window.
+type SLOWindowStatus struct {
+	// Window is the window length, e.g. "5m0s".
+	Window string `json:"window"`
+	// Total and Bad count requests and objective violations inside the
+	// window.
+	Total int64 `json:"total"`
+	Bad   int64 `json:"bad"`
+	// BadFraction is Bad/Total (0 when idle).
+	BadFraction float64 `json:"bad_fraction"`
+	// BurnRate is BadFraction divided by the objective's error budget:
+	// 1 means the budget exactly sustains, above 1 it is being spent
+	// too fast.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// SLOObjectiveStatus is one objective's multi-window state.
+type SLOObjectiveStatus struct {
+	// Objective is the target good fraction; Budget the allowed bad
+	// fraction (1 - Objective).
+	Objective float64 `json:"objective"`
+	Budget    float64 `json:"budget"`
+	// ThresholdMS is set for the latency objective only.
+	ThresholdMS float64 `json:"threshold_ms,omitempty"`
+	// Short and Long are the two burn windows.
+	Short SLOWindowStatus `json:"short"`
+	Long  SLOWindowStatus `json:"long"`
+	// Burning reports both windows exceeding the alert threshold.
+	Burning bool `json:"burning"`
+}
+
+// SLOStatus is the full monitor state served on /v1/slo.
+type SLOStatus struct {
+	Latency SLOObjectiveStatus `json:"latency"`
+	Errors  SLOObjectiveStatus `json:"errors"`
+	// Healthy is true when no objective is burning.
+	Healthy bool `json:"healthy"`
+	// BurnAlertThreshold echoes the configured alert threshold.
+	BurnAlertThreshold float64 `json:"burn_alert_threshold"`
+}
+
+// Status computes the multi-window burn rates. Nil-safe: a nil monitor
+// reports an empty, healthy status.
+func (m *SLOMonitor) Status() SLOStatus {
+	if m == nil {
+		return SLOStatus{Healthy: true}
+	}
+	now := m.now()
+	m.mu.Lock()
+	shortTotal, shortSlow, shortErrs := m.sum(now, m.cfg.ShortWindow)
+	longTotal, longSlow, longErrs := m.sum(now, m.cfg.LongWindow)
+	m.mu.Unlock()
+
+	latency := m.objective(m.cfg.LatencyObjective,
+		window(m.cfg.ShortWindow, shortTotal, shortSlow),
+		window(m.cfg.LongWindow, longTotal, longSlow))
+	latency.ThresholdMS = float64(m.cfg.LatencyThreshold) / float64(time.Millisecond)
+	errors := m.objective(m.cfg.ErrorObjective,
+		window(m.cfg.ShortWindow, shortTotal, shortErrs),
+		window(m.cfg.LongWindow, longTotal, longErrs))
+	return SLOStatus{
+		Latency:            latency,
+		Errors:             errors,
+		Healthy:            !latency.Burning && !errors.Burning,
+		BurnAlertThreshold: m.cfg.BurnAlertThreshold,
+	}
+}
+
+// sum totals the ring's buckets younger than window. Callers hold m.mu.
+func (m *SLOMonitor) sum(now time.Time, window time.Duration) (total, slow, errors int64) {
+	cutoff := now.Add(-window)
+	for i := range m.ring {
+		b := &m.ring[i]
+		if b.start.IsZero() || b.start.Before(cutoff.Truncate(m.gran)) || b.start.After(now) {
+			continue
+		}
+		total += b.total
+		slow += b.slow
+		errors += b.errors
+	}
+	return total, slow, errors
+}
+
+// window builds one window's raw status.
+func window(w time.Duration, total, bad int64) SLOWindowStatus {
+	st := SLOWindowStatus{Window: w.String(), Total: total, Bad: bad}
+	if total > 0 {
+		st.BadFraction = float64(bad) / float64(total)
+	}
+	return st
+}
+
+// objective finishes one objective's status from its raw windows.
+func (m *SLOMonitor) objective(obj float64, short, long SLOWindowStatus) SLOObjectiveStatus {
+	budget := 1 - obj
+	if budget > 0 {
+		short.BurnRate = short.BadFraction / budget
+		long.BurnRate = long.BadFraction / budget
+	}
+	return SLOObjectiveStatus{
+		Objective: obj,
+		Budget:    budget,
+		Short:     short,
+		Long:      long,
+		Burning: short.BurnRate >= m.cfg.BurnAlertThreshold &&
+			long.BurnRate >= m.cfg.BurnAlertThreshold,
+	}
+}

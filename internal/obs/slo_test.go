@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sloTestMonitor builds a monitor with a controllable clock.
+func sloTestMonitor(t *testing.T) (*SLOMonitor, *time.Time) {
+	t.Helper()
+	m, err := NewSLOMonitor(DefaultSLOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	m.now = func() time.Time { return now }
+	return m, &now
+}
+
+func TestSLOHealthyUnderGoodTraffic(t *testing.T) {
+	m, _ := sloTestMonitor(t)
+	for i := 0; i < 1000; i++ {
+		m.Record(10*time.Millisecond, false)
+	}
+	st := m.Status()
+	if !st.Healthy || st.Latency.Burning || st.Errors.Burning {
+		t.Errorf("status = %+v, want healthy", st)
+	}
+	if st.Latency.Short.Total != 1000 || st.Latency.Short.Bad != 0 {
+		t.Errorf("latency short window = %+v", st.Latency.Short)
+	}
+}
+
+func TestSLOErrorBurn(t *testing.T) {
+	m, _ := sloTestMonitor(t)
+	// 1% server errors against a 99.9% objective: burn rate 10x in both
+	// windows, far past the 2x alert threshold.
+	for i := 0; i < 1000; i++ {
+		m.Record(time.Millisecond, i%100 == 0)
+	}
+	st := m.Status()
+	if !st.Errors.Burning || st.Healthy {
+		t.Errorf("status = %+v, want errors burning", st)
+	}
+	if st.Errors.Short.BurnRate < 2 || st.Errors.Long.BurnRate < 2 {
+		t.Errorf("burn rates = %v/%v, want >= 2", st.Errors.Short.BurnRate, st.Errors.Long.BurnRate)
+	}
+	if st.Latency.Burning {
+		t.Error("latency burning without slow requests")
+	}
+}
+
+func TestSLOLatencyBurn(t *testing.T) {
+	m, _ := sloTestMonitor(t)
+	// 10% of requests over the 500ms threshold against a 99% objective:
+	// 10x burn.
+	for i := 0; i < 1000; i++ {
+		lat := time.Millisecond
+		if i%10 == 0 {
+			lat = time.Second
+		}
+		m.Record(lat, false)
+	}
+	st := m.Status()
+	if !st.Latency.Burning || st.Healthy {
+		t.Errorf("status = %+v, want latency burning", st)
+	}
+}
+
+func TestSLOShortWindowRecovery(t *testing.T) {
+	m, now := sloTestMonitor(t)
+	// A burst of errors, then six minutes of clean traffic: the short
+	// window clears (errors aged out), so the multi-window rule stops
+	// alerting even though the long window still remembers the burst.
+	for i := 0; i < 100; i++ {
+		m.Record(time.Millisecond, true)
+	}
+	if st := m.Status(); !st.Errors.Burning {
+		t.Fatalf("burst not burning: %+v", st.Errors)
+	}
+	*now = now.Add(6 * time.Minute)
+	for i := 0; i < 100; i++ {
+		m.Record(time.Millisecond, false)
+	}
+	st := m.Status()
+	if st.Errors.Burning {
+		t.Errorf("still burning after short window cleared: %+v", st.Errors)
+	}
+	if st.Errors.Long.Bad != 100 {
+		t.Errorf("long window bad = %d, want 100 (burst retained)", st.Errors.Long.Bad)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	m, now := sloTestMonitor(t)
+	for i := 0; i < 50; i++ {
+		m.Record(time.Millisecond, true)
+	}
+	*now = now.Add(2 * time.Hour) // past the long window
+	m.Record(time.Millisecond, false)
+	st := m.Status()
+	if st.Errors.Long.Total != 1 || st.Errors.Long.Bad != 0 {
+		t.Errorf("long window after expiry = %+v, want only the fresh request", st.Errors.Long)
+	}
+	if !st.Healthy {
+		t.Errorf("status = %+v, want healthy after history expired", st)
+	}
+}
+
+func TestSLONilMonitor(t *testing.T) {
+	var m *SLOMonitor
+	m.Record(time.Second, true) // must not panic
+	if st := m.Status(); !st.Healthy {
+		t.Errorf("nil monitor status = %+v, want healthy", st)
+	}
+}
+
+func TestSLOConfigValidate(t *testing.T) {
+	bad := []func(*SLOConfig){
+		func(c *SLOConfig) { c.LatencyThreshold = 0 },
+		func(c *SLOConfig) { c.LatencyObjective = 1 },
+		func(c *SLOConfig) { c.ErrorObjective = 0 },
+		func(c *SLOConfig) { c.ShortWindow = 2 * c.LongWindow },
+		func(c *SLOConfig) { c.BurnAlertThreshold = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultSLOConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if err := DefaultSLOConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

@@ -52,6 +52,13 @@ var (
 	obsQueueDepth = obs.GetGauge("par.queue_depth")
 	obsTasks      = obs.GetCounter("par.tasks")
 	obsInlineRuns = obs.GetCounter("par.inline_runs")
+
+	// par_pool{state="queued"|"running"} is the labeled pool-occupancy
+	// pair: queued is sampled at submission and drain, running is
+	// maintained by the executors. Two atomics per chunk — chunks are
+	// coarse, so this stays off the per-item hot path.
+	obsPoolQueued  = obs.GetGaugeVec("par_pool", "state").With("queued")
+	obsPoolRunning = obs.GetGaugeVec("par_pool", "state").With("running")
 	// obsCancellations counts For/Map calls abandoned by context
 	// cancellation — the process-wide signal that deadlines and client
 	// disconnects actually stop parallel work.
@@ -199,7 +206,9 @@ func ForCtx(ctx context.Context, k *Kernel, workers, n, minChunk int, fn func(ch
 	panicked := false
 	pending.Store(int32(chunks))
 	run := func(c, lo, hi int) {
+		obsPoolRunning.Add(1)
 		defer func() {
+			obsPoolRunning.Add(-1)
 			if r := recover(); r != nil {
 				panicMu.Lock()
 				if !panicked {
@@ -279,6 +288,7 @@ func ForCtx(ctx context.Context, k *Kernel, workers, n, minChunk int, fn func(ch
 			}
 			return nil
 		case task := <-pool.tasks:
+			obsPoolQueued.Set(float64(len(pool.tasks)))
 			task()
 		}
 	}
@@ -366,6 +376,7 @@ func (p *workerPool) start() {
 	for i := 0; i < size; i++ {
 		go func() {
 			for fn := range p.tasks {
+				obsPoolQueued.Set(float64(len(p.tasks)))
 				fn()
 			}
 		}()
@@ -378,7 +389,9 @@ func (p *workerPool) trySubmit(fn func()) bool {
 	p.once.Do(p.start)
 	select {
 	case p.tasks <- fn:
-		obsQueueDepth.Set(float64(len(p.tasks)))
+		depth := float64(len(p.tasks))
+		obsQueueDepth.Set(depth)
+		obsPoolQueued.Set(depth)
 		return true
 	default:
 		return false

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/explore-by-example/aide/internal/explore"
+	"github.com/explore-by-example/aide/internal/obs"
 )
 
 // Client is a Go client for the exploration service. It wraps the
@@ -154,6 +155,33 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// PrometheusMetrics returns the server's /metrics text exposition
+// (Prometheus format 0.0.4), verbatim.
+func (c *Client) PrometheusMetrics(ctx context.Context) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// SLO returns the server's multi-window SLO burn-rate status.
+func (c *Client) SLO(ctx context.Context) (obs.SLOStatus, error) {
+	var st obs.SLOStatus
+	err := c.do(ctx, http.MethodGet, "/v1/slo", nil, &st)
+	return st, err
+}
+
+// Events returns the session's retained flight-recorder events, oldest
+// first, parsed from the server's JSONL stream.
+func (c *Client) Events(ctx context.Context, id string) ([]obs.FlightEvent, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/events", nil, &raw); err != nil {
+		return nil, err
+	}
+	return obs.ReadJournal(bytes.NewReader(raw))
+}
+
 // Status mirrors the server's progress snapshot (the SQL field carries a
 // nested QueryResponse payload; prefer PredictedQuery).
 type Status struct {
@@ -237,6 +265,15 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 		return -1, err
 	}
 	if out == nil {
+		return -1, nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		// Non-JSON endpoints (Prometheus exposition, JSONL event
+		// streams) are fetched verbatim.
+		*raw, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return -1, fmt.Errorf("service: reading response: %w", err)
+		}
 		return -1, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

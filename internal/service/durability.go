@@ -130,7 +130,10 @@ func (s *Server) recoverOne(id string) error {
 		log.Close()
 		return fmt.Errorf("rebuilding session: %w", err)
 	}
-	sess.SetRecorder(ls.rec)
+	// The flight journal reopens in append mode: a recovered session's
+	// events continue the same file its previous incarnation wrote.
+	s.openFlight(ls)
+	ls.instrument(sess)
 
 	s.mu.Lock()
 	s.sessions[id] = ls

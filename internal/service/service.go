@@ -10,10 +10,13 @@
 //	GET    /v1/sessions/{id}/status     progress snapshot
 //	GET    /v1/sessions/{id}/query      current predicted query
 //	GET    /v1/sessions/{id}/trace      recent per-iteration trace spans
+//	GET    /v1/sessions/{id}/events     flight-recorder events (JSONL)
 //	DELETE /v1/sessions/{id}            stop and discard
 //	GET    /v1/views                    registered views (rows, attrs)
 //	GET    /v1/metrics                  process metrics (expvar-style JSON)
-//	GET    /healthz                     liveness probe
+//	GET    /v1/slo                      SLO burn-rate status
+//	GET    /metrics                     Prometheus text exposition
+//	GET    /healthz                     liveness probe (+ SLO detail)
 //
 // Sessions idle longer than SessionTTL are evicted by the janitor
 // (StartJanitor) so abandoned long-poll sessions do not leak.
@@ -30,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -59,9 +63,21 @@ type Server struct {
 	// TraceCapacity is how many recent iteration traces each session
 	// retains for GET /sessions/{id}/trace (default 64).
 	TraceCapacity int
-	// Metrics is the registry /v1/metrics serves (default obs.Default,
-	// which the engine and steering loop report into).
+	// FlightCapacity is how many recent flight-recorder events each
+	// session retains in memory for GET /sessions/{id}/events (default
+	// 256). With Durable set, every event is additionally persisted to a
+	// JSONL journal next to the session's WAL.
+	FlightCapacity int
+	// Metrics is the registry /v1/metrics (JSON) and /metrics (Prometheus
+	// text exposition) serve (default obs.Default, which the engine and
+	// steering loop report into).
 	Metrics *obs.Registry
+	// SLO, when set, records every request's latency and outcome and
+	// serves multi-window burn rates on GET /v1/slo plus a health detail
+	// on /healthz. The long-poll sample endpoint is excluded from SLO
+	// accounting: its latency is dominated by user think-time, not
+	// service health. Nil disables SLO monitoring.
+	SLO *obs.SLOMonitor
 
 	// Durable, when set, write-ahead-logs every session so it survives a
 	// process crash: creation parameters and each acknowledged label hit
@@ -248,6 +264,7 @@ func (s *Server) ExpireIdle(ttl time.Duration) int {
 		if ls.wal != nil {
 			_ = ls.wal.Close()
 		}
+		ls.closeEvents()
 		obsSessionsExpired.Inc()
 		obsSessionsActive.Add(-1)
 	}
@@ -313,6 +330,18 @@ type liveSession struct {
 	pending chan labelRequest
 	current chan labelRequest // holds the request being labeled, capacity 1
 	rec     *obs.Recorder     // per-iteration trace ring buffer
+
+	// flight is the session's wide-event journal; events, when non-nil,
+	// is its persistent JSONL sink next to the WAL.
+	flight *obs.FlightRecorder
+	events *os.File
+
+	// reqIDs collects the ids of requests that drove the session since
+	// the last iteration; the span annotator stamps them on the next
+	// iteration's root span (bounded — overflow is counted, not stored).
+	reqMu      sync.Mutex
+	reqIDs     []string
+	reqDropped int
 
 	// Creation parameters, kept for the WAL create record and for
 	// rebuilding the session after a panic.
@@ -507,14 +536,37 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if sw.status >= 400 {
 		obsHTTPErrors.Inc()
 	}
+	// SLO accounting: every request except the long-poll sample endpoint
+	// (whose latency is user think-time, not service health). 5xx counts
+	// against the availability objective. Record is nil-safe.
+	if endpoint != "sample" {
+		s.SLO.Record(time.Since(start), sw.status >= 500)
+	}
 }
 
 // dispatch routes the request and returns the endpoint label its metrics
 // are recorded under.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) string {
 	if r.URL.Path == "/healthz" && r.Method == http.MethodGet {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Liveness stays "ok" as long as the process answers; the SLO
+		// detail rides along so probes can see burn-rate degradation
+		// without flipping liveness.
+		resp := map[string]any{"status": "ok"}
+		if s.SLO != nil {
+			st := s.SLO.Status()
+			resp["slo_healthy"] = st.Healthy
+			resp["slo"] = st
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return "healthz"
+	}
+	if r.URL.Path == "/metrics" && r.Method == http.MethodGet {
+		reg := s.Metrics
+		if reg == nil {
+			reg = obs.Default
+		}
+		reg.PromHandler().ServeHTTP(w, r)
+		return "prometheus"
 	}
 	path := strings.TrimPrefix(r.URL.Path, "/v1/")
 	switch {
@@ -540,6 +592,9 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) string {
 		}
 		reg.Handler().ServeHTTP(w, r)
 		return "metrics"
+	case path == "slo" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, s.SLO.Status())
+		return "slo"
 	default:
 		httpError(w, http.StatusNotFound, "no such endpoint")
 		return "notfound"
@@ -594,6 +649,13 @@ func (s *Server) dispatchSession(w http.ResponseWriter, r *http.Request, id, act
 			Spans: ls.rec.Snapshot(),
 		})
 		return "trace"
+	case action == "events" && r.Method == http.MethodGet:
+		// The retained flight-recorder events, streamed as JSONL — the
+		// same format the persistent journal holds.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_ = ls.flight.WriteJSONL(w)
+		return "events"
 	case action == "query" && r.Method == http.MethodGet:
 		st, _ := ls.snapshot()
 		var resp QueryResponse
@@ -745,7 +807,6 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sess.SetRecorder(ls.rec)
 
 	if s.Durable != nil {
 		log, err := s.Durable.Create(ls.id, ls.created)
@@ -756,6 +817,8 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		}
 		ls.wal = log
 	}
+	s.openFlight(ls)
+	ls.instrument(sess)
 
 	s.mu.Lock()
 	s.sessions[ls.id] = ls
@@ -811,7 +874,7 @@ func (s *Server) rebuildSession(ls *liveSession, view *engine.View) (*explore.Se
 	if err != nil {
 		return nil, err
 	}
-	sess.SetRecorder(ls.rec)
+	ls.instrument(sess)
 	return sess, nil
 }
 
@@ -1024,6 +1087,9 @@ func (s *Server) label(w http.ResponseWriter, r *http.Request, ls *liveSession) 
 			httpError(w, http.StatusConflict, fmt.Sprintf("outstanding sample is row %d, not %d", pending.row, req.Row))
 			return
 		}
+		// Remember which request drove this label so the next iteration's
+		// root span can be correlated with the request log.
+		ls.noteRequest(RequestIDFrom(r.Context()))
 		// Write-ahead: the label reaches history and the WAL before it
 		// is acked or fed to the session, so an acked label survives a
 		// crash and an unpersisted one is never acked.
@@ -1050,8 +1116,10 @@ func (s *Server) deleteSession(w http.ResponseWriter, id string, ls *liveSession
 		obsSessionsActive.Add(-1)
 	}
 	// An explicit DELETE is the one operation that destroys durable
-	// state: the user discarded the exploration, so its log goes too.
-	// (Janitor eviction, by contrast, keeps the log; see ExpireIdle.)
+	// state: the user discarded the exploration, so its log — and its
+	// flight journal — go too. (Janitor eviction, by contrast, keeps
+	// both; see ExpireIdle.)
+	s.removeEvents(ls)
 	if s.Durable != nil {
 		_ = s.Durable.Remove(id)
 	}

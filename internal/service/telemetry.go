@@ -1,0 +1,113 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/explore-by-example/aide/internal/explore"
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// Per-session telemetry plumbing: the flight recorder (wide events +
+// persistent JSONL journal next to the WAL) and the request-id span
+// annotator that correlates /v1/sessions/{id}/trace with request logs.
+
+// maxSpanRequestIDs bounds how many request ids one iteration's root
+// span carries; a busy session's overflow is counted, not stored.
+const maxSpanRequestIDs = 8
+
+// flightCap returns the per-session flight-recorder ring capacity.
+func (s *Server) flightCap() int {
+	if s.FlightCapacity > 0 {
+		return s.FlightCapacity
+	}
+	return 256
+}
+
+// eventsPath is the session's flight journal location: next to its WAL.
+func (s *Server) eventsPath(id string) string {
+	return filepath.Join(s.Durable.Dir(), id+".events.jsonl")
+}
+
+// openFlight attaches a flight recorder to the session. With durable
+// persistence on, events are also appended to <id>.events.jsonl in the
+// durable directory; a journal that cannot be opened degrades to
+// in-memory-only events — the journal is telemetry, not durability, so
+// it must never fail session creation.
+func (s *Server) openFlight(ls *liveSession) {
+	var sink *os.File
+	if s.Durable != nil {
+		if f, err := os.OpenFile(s.eventsPath(ls.id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+			ls.events = f
+			sink = f
+		}
+	}
+	if sink != nil {
+		ls.flight = obs.NewFlightRecorder(ls.id, s.flightCap(), sink)
+	} else {
+		ls.flight = obs.NewFlightRecorder(ls.id, s.flightCap(), nil)
+	}
+}
+
+// closeEvents closes the persistent journal sink, if any. The file stays
+// on disk (janitor eviction, shutdown); only removeEvents deletes it.
+func (ls *liveSession) closeEvents() {
+	if ls.events != nil {
+		_ = ls.events.Close()
+		ls.events = nil
+	}
+}
+
+// removeEvents deletes the session's persistent journal (DELETE only).
+func (s *Server) removeEvents(ls *liveSession) {
+	ls.closeEvents()
+	if s.Durable != nil {
+		_ = os.Remove(s.eventsPath(ls.id))
+	}
+}
+
+// instrument wires the session's telemetry: trace recorder, flight
+// recorder and the request-id span annotator. Creation, crash recovery
+// and post-panic rebuild all route through it so every incarnation of a
+// session reports identically.
+func (ls *liveSession) instrument(sess *explore.Session) {
+	sess.SetRecorder(ls.rec)
+	sess.SetFlightRecorder(ls.flight)
+	sess.SetSpanAnnotator(ls.annotateSpan)
+}
+
+// noteRequest remembers one request id that drove this session (label
+// submissions); consecutive duplicates collapse.
+func (ls *liveSession) noteRequest(id string) {
+	if id == "" {
+		return
+	}
+	ls.reqMu.Lock()
+	switch {
+	case len(ls.reqIDs) > 0 && ls.reqIDs[len(ls.reqIDs)-1] == id:
+	case len(ls.reqIDs) >= maxSpanRequestIDs:
+		ls.reqDropped++
+	default:
+		ls.reqIDs = append(ls.reqIDs, id)
+	}
+	ls.reqMu.Unlock()
+}
+
+// annotateSpan drains the collected request ids onto an iteration's
+// root span. Runs on the session goroutine at iteration start.
+func (ls *liveSession) annotateSpan(sp *obs.Span) {
+	ls.reqMu.Lock()
+	ids := ls.reqIDs
+	dropped := ls.reqDropped
+	ls.reqIDs = nil
+	ls.reqDropped = 0
+	ls.reqMu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	sp.SetAttr("request_ids", strings.Join(ids, ","))
+	if dropped > 0 {
+		sp.SetAttr("request_ids_dropped", dropped)
+	}
+}

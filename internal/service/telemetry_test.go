@@ -1,0 +1,281 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/durable"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+func TestPrometheusEndpoint(t *testing.T) {
+	srv, v := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	id := driveSession(t, c, v, 35)
+	defer c.Close(ctx, id)
+
+	raw, err := c.PrometheusMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(raw); err != nil {
+		t.Fatalf("scrape invalid: %v", err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		// Labeled families from the instrumented layers.
+		`aide_iteration_seconds_bucket{phase="train",le=`,
+		`engine_cache_ops{op=`,
+		// Runtime gauges ride along in the default registry.
+		"# TYPE go_goroutines gauge",
+		"go_memstats_heap_alloc_bytes",
+		// Dotted internal names are sanitized.
+		"service_sessions_created",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+
+	// The JSON snapshot carries the same runtime gauges (the satellite
+	// guarantee: both /v1/metrics and /metrics expose them).
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := m["go_goroutines"].(float64); !ok || g < 1 {
+		t.Errorf("go_goroutines in /v1/metrics = %v", m["go_goroutines"])
+	}
+	if _, ok := m[`aide_iteration_seconds{phase="train"}`]; !ok {
+		t.Error(`/v1/metrics missing aide_iteration_seconds{phase="train"}`)
+	}
+}
+
+func TestSLOEndpointAndHealthz(t *testing.T) {
+	srv, v := newTestServer(t)
+	mon, err := obs.NewSLOMonitor(obs.DefaultSLOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SLO = mon
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	id := driveSession(t, c, v, 25)
+	defer c.Close(ctx, id)
+
+	st, err := c.SLO(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Healthy {
+		t.Errorf("slo status = %+v, want healthy", st)
+	}
+	if st.Latency.Long.Total == 0 {
+		t.Error("no requests recorded against the SLO")
+	}
+	if st.Latency.ThresholdMS != 500 {
+		t.Errorf("latency threshold = %v ms, want 500", st.Latency.ThresholdMS)
+	}
+
+	// healthz carries the SLO detail without changing liveness semantics.
+	var hz map[string]any
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["status"] != "ok" || hz["slo_healthy"] != true {
+		t.Errorf("healthz = %v", hz)
+	}
+	if _, ok := hz["slo"].(map[string]any); !ok {
+		t.Errorf("healthz slo detail = %v", hz["slo"])
+	}
+}
+
+func TestFlightEventsEndpointAndJournal(t *testing.T) {
+	srv, v := newTestServer(t)
+	m, err := durable.NewManager(t.TempDir(), durable.Options{Fsync: durable.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Durable = m
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	id := driveSession(t, c, v, 35)
+
+	events, err := c.Events(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no flight events after 35 labels")
+	}
+	prevIter := -1
+	for _, ev := range events {
+		if ev.Schema != obs.FlightEventSchema || ev.Session != id {
+			t.Fatalf("event not stamped: %+v", ev)
+		}
+		if ev.Iteration <= prevIter {
+			t.Errorf("iterations not increasing: %d after %d", ev.Iteration, prevIter)
+		}
+		prevIter = ev.Iteration
+		if ev.DurationMS < 0 || ev.TotalLabeled <= 0 {
+			t.Errorf("implausible event: %+v", ev)
+		}
+	}
+	// Phase timing lands in at least one event (discovery or train).
+	sawPhase := false
+	for _, ev := range events {
+		if len(ev.PhaseMS) > 0 {
+			sawPhase = true
+		}
+	}
+	if !sawPhase {
+		t.Error("no event carries phase timings")
+	}
+
+	// The persistent journal next to the WAL is well-formed JSONL holding
+	// at least the retained events.
+	path := srv.eventsPath(id)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("journal missing: %v", err)
+	}
+	fromDisk, err := obs.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("journal malformed: %v", err)
+	}
+	if len(fromDisk) < len(events) {
+		t.Errorf("journal holds %d events, ring served %d", len(fromDisk), len(events))
+	}
+
+	// DELETE removes the journal with the session.
+	if err := c.Close(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("journal still on disk after DELETE: %v", err)
+	}
+}
+
+func TestFlightJournalSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	mA, err := durable.NewManager(dir, durable.Options{Fsync: durable.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA, v := newTestServer(t)
+	srvA.Durable = mA
+	tsA := httptest.NewServer(srvA)
+	cA := NewClient(tsA.URL, nil)
+	ctx := context.Background()
+
+	id := driveSession(t, cA, v, 25)
+	eventsA, err := cA.Events(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA.Close() // simulate process death; journal and WAL stay on disk
+
+	mB, err := durable.NewManager(dir, durable.Options{Fsync: durable.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, _ := newTestServer(t)
+	srvB.Durable = mB
+	if n, err := srvB.RecoverSessions(nil); err != nil || n != 1 {
+		t.Fatalf("recovered %d sessions, err %v", n, err)
+	}
+	tsB := httptest.NewServer(srvB)
+	defer tsB.Close()
+	cB := NewClient(tsB.URL, nil)
+
+	// Drive a few more labels through the recovered incarnation; its
+	// events append to the same journal.
+	if n := driveMoreLabels(t, cB, v, id, 10); n == 0 {
+		t.Fatal("recovered session served no samples")
+	}
+
+	f, err := os.Open(srvB.eventsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := obs.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("journal malformed after recovery append: %v", err)
+	}
+	if len(all) <= len(eventsA) {
+		t.Errorf("journal did not grow across recovery: %d then %d", len(eventsA), len(all))
+	}
+	cB.Close(ctx, id)
+}
+
+// driveMoreLabels continues labeling an existing session.
+func driveMoreLabels(t *testing.T, c *Client, v *engine.View, id string, labels int) int {
+	t.Helper()
+	ctx := context.Background()
+	n := 0
+	for i := 0; i < labels; i++ {
+		sample, err := c.NextSample(ctx, id)
+		if err != nil {
+			break
+		}
+		p := v.Normalizer().ToNorm(geom.Point{sample.Values["a0"], sample.Values["a1"]})
+		if err := c.SubmitLabel(ctx, id, sample.Row, geom.R(20, 70, 25, 75).Contains(p)); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	return n
+}
+
+func TestRequestIDsOnIterationSpans(t *testing.T) {
+	srv, v := newTestServer(t)
+	ts := httptest.NewServer(WithRequestLog(nil, srv))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	id := driveSession(t, c, v, 35)
+	defer c.Close(ctx, id)
+
+	tr, err := c.Trace(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range tr.Spans {
+		ids, ok := sp.Attrs["request_ids"].(string)
+		if ok && ids != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no iteration span carries request_ids; spans = %+v", tr.Spans)
+	}
+}
