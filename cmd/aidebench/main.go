@@ -16,6 +16,17 @@
 //	aidebench -json BENCH_hotpaths.json
 //	aidebench -json - -workers 8 -quick
 //
+// Benchmarks run under GOMAXPROCS = runtime.NumCPU() by default (override
+// with -gomaxprocs); when GOMAXPROCS < workers the report carries a
+// warning field, because time-sliced "parallel" timings say nothing
+// about multicore scaling. The -baseline flag turns aidebench into a
+// regression gate: it reruns the hot-path suite at a committed
+// BENCH_hotpaths.json's scale and exits nonzero when grid_scan
+// single-thread ns/op regresses more than 20% or any kernel loses its
+// bit-identity gate:
+//
+//	aidebench -baseline BENCH_hotpaths.json
+//
 // The -trace flag replays an exploration flight-recorder journal (the
 // <id>.events.jsonl the server keeps next to each WAL, or a saved
 // /v1/sessions/{id}/events stream) into a per-phase latency and
@@ -35,10 +46,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -60,6 +73,8 @@ func main() {
 		metrics  = flag.String("metrics", "", "after all runs, dump internal counters as JSON to this file ('-' for stdout)")
 		jsonOut  = flag.String("json", "", "run the hot-path worker-pool benchmark and write its JSON report to this file ('-' for stdout)")
 		workers  = flag.Int("workers", 0, "worker count for the -json benchmark's parallel side (0: AIDE_WORKERS or GOMAXPROCS)")
+		procs    = flag.Int("gomaxprocs", 0, "GOMAXPROCS while benchmarking (0: runtime.NumCPU(); honest speedups need gomaxprocs >= workers)")
+		baseline = flag.String("baseline", "", "regression-gate mode: rerun the hot-path suite at this committed BENCH_hotpaths.json's scale and exit nonzero if grid_scan single-thread ns/op regresses >20% or any identical gate fails")
 
 		tracePath = flag.String("trace", "", "replay a flight-recorder JSONL journal into a per-phase latency/convergence report")
 		traceJSON = flag.String("trace-json", "", "also write the -trace report as JSON to this file ('-' for stdout)")
@@ -69,6 +84,26 @@ func main() {
 		iters         = flag.Int("iters", 0, "steering iterations per session for -throughput (default 8)")
 	)
 	flag.Parse()
+
+	// Benchmarks historically inherited whatever GOMAXPROCS the harness
+	// set — BENCH_hotpaths.json once recorded gomaxprocs=1 with
+	// workers=4, making every "speedup" a single-core artifact. Default
+	// to all CPUs so parallel timings mean what they claim.
+	n := *procs
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	runtime.GOMAXPROCS(n)
+
+	if *baseline != "" {
+		if err := runBaselineGate(*baseline, *workers, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "aidebench: %v\n", err)
+			os.Exit(1)
+		}
+		if *run == "" && *jsonOut == "" && *throughputOut == "" && *tracePath == "" {
+			return
+		}
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -188,6 +223,75 @@ func runHotpaths(path string, workers, rows int, seed int64, quick bool) error {
 		return err
 	}
 	return f.Close()
+}
+
+// maxGridScanRegress is the gate threshold: a fresh grid_scan
+// single-thread ns/op more than 20% above the committed baseline fails.
+const maxGridScanRegress = 1.20
+
+// runBaselineGate reruns the hot-path suite at the committed baseline's
+// scale and fails when grid_scan's single-thread ns/op regresses beyond
+// the threshold or any kernel loses bit-identity. Absolute ns/op
+// comparisons across different machines are inherently noisy; the 20%
+// margin plus the committed baseline being refreshed on the same class
+// of hardware keeps the gate a tripwire for real regressions rather
+// than scheduler jitter.
+func runBaselineGate(path string, workers int, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base bench.HotpathReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	cfg := bench.DefaultHotpathConfig()
+	cfg.Workers = workers
+	cfg.Seed = seed
+	// Compare at the baseline's recorded scale, whatever the current
+	// defaults are — ns/op is only meaningful against the same workload.
+	if base.Rows > 0 {
+		cfg.Rows = base.Rows
+	}
+	if base.TrainPoints > 0 {
+		cfg.TrainPoints = base.TrainPoints
+	}
+	if base.ClusterPoints > 0 {
+		cfg.ClusterPoints = base.ClusterPoints
+	}
+	rep, err := bench.RunHotpaths(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, rep.String())
+	for _, r := range rep.Results {
+		if !r.Identical {
+			return fmt.Errorf("gate: kernel %s lost its bit-identity gate", r.Name)
+		}
+	}
+	find := func(rep *bench.HotpathReport) *bench.HotpathResult {
+		for i := range rep.Results {
+			if rep.Results[i].Name == "grid_scan" {
+				return &rep.Results[i]
+			}
+		}
+		return nil
+	}
+	want, got := find(&base), find(rep)
+	if want == nil {
+		return fmt.Errorf("gate: baseline %s has no grid_scan result", path)
+	}
+	if got == nil {
+		return fmt.Errorf("gate: fresh run produced no grid_scan result")
+	}
+	ratio := float64(got.NsPerOpWorkers1) / float64(want.NsPerOpWorkers1)
+	if ratio > maxGridScanRegress {
+		return fmt.Errorf("gate: grid_scan w=1 regressed %.2fx vs baseline (%d ns/op vs %d ns/op, threshold %.2fx)",
+			ratio, got.NsPerOpWorkers1, want.NsPerOpWorkers1, maxGridScanRegress)
+	}
+	fmt.Fprintf(os.Stderr, "gate: grid_scan w=1 %d ns/op vs baseline %d ns/op (%.2fx, threshold %.2fx): ok\n",
+		got.NsPerOpWorkers1, want.NsPerOpWorkers1, ratio, maxGridScanRegress)
+	return nil
 }
 
 // runTrace replays a flight-recorder journal into a per-phase

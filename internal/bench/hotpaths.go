@@ -91,12 +91,18 @@ type HotpathResult struct {
 // HotpathReport is the machine-readable perf trajectory written to
 // BENCH_hotpaths.json so future changes can be compared against it.
 type HotpathReport struct {
-	GOMAXPROCS    int             `json:"gomaxprocs"`
-	Workers       int             `json:"workers"`
-	Rows          int             `json:"rows"`
-	TrainPoints   int             `json:"train_points"`
-	ClusterPoints int             `json:"cluster_points"`
-	Results       []HotpathResult `json:"results"`
+	GOMAXPROCS    int `json:"gomaxprocs"`
+	Workers       int `json:"workers"`
+	Rows          int `json:"rows"`
+	TrainPoints   int `json:"train_points"`
+	ClusterPoints int `json:"cluster_points"`
+	// Warning is set when the run configuration makes a headline number
+	// misleading — in particular when GOMAXPROCS < Workers, where the
+	// "parallel" side time-slices its workers on fewer cores and every
+	// speedup figure is a single-core artifact. Speedups are never
+	// reported without this field explaining the caveat.
+	Warning string          `json:"warning,omitempty"`
+	Results []HotpathResult `json:"results"`
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -109,6 +115,9 @@ func (r *HotpathReport) WriteJSON(w io.Writer) error {
 // String renders a human-readable summary table.
 func (r *HotpathReport) String() string {
 	s := fmt.Sprintf("hotpaths: GOMAXPROCS=%d workers=%d rows=%d\n", r.GOMAXPROCS, r.Workers, r.Rows)
+	if r.Warning != "" {
+		s += "WARNING: " + r.Warning + "\n"
+	}
 	s += fmt.Sprintf("%-16s %14s %14s %14s %14s %8s %12s %12s %10s\n",
 		"kernel", "w=1 ns/op", "w=N ns/op", "w=N p50", "w=N p99", "speedup", "w=N B/op", "w=N allocs", "identical")
 	for _, b := range r.Results {
@@ -205,6 +214,11 @@ func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
 		Rows:          cfg.Rows,
 		TrainPoints:   cfg.TrainPoints,
 		ClusterPoints: cfg.ClusterPoints,
+	}
+	if rep.GOMAXPROCS < rep.Workers {
+		rep.Warning = fmt.Sprintf(
+			"GOMAXPROCS=%d < workers=%d: the parallel side is time-sliced on %d core(s), so speedup figures do not measure multicore scaling",
+			rep.GOMAXPROCS, rep.Workers, rep.GOMAXPROCS)
 	}
 
 	// cart_train: induction over a 4-d labeled set, the per-iteration

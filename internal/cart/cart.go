@@ -17,6 +17,7 @@ import (
 	"math"
 	"slices"
 	"strings"
+	"sync"
 
 	"github.com/explore-by-example/aide/internal/geom"
 	"github.com/explore-by-example/aide/internal/par"
@@ -116,6 +117,24 @@ type Tree struct {
 	weights []float64
 }
 
+// trainScratch is one Train call's induction scratch: the per-chunk
+// keyed sort buffers the split-search kernel reuses across par.ForWork
+// invocations, the per-dimension candidate table, and the partition
+// buffer. Pooling it across Train calls matters because steering
+// sessions retrain every iteration — without the pool, the parallel
+// path reallocated every chunk buffer per call (~494 KB/op at
+// workers=N vs ~198 KB/op sequential). Reuse is deterministic: every
+// buffer is fully overwritten before it is read (sortKeyed resizes and
+// rewrites, dimBest is written for all dims before the merge, part is
+// truncated per partition).
+type trainScratch struct {
+	bufs    [][]keyedIndex
+	dimBest []splitResult
+	part    []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return &trainScratch{} }}
+
 // Train fits a tree to the given points and labels. It returns an error
 // when the inputs are empty or ragged.
 func Train(points []geom.Point, labels []bool, params Params) (*Tree, error) {
@@ -163,11 +182,22 @@ func train(ctx context.Context, points []geom.Point, labels []bool, weights []fl
 		t.ctx = ctx
 	}
 	chunks := par.ChunkCount(params.Workers, d, 1)
-	t.scratch = make([][]keyedIndex, chunks)
-	t.dimBest = make([]splitResult, d)
-	t.part = make([]int, 0, len(points))
+	sc := scratchPool.Get().(*trainScratch)
+	if len(sc.bufs) < chunks {
+		b := make([][]keyedIndex, chunks)
+		copy(b, sc.bufs) // keep already-grown chunk buffers
+		sc.bufs = b
+	}
+	if len(sc.dimBest) < d {
+		sc.dimBest = make([]splitResult, d)
+	}
+	t.scratch = sc.bufs[:chunks]
+	t.dimBest = sc.dimBest[:d]
+	t.part = sc.part[:0]
 	t.nodes = 1 // the root; each split commits two more
 	t.root = t.build(points, labels, idx, 0)
+	sc.part = t.part // partition buffer may have regrown; keep the capacity
+	scratchPool.Put(sc)
 	t.scratch, t.dimBest, t.part, t.weights = nil, nil, nil, nil
 	if t.ctx != nil {
 		if err := t.ctx.Err(); err != nil {

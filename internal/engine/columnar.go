@@ -1,0 +1,644 @@
+package engine
+
+import (
+	"math"
+	"math/bits"
+	"slices"
+
+	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/par"
+)
+
+// gridIndex partitions the normalized space into cellsPerDim^d equal
+// cells and stores the view's rows columnar, counting-sorted by flat
+// cell id: slot s holds row rows[s], cell id owns the slot range
+// [offsets[id], offsets[id+1]), and slabs[d][s] is the row's normalized
+// value along dimension d. Per-cell zonemaps (min/max per dimension)
+// let scans answer covered and disjoint cells from metadata alone;
+// only cells whose zonemaps straddle the query rect touch the slabs,
+// and those run a word-wise range filter over contiguous columns.
+type gridIndex struct {
+	dims        int
+	cellsPerDim int
+	cellWidth   float64
+	// Columnar (SoA) layout, rows counting-sorted by cell id. Within a
+	// cell, slots hold rows in ascending row-id order — the invariant
+	// every deterministic-order contract in this package leans on.
+	offsets []int32     // len cells+1; cell id -> slot range
+	rows    []int32     // slot -> row id
+	rows64  []int       // rows widened to int: row-id emission is memmove, not a per-element conversion loop
+	slabs   [][]float64 // [dim][slot] -> normalized value
+	// Zonemaps: actual min/max of each cell's rows per dimension (not
+	// the cell's geometric bounds — zonemaps are tighter and prove
+	// containment/disjointness the geometry can't). Empty cells hold
+	// (+Inf, -Inf); cells containing a NaN value are poisoned to
+	// (-Inf, +Inf) so they always take the per-row path, which mirrors
+	// Contains' NaN semantics exactly.
+	zoneMin [][]float64 // [dim][cell]
+	zoneMax [][]float64
+}
+
+// numCells returns the total flat cell count.
+func (g *gridIndex) numCells() int { return len(g.offsets) - 1 }
+
+// cellRows returns the row ids of one cell (ascending).
+func (g *gridIndex) cellRows(id int32) []int32 {
+	return g.rows[g.offsets[id]:g.offsets[id+1]]
+}
+
+// buildGridIndex picks a resolution so the average cell holds a modest
+// number of rows without exploding the cell count in high dimensions.
+// Cell assignment (the per-row coordinate arithmetic) is chunked across
+// the worker pool; rows are then laid out cell-major in one flat
+// counting-sort pass, so each cell's slots stay in ascending row order
+// regardless of worker count. The column slabs and zonemaps derive from
+// that fixed layout dimension-by-dimension, also worker-count-invariant.
+func buildGridIndex(ncols [][]float64, rows, workers int) *gridIndex {
+	d := len(ncols)
+	// Target ~64 rows per cell, capped to keep memory bounded.
+	target := float64(rows) / 64
+	if target < 1 {
+		target = 1
+	}
+	per := int(math.Ceil(math.Pow(target, 1/float64(d))))
+	maxPer := []int{0, 4096, 512, 64, 24, 12, 8, 6, 5}
+	capPer := 5
+	if d < len(maxPer) {
+		capPer = maxPer[d]
+	}
+	if per > capPer {
+		per = capPer
+	}
+	if per < 2 {
+		per = 2
+	}
+	g := &gridIndex{
+		dims:        d,
+		cellsPerDim: per,
+		cellWidth:   (geom.NormMax - geom.NormMin) / float64(per),
+	}
+	total := 1
+	for i := 0; i < d; i++ {
+		total *= per
+	}
+	g.offsets = make([]int32, total+1)
+	g.zoneMin = make([][]float64, d)
+	g.zoneMax = make([][]float64, d)
+	g.slabs = make([][]float64, d)
+	if rows == 0 {
+		for i := 0; i < d; i++ {
+			g.zoneMin[i] = make([]float64, total)
+			g.zoneMax[i] = make([]float64, total)
+			for c := 0; c < total; c++ {
+				g.zoneMin[i][c] = math.Inf(1)
+				g.zoneMax[i][c] = math.Inf(-1)
+			}
+		}
+		return g
+	}
+	// Pass 1 (parallel): flat cell id of every row.
+	ids := make([]int32, rows)
+	par.For(kernelIndex, workers, rows, 1024, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ids[r] = int32(g.cellOf(ncols, r))
+		}
+	})
+	// Pass 2 (sequential, cheap integer work): counting sort into the
+	// slot array, rows ascending within each cell.
+	counts := g.offsets
+	for _, id := range ids {
+		counts[id+1]++
+	}
+	for i := 1; i <= total; i++ {
+		counts[i] += counts[i-1]
+	}
+	g.rows = make([]int32, rows)
+	next := make([]int32, total)
+	copy(next, counts[:total])
+	for r := 0; r < rows; r++ {
+		id := ids[r]
+		g.rows[next[id]] = int32(r)
+		next[id]++
+	}
+	g.rows64 = make([]int, rows)
+	for s, r := range g.rows {
+		g.rows64[s] = int(r)
+	}
+	// Pass 3 (parallel per dimension): gather each column into slot
+	// order and fold the per-cell zonemaps in the same sweep.
+	par.For(kernelIndex, workers, d, 1, func(_, dlo, dhi int) {
+		for i := dlo; i < dhi; i++ {
+			col := ncols[i]
+			slab := make([]float64, rows)
+			zmin := make([]float64, total)
+			zmax := make([]float64, total)
+			for c := 0; c < total; c++ {
+				lo, hi := counts[c], counts[c+1]
+				cmin, cmax := math.Inf(1), math.Inf(-1)
+				nan := false
+				for s := lo; s < hi; s++ {
+					v := col[g.rows[s]]
+					slab[s] = v
+					if v != v {
+						nan = true
+						continue
+					}
+					if v < cmin {
+						cmin = v
+					}
+					if v > cmax {
+						cmax = v
+					}
+				}
+				if nan {
+					cmin, cmax = math.Inf(-1), math.Inf(1)
+				}
+				zmin[c], zmax[c] = cmin, cmax
+			}
+			g.slabs[i] = slab
+			g.zoneMin[i] = zmin
+			g.zoneMax[i] = zmax
+		}
+	})
+	return g
+}
+
+// cellOf returns the flat cell id of row r.
+func (g *gridIndex) cellOf(ncols [][]float64, r int) int {
+	id := 0
+	for i := 0; i < g.dims; i++ {
+		c := int((ncols[i][r] - geom.NormMin) / g.cellWidth)
+		if c >= g.cellsPerDim {
+			c = g.cellsPerDim - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		id = id*g.cellsPerDim + c
+	}
+	return id
+}
+
+// cellRange returns the [lo,hi] cell coordinates overlapping interval iv
+// along one dimension, and whether the overlap is non-empty.
+func (g *gridIndex) cellRange(iv geom.Interval) (int, int, bool) {
+	if iv.Hi < geom.NormMin || iv.Lo > geom.NormMax || iv.Lo > iv.Hi {
+		return 0, 0, false
+	}
+	lo := int(math.Floor((math.Max(iv.Lo, geom.NormMin) - geom.NormMin) / g.cellWidth))
+	hi := int(math.Floor((math.Min(iv.Hi, geom.NormMax) - geom.NormMin) / g.cellWidth))
+	if lo >= g.cellsPerDim {
+		lo = g.cellsPerDim - 1
+	}
+	if hi >= g.cellsPerDim {
+		hi = g.cellsPerDim - 1
+	}
+	return lo, hi, true
+}
+
+// coveredRange returns the sub-range of cell coordinates [lo,hi] along
+// dimension dim whose cells lie geometrically inside rect[dim]
+// (empty when lo' > hi'). Coverage is monotone in the coordinate, so
+// only the two endpoints need the float comparisons — which are the
+// exact expressions visitCells' full flag uses, keeping the geometric
+// notion of "covered" bit-identical across the scan paths.
+func (g *gridIndex) coveredRange(iv geom.Interval, lo, hi int) (int, int) {
+	cLo, cHi := lo, hi
+	if cellLo := geom.NormMin + float64(lo)*g.cellWidth; cellLo < iv.Lo {
+		cLo = lo + 1
+	}
+	if cellLo := geom.NormMin + float64(hi)*g.cellWidth; cellLo+g.cellWidth > iv.Hi {
+		cHi = hi - 1
+	}
+	return cLo, cHi
+}
+
+// cellBlock is one non-empty grid cell overlapping a query rect: its
+// flat id, slot range, row ids, and whether the cell lies geometrically
+// entirely inside the rect (no per-row verification needed).
+type cellBlock struct {
+	id   int32
+	off  int32 // first slot
+	rows []int32
+	full bool
+}
+
+// collectCells returns the non-empty cells overlapping rect in row-major
+// (odometer) order — the deterministic work list SampleRect chunks
+// over. buf, when non-nil, is reused as the backing array (its contents
+// are overwritten); pass nil to allocate fresh.
+func (g *gridIndex) collectCells(rect geom.Rect, buf []cellBlock) []cellBlock {
+	out := buf[:0]
+	g.visitCells(rect, func(id int32, rows []int32, full bool) bool {
+		out = append(out, cellBlock{id: id, off: g.offsets[id], rows: rows, full: full})
+		return true
+	})
+	return out
+}
+
+// visitCells invokes fn for every non-empty cell overlapping rect, in
+// row-major cell order. full is true when the cell lies geometrically
+// entirely inside rect, so its rows need no verification. fn returning
+// false stops the visit. This is the sequential reference walk; the
+// production scans use collectCellRuns + walkRun.
+func (g *gridIndex) visitCells(rect geom.Rect, fn func(id int32, rows []int32, full bool) bool) {
+	lo := make([]int, g.dims)
+	hi := make([]int, g.dims)
+	for i := 0; i < g.dims; i++ {
+		l, h, ok := g.cellRange(rect[i])
+		if !ok {
+			return
+		}
+		lo[i], hi[i] = l, h
+	}
+	coord := make([]int, g.dims)
+	copy(coord, lo)
+	for {
+		id := 0
+		full := true
+		for i := 0; i < g.dims; i++ {
+			id = id*g.cellsPerDim + coord[i]
+			cellLo := geom.NormMin + float64(coord[i])*g.cellWidth
+			cellHi := cellLo + g.cellWidth
+			if cellLo < rect[i].Lo || cellHi > rect[i].Hi {
+				full = false
+			}
+		}
+		if rows := g.cellRows(int32(id)); len(rows) > 0 {
+			if !fn(int32(id), rows, full) {
+				return
+			}
+		}
+		// Advance odometer.
+		i := g.dims - 1
+		for ; i >= 0; i-- {
+			coord[i]++
+			if coord[i] <= hi[i] {
+				break
+			}
+			coord[i] = lo[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// cellRun is a maximal innermost-dimension span of grid cells
+// overlapping a query rect. Because cell ids are row-major, the run's
+// cells have contiguous flat ids starting at idStart — and therefore
+// contiguous slot ranges — which is what lets Count/RowsIn answer whole
+// sub-spans with offset arithmetic. [fullLo, fullHi] is the range of
+// innermost coordinates whose cells are geometrically covered by the
+// rect (empty when fullLo > fullHi, e.g. when any outer dimension of
+// this run is only partially covered).
+type cellRun struct {
+	idStart int32
+	loInner int32
+	n       int32
+	fullLo  int32
+	fullHi  int32
+}
+
+// collectCellRuns returns the cell runs overlapping rect in ascending
+// flat-id (row-major) order — the work list Count/RowsIn chunk over.
+// buf, when non-nil, is reused as the backing array.
+func (g *gridIndex) collectCellRuns(rect geom.Rect, buf []cellRun) []cellRun {
+	out := buf[:0]
+	d := g.dims
+	lo := make([]int, d)
+	hi := make([]int, d)
+	for i := 0; i < d; i++ {
+		l, h, ok := g.cellRange(rect[i])
+		if !ok {
+			return out
+		}
+		lo[i], hi[i] = l, h
+	}
+	inner := d - 1
+	iFullLo, iFullHi := g.coveredRange(rect[inner], lo[inner], hi[inner])
+	n := int32(hi[inner] - lo[inner] + 1)
+	coord := make([]int, d) // odometer over the outer dimensions
+	copy(coord, lo)
+	for {
+		idStart := 0
+		outerFull := true
+		for i := 0; i < inner; i++ {
+			idStart = idStart*g.cellsPerDim + coord[i]
+			cellLo := geom.NormMin + float64(coord[i])*g.cellWidth
+			if cellLo < rect[i].Lo || cellLo+g.cellWidth > rect[i].Hi {
+				outerFull = false
+			}
+		}
+		idStart = idStart*g.cellsPerDim + lo[inner]
+		run := cellRun{
+			idStart: int32(idStart),
+			loInner: int32(lo[inner]),
+			n:       n,
+			fullLo:  1, // empty covered range
+			fullHi:  0,
+		}
+		if outerFull {
+			run.fullLo, run.fullHi = int32(iFullLo), int32(iFullHi)
+		}
+		out = append(out, run)
+		i := inner - 1
+		for ; i >= 0; i-- {
+			coord[i]++
+			if coord[i] <= hi[i] {
+				break
+			}
+			coord[i] = lo[i]
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// Zonemap classification of one cell against a query rect.
+const (
+	zonePartial  = iota // zonemap straddles the rect: per-row filter needed
+	zoneCovered         // every row provably inside the rect
+	zoneDisjoint        // no row can be inside the rect
+)
+
+// zoneClassify classifies a non-empty cell by its zonemap. NaN-poisoned
+// cells ((-Inf,+Inf) bounds) always classify partial unless the rect is
+// unbounded on the poisoned dimensions — in which case Contains admits
+// NaN rows too, so zoneCovered stays truthful.
+func (g *gridIndex) zoneClassify(rect geom.Rect, id int32) int {
+	covered := true
+	for i := 0; i < g.dims; i++ {
+		zmin, zmax := g.zoneMin[i][id], g.zoneMax[i][id]
+		if zmax < rect[i].Lo || zmin > rect[i].Hi {
+			return zoneDisjoint
+		}
+		if zmin < rect[i].Lo || zmax > rect[i].Hi {
+			covered = false
+		}
+	}
+	if covered {
+		return zoneCovered
+	}
+	return zonePartial
+}
+
+// zoneCoveredCell reports whether the cell's zonemap proves every one of
+// its rows lies inside rect.
+func (g *gridIndex) zoneCoveredCell(rect geom.Rect, id int32) bool {
+	for i := 0; i < g.dims; i++ {
+		if g.zoneMin[i][id] < rect[i].Lo || g.zoneMax[i][id] > rect[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// walkRun decomposes one cell run into segments in ascending slot
+// order: fullSpan(lo, hi) for maximal slot spans whose rows are all
+// provably inside rect (geometrically covered middle cells and
+// zonemap-covered boundary cells, merged across adjacent and empty
+// cells), and partial(id, off, end) for cells that need the per-row
+// range filter. Zonemap-disjoint cells are skipped entirely. The
+// decomposition is a pure function of (run, rect), so parallel scan
+// passes replay it deterministically.
+func (g *gridIndex) walkRun(run cellRun, rect geom.Rect, fullSpan func(lo, hi int32), partial func(id, off, end int32)) {
+	spanLo, spanEnd := int32(-1), int32(-1)
+	flush := func() {
+		if spanLo >= 0 {
+			fullSpan(spanLo, spanEnd)
+			spanLo = -1
+		}
+	}
+	for k := int32(0); k < run.n; k++ {
+		inner := run.loInner + k
+		if inner >= run.fullLo && inner <= run.fullHi {
+			// Geometrically covered middle: one offsets lookup covers the
+			// whole sub-span, empty cells and all.
+			idLo := run.idStart + (run.fullLo - run.loInner)
+			idHi := run.idStart + (run.fullHi - run.loInner)
+			if spanLo < 0 {
+				spanLo = g.offsets[idLo]
+			}
+			spanEnd = g.offsets[idHi+1]
+			k = run.fullHi - run.loInner
+			continue
+		}
+		id := run.idStart + k
+		off, end := g.offsets[id], g.offsets[id+1]
+		if off == end {
+			continue // empty cell: slots stay contiguous, span survives
+		}
+		switch g.zoneClassify(rect, id) {
+		case zoneCovered:
+			if spanLo < 0 {
+				spanLo = off
+			}
+			spanEnd = end
+		case zoneDisjoint:
+			flush() // rows present but excluded: the slot span breaks here
+		default:
+			flush()
+			partial(id, off, end)
+		}
+	}
+	flush()
+}
+
+// evalCellBits appends one bit per slot of cell id to dst (bit i of
+// word w covers slot off+64w+i), set when the row passes every range
+// clause of rect. Clauses the cell's zonemap already satisfies are
+// skipped; the remaining clauses each sweep their contiguous column
+// slab building a per-clause word that is ANDed into the result — the
+// word-wise conjunction the columnar layout exists for. The match
+// predicate is exactly Contains' (!(v < lo || v > hi)), NaN semantics
+// included.
+func (g *gridIndex) evalCellBits(rect geom.Rect, id, off, end int32, dst []uint64) []uint64 {
+	n := int(end - off)
+	nw := (n + 63) >> 6
+	base := len(dst)
+	dst = slices.Grow(dst, nw)[:base+nw]
+	words := dst[base:]
+	first := true
+	for d := 0; d < g.dims; d++ {
+		lo, hi := rect[d].Lo, rect[d].Hi
+		if g.zoneMin[d][id] >= lo && g.zoneMax[d][id] <= hi {
+			continue // zonemap satisfies this clause for every row
+		}
+		col := g.slabs[d][off:end]
+		if first {
+			for w := 0; w < nw; w++ {
+				b := w << 6
+				m := n - b
+				if m > 64 {
+					m = 64
+				}
+				var bw uint64
+				for i := 0; i < m; i++ {
+					v := col[b+i]
+					keep := uint64(1)
+					if v < lo || v > hi {
+						keep = 0
+					}
+					bw |= keep << uint(i)
+				}
+				words[w] = bw
+			}
+			first = false
+			continue
+		}
+		for w := 0; w < nw; w++ {
+			if words[w] == 0 {
+				continue
+			}
+			b := w << 6
+			m := n - b
+			if m > 64 {
+				m = 64
+			}
+			var bw uint64
+			for i := 0; i < m; i++ {
+				v := col[b+i]
+				keep := uint64(1)
+				if v < lo || v > hi {
+					keep = 0
+				}
+				bw |= keep << uint(i)
+			}
+			words[w] &= bw
+		}
+	}
+	if first {
+		// Every clause was zonemap-satisfied. Callers route such cells to
+		// the span path, but stay correct if one lands here.
+		for w := 0; w < nw; w++ {
+			words[w] = ^uint64(0)
+		}
+		if tail := n & 63; tail != 0 {
+			words[nw-1] = (uint64(1) << uint(tail)) - 1
+		}
+	}
+	return dst
+}
+
+// countCell returns how many of the cell's rows lie inside rect,
+// without materializing a bitmap: each clause the zonemap doesn't
+// already satisfy sweeps its contiguous column slab, folding a
+// branchless 0/1 per row. The common boundary cell straddles the rect
+// in exactly one dimension, so this is usually a single column sweep.
+func (g *gridIndex) countCell(rect geom.Rect, id, off, end int32) int {
+	n := int(end - off)
+	var a0, a1 int
+	na := 0
+	for d := 0; d < g.dims; d++ {
+		if g.zoneMin[d][id] >= rect[d].Lo && g.zoneMax[d][id] <= rect[d].Hi {
+			continue
+		}
+		switch na {
+		case 0:
+			a0 = d
+		case 1:
+			a1 = d
+		}
+		na++
+	}
+	switch na {
+	case 0:
+		return n
+	case 1:
+		lo, hi := rect[a0].Lo, rect[a0].Hi
+		col := g.slabs[a0][off:end]
+		matched := 0
+		for _, v := range col {
+			keep := 1
+			if v < lo || v > hi {
+				keep = 0
+			}
+			matched += keep
+		}
+		return matched
+	case 2:
+		lo0, hi0 := rect[a0].Lo, rect[a0].Hi
+		lo1, hi1 := rect[a1].Lo, rect[a1].Hi
+		col0 := g.slabs[a0][off:end]
+		col1 := g.slabs[a1][off:end]
+		matched := 0
+		for i, v := range col0 {
+			keep := 1
+			if v < lo0 || v > hi0 {
+				keep = 0
+			}
+			w := col1[i]
+			if w < lo1 || w > hi1 {
+				keep = 0
+			}
+			matched += keep
+		}
+		return matched
+	}
+	// Three or more straddled clauses: corner cells in high dimensions.
+	matched := 0
+	for s := off; s < end; s++ {
+		keep := 1
+		for d := 0; d < g.dims; d++ {
+			if v := g.slabs[d][s]; v < rect[d].Lo || v > rect[d].Hi {
+				keep = 0
+				break
+			}
+		}
+		matched += keep
+	}
+	return matched
+}
+
+// slotBitmap is a dense bitmap over the view's slots (one bit per row,
+// in cell-major slot order). Query.Execute builds one per query so a
+// disjunction of areas becomes bitwise OR instead of re-scans and
+// map-based dedup.
+type slotBitmap []uint64
+
+func newSlotBitmap(slots int) slotBitmap {
+	return make(slotBitmap, (slots+63)>>6)
+}
+
+// setRange sets slots [lo, hi).
+func (b slotBitmap) setRange(lo, hi int32) {
+	if lo >= hi {
+		return
+	}
+	wlo, whi := int(lo>>6), int((hi-1)>>6)
+	first := ^uint64(0) << uint(lo&63)
+	last := ^uint64(0) >> uint(63-(hi-1)&63)
+	if wlo == whi {
+		b[wlo] |= first & last
+		return
+	}
+	b[wlo] |= first
+	for w := wlo + 1; w < whi; w++ {
+		b[w] = ^uint64(0)
+	}
+	b[whi] |= last
+}
+
+// orCellBits ORs a cell bitmap (as produced by evalCellBits, based at
+// slot off) into the slot bitmap.
+func (b slotBitmap) orCellBits(off int32, words []uint64) {
+	for w, bw := range words {
+		for bw != 0 {
+			t := bits.TrailingZeros64(bw)
+			s := int(off) + w<<6 + t
+			b[s>>6] |= 1 << uint(s&63)
+			bw &= bw - 1
+		}
+	}
+}
+
+// count returns the number of set slots.
+func (b slotBitmap) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,8 +1,9 @@
 // Package engine is AIDE's database substrate. The paper runs on MySQL
 // with a covering index over the exploration attributes; this package
 // provides the equivalent capability in-process: an exploration View over
-// a table with (a) per-attribute sorted indexes, (b) a multi-dimensional
-// grid index over the normalized exploration space, (c) uniform random
+// a table with (a) per-attribute sorted indexes, (b) a columnar
+// multi-dimensional grid index over the normalized exploration space
+// (flat SoA cell slabs with per-cell zonemaps), (c) uniform random
 // sampling restricted to arbitrary hyper-rectangles (the paper's "sample
 // extraction queries"), and (d) simple-random-sample datasets
 // (Section 5.2's sampled-dataset optimization).
@@ -15,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"slices"
 	"sync/atomic"
@@ -33,7 +35,9 @@ type Stats struct {
 	// executed.
 	Queries atomic.Int64
 	// RowsExamined is the number of candidate rows the engine touched
-	// (index entries scanned plus verification probes).
+	// (index entries scanned plus verification probes). Rows answered
+	// from cell metadata alone (zonemaps, offset arithmetic) are free and
+	// not counted.
 	RowsExamined atomic.Int64
 }
 
@@ -69,22 +73,39 @@ type View struct {
 // one must be confined to a single goroutine (each exploration session
 // wraps the shared view with its own via WithScanBuffer); the base
 // shared view carries none and stays safe for concurrent readers.
+// arenas and segs are indexed by scan-chunk id: each chunk of a parallel
+// scan runs exactly once per call, so per-chunk slots never race.
 type scanBuf struct {
 	blocks []cellBlock
+	runs   []cellRun
+	arenas [][]uint64
+	segs   [][]scanSeg
 }
 
-// Parallel scan kernels. minScanBlocks is the smallest number of grid
-// cells worth chunking: below it, per-chunk bookkeeping dwarfs the scan.
+// scanSeg is one segment of a chunk's pass-1 scan decomposition: a slot
+// range whose rows either all match (partial false) or filter through
+// the chunk arena's next bitmap words (partial true). RowsIn's pass 2
+// replays segments instead of re-walking and re-classifying cells.
+type scanSeg struct {
+	lo, hi  int32
+	partial bool
+}
+
+// Parallel scan kernels. minScanRuns is the smallest number of cell runs
+// worth chunking: below it, per-chunk bookkeeping dwarfs the scan.
 var (
 	kernelScan  = par.NewKernel("engine.scan")
 	kernelIndex = par.NewKernel("engine.index_build")
 )
 
-const minScanBlocks = 8
+const (
+	minScanRuns   = 4
+	minScanBlocks = 8
+)
 
 // NewView builds a View over the named exploration attributes, creating
-// the covering index (normalized columns + grid index) with the default
-// worker count (AIDE_WORKERS or GOMAXPROCS).
+// the covering index (normalized columns + columnar grid index) with the
+// default worker count (AIDE_WORKERS or GOMAXPROCS).
 func NewView(tab *dataset.Table, attrs []string) (*View, error) {
 	return NewViewWorkers(tab, attrs, 0)
 }
@@ -159,10 +180,11 @@ func (v *View) WithContext(ctx context.Context) *View {
 }
 
 // WithScanBuffer returns a view sharing this view's table, indexes and
-// stats that reuses a private scratch buffer across grid scans instead
-// of allocating a fresh cell list per query. The returned view must be
-// confined to one goroutine (sessions are); the receiver is unchanged
-// and stays safe for concurrent readers.
+// stats that reuses private scratch buffers (cell-run lists, cell-block
+// lists, bitmap arenas) across grid scans instead of allocating fresh
+// ones per query. The returned view must be confined to one goroutine
+// (sessions are); the receiver is unchanged and stays safe for
+// concurrent readers.
 func (v *View) WithScanBuffer() *View {
 	c := *v
 	c.buf = &scanBuf{}
@@ -178,6 +200,67 @@ func (v *View) collect(rect geom.Rect) []cellBlock {
 	}
 	v.buf.blocks = v.grid.collectCells(rect, v.buf.blocks)
 	return v.buf.blocks
+}
+
+// collectRuns returns the cell runs overlapping rect, reusing the view's
+// scan buffer when it has one. The returned slice is valid until the
+// owner's next query.
+func (v *View) collectRuns(rect geom.Rect) []cellRun {
+	if v.buf == nil {
+		return v.grid.collectCellRuns(rect, nil)
+	}
+	v.buf.runs = v.grid.collectCellRuns(rect, v.buf.runs)
+	return v.buf.runs
+}
+
+// ensureArenas sizes the per-chunk scratch tables before a parallel
+// scan launches. It must run on the caller's goroutine: the kernels only
+// index the tables, never grow them, so per-chunk slots can't race.
+func (v *View) ensureArenas(chunks int) {
+	if v.buf == nil || len(v.buf.arenas) >= chunks {
+		return
+	}
+	a := make([][]uint64, chunks)
+	copy(a, v.buf.arenas)
+	v.buf.arenas = a
+	s := make([][]scanSeg, chunks)
+	copy(s, v.buf.segs)
+	v.buf.segs = s
+}
+
+// chunkArena returns the reusable bitmap arena for one scan chunk,
+// reset to length zero. Chunk indexes are dense and each runs exactly
+// once per scan, so per-chunk slots never race even though chunks
+// execute on pool workers. Bufferless views get a fresh arena with
+// enough capacity that a typical boundary shell never regrows it.
+func (v *View) chunkArena(chunk int) []uint64 {
+	if v.buf == nil {
+		return make([]uint64, 0, 512)
+	}
+	return v.buf.arenas[chunk][:0]
+}
+
+// saveChunkArena stows a chunk's (possibly grown) arena back into the
+// scan buffer for reuse by the next query.
+func (v *View) saveChunkArena(chunk int, arena []uint64) {
+	if v.buf != nil {
+		v.buf.arenas[chunk] = arena
+	}
+}
+
+// chunkSegs returns the reusable segment list for one scan chunk, reset
+// to length zero; saveChunkSegs stows it back after the scan.
+func (v *View) chunkSegs(chunk int) []scanSeg {
+	if v.buf == nil {
+		return make([]scanSeg, 0, 256)
+	}
+	return v.buf.segs[chunk][:0]
+}
+
+func (v *View) saveChunkSegs(chunk int, segs []scanSeg) {
+	if v.buf != nil {
+		v.buf.segs[chunk] = segs
+	}
 }
 
 // scanCtx returns the view's cancellation context (Background when
@@ -334,11 +417,13 @@ func (v *View) MatchesAny(rects []geom.Rect, row int) bool {
 	return false
 }
 
-// Count returns the number of rows inside rect (normalized space). Cells
-// fully contained in rect contribute len(rows) directly — no per-row
-// verification or callback — and cell chunks are counted in parallel.
-// With a cache attached (WithCache), repeated rects return the memoized
-// count — bit-identical to a fresh scan, since the view is immutable.
+// Count returns the number of rows inside rect (normalized space).
+// Maximal slot spans whose cells are covered by rect — geometrically or
+// by their zonemaps — are answered from offset arithmetic alone; only
+// boundary cells whose zonemaps straddle the rect run the columnar range
+// filter. Cell runs are counted in parallel. With a cache attached
+// (WithCache), repeated rects return the memoized count — bit-identical
+// to a fresh scan, since the view is immutable.
 func (v *View) Count(rect geom.Rect) int {
 	defer observeQuery(time.Now())
 	faultinject.Latency("engine.scan")
@@ -354,21 +439,18 @@ func (v *View) Count(rect geom.Rect) int {
 		}
 	}
 	obsPathGrid.Inc()
-	blocks := v.collect(rect)
+	g := v.grid
+	runs := v.collectRuns(rect)
 	type counts struct{ matched, examined int64 }
-	parts, err := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) counts {
+	parts, err := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(runs), minScanRuns, func(_, lo, hi int) counts {
 		var c counts
-		for _, b := range blocks[lo:hi] {
-			c.examined += int64(len(b.rows))
-			if b.full {
-				c.matched += int64(len(b.rows))
-				continue
-			}
-			for _, r := range b.rows {
-				if v.Contains(rect, int(r)) {
-					c.matched++
-				}
-			}
+		for _, run := range runs[lo:hi] {
+			g.walkRun(run, rect,
+				func(slo, shi int32) { c.matched += int64(shi - slo) },
+				func(id, off, end int32) {
+					c.examined += int64(end - off)
+					c.matched += int64(g.countCell(rect, id, off, end))
+				})
 		}
 		return c
 	})
@@ -389,10 +471,14 @@ func (v *View) Count(rect geom.Rect) int {
 
 // RowsIn returns all row ids inside rect (normalized space). The order is
 // unspecified but deterministic: grid cells in row-major order, rows
-// ascending within each cell, independent of the worker count (cell
-// chunks are scanned in parallel into per-chunk buffers concatenated in
-// cell order). With a cache attached (WithCache), repeated rects return
-// a copy of the memoized rows in that same order.
+// ascending within each cell, independent of the worker count. The scan
+// is two deterministic parallel passes over the overlapping cell runs:
+// pass one answers metadata-covered slot spans from offsets and
+// evaluates boundary cells into per-chunk match bitmaps (word-wise AND
+// of the per-attribute range clauses); pass two converts spans and
+// bitmaps into row ids, each chunk writing a disjoint range of the
+// exactly-sized result. With a cache attached (WithCache), repeated
+// rects return a copy of the memoized rows in that same order.
 func (v *View) RowsIn(rect geom.Rect) []int {
 	defer observeQuery(time.Now())
 	faultinject.Latency("engine.scan")
@@ -415,51 +501,165 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 		}
 	}
 	obsPathGrid.Inc()
-	blocks := v.collect(rect)
-	type chunkRows struct {
-		rows     []int
+	g := v.grid
+	runs := v.collectRuns(rect)
+	// Pass 1: per-chunk match counts and boundary-cell bitmaps. The arena
+	// holds each partial cell's bitmap consecutively in cell order, so
+	// pass 2 can replay the same walk and consume words sequentially.
+	type chunkScan struct {
+		arena    []uint64
+		segs     []scanSeg
+		matched  int64
 		examined int64
 	}
-	parts, err := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkRows {
-		var c chunkRows
-		for _, b := range blocks[lo:hi] {
-			c.examined += int64(len(b.rows))
-			if b.full {
-				for _, r := range b.rows {
-					c.rows = append(c.rows, int(r))
-				}
-				continue
-			}
-			for _, r := range b.rows {
-				if v.Contains(rect, int(r)) {
-					c.rows = append(c.rows, int(r))
-				}
-			}
+	v.ensureArenas(par.ChunkCount(v.workers, len(runs), minScanRuns))
+	parts, err := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(runs), minScanRuns, func(chunk, lo, hi int) chunkScan {
+		c := chunkScan{arena: v.chunkArena(chunk), segs: v.chunkSegs(chunk)}
+		for _, run := range runs[lo:hi] {
+			g.walkRun(run, rect,
+				func(slo, shi int32) {
+					c.matched += int64(shi - slo)
+					c.segs = append(c.segs, scanSeg{lo: slo, hi: shi})
+				},
+				func(id, off, end int32) {
+					c.examined += int64(end - off)
+					base := len(c.arena)
+					c.arena = g.evalCellBits(rect, id, off, end, c.arena)
+					for _, w := range c.arena[base:] {
+						c.matched += int64(bits.OnesCount64(w))
+					}
+					c.segs = append(c.segs, scanSeg{lo: off, hi: end, partial: true})
+				})
 		}
 		return c
 	})
-	var examined int64
-	n := 0
+	if err != nil {
+		// Cancelled mid-scan: the parts are torn garbage by contract.
+		return nil
+	}
+	var examined, n int64
 	for _, c := range parts {
 		examined += c.examined
-		n += len(c.rows)
+		n += c.matched
 	}
 	v.stats.RowsExamined.Add(examined)
 	obsRowsExamined.Add(examined)
 	if n == 0 {
-		if v.cache != nil && err == nil {
+		for chunk := range parts {
+			v.saveChunkArena(chunk, parts[chunk].arena)
+			v.saveChunkSegs(chunk, parts[chunk].segs)
+		}
+		if v.cache != nil {
 			v.cache.put(kindRows, rect, 0, nil)
 		}
 		return nil
 	}
-	out := make([]int, 0, n)
-	for _, c := range parts {
-		out = append(out, c.rows...)
+	// Pass 2: emit row ids by replaying each chunk's recorded segments —
+	// full spans memmove out of the widened slot array, partial segments
+	// walk their arena bitmap words. Chunk boundaries are recomputed
+	// identically (same workers/n/minChunk), so parts[chunk] lines up
+	// with its runs, and each chunk writes out[offs[chunk]:offs[chunk+1]]
+	// — disjoint, deterministic, race-free.
+	out := make([]int, n)
+	pre := int64(0)
+	offs := make([]int64, len(parts)+1)
+	for i, c := range parts {
+		offs[i] = pre
+		pre += c.matched
 	}
-	if v.cache != nil && err == nil {
+	offs[len(parts)] = pre
+	err = par.ForCtx(v.scanCtx(), kernelScan, v.workers, len(runs), minScanRuns, func(chunk, _, _ int) {
+		dst := out[offs[chunk]:offs[chunk+1]]
+		arena := parts[chunk].arena
+		k, aw := 0, 0
+		for _, sg := range parts[chunk].segs {
+			if !sg.partial {
+				k += copy(dst[k:], g.rows64[sg.lo:sg.hi])
+				continue
+			}
+			nw := int(sg.hi-sg.lo+63) >> 6
+			for w := 0; w < nw; w++ {
+				bw := arena[aw+w]
+				s := int(sg.lo) + w<<6
+				for bw != 0 {
+					t := bits.TrailingZeros64(bw)
+					dst[k] = g.rows64[s+t]
+					k++
+					bw &= bw - 1
+				}
+			}
+			aw += nw
+		}
+		v.saveChunkArena(chunk, arena)
+		v.saveChunkSegs(chunk, parts[chunk].segs)
+	})
+	if err != nil {
+		return nil
+	}
+	if v.cache != nil {
 		// The cache stores its own copy (see Cache.put): never a cancelled
 		// scan's garbage, never memory the caller can mutate.
 		v.cache.put(kindRows, rect, len(out), out)
+	}
+	return out
+}
+
+// RowsInAny returns all row ids inside at least one of the rects — the
+// disjunction primitive behind Query.Execute — in RowsIn's deterministic
+// order (grid cells row-major, rows ascending within each cell). Each
+// disjunct is evaluated with the same zonemap/offset metadata fast paths
+// as RowsIn, but results accumulate by bitwise OR into one dense bitmap
+// over the cell-major slot space, so overlapping areas dedup for free
+// and row ids materialize exactly once at the end. A single-rect
+// disjunction delegates to RowsIn to keep the predicate cache in play.
+func (v *View) RowsInAny(rects []geom.Rect) []int {
+	if len(rects) == 1 {
+		return v.RowsIn(rects[0])
+	}
+	defer observeQuery(time.Now())
+	faultinject.Latency("engine.scan")
+	faultinject.Panic("engine.scan")
+	v.stats.Queries.Add(1)
+	if len(rects) == 0 {
+		return nil
+	}
+	g := v.grid
+	bm := newSlotBitmap(len(g.rows))
+	var examined int64
+	var scratch []uint64
+	for _, rect := range rects {
+		if v.scanCtx().Err() != nil {
+			return nil
+		}
+		if !v.validRect(rect) {
+			obsInvalidRects.Inc()
+			continue
+		}
+		obsPathGrid.Inc()
+		for _, run := range v.collectRuns(rect) {
+			g.walkRun(run, rect,
+				func(slo, shi int32) { bm.setRange(slo, shi) },
+				func(id, off, end int32) {
+					examined += int64(end - off)
+					scratch = g.evalCellBits(rect, id, off, end, scratch[:0])
+					bm.orCellBits(off, scratch)
+				})
+		}
+	}
+	v.stats.RowsExamined.Add(examined)
+	obsRowsExamined.Add(examined)
+	n := bm.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for w, bw := range bm {
+		base := w << 6
+		for bw != 0 {
+			t := bits.TrailingZeros64(bw)
+			out = append(out, g.rows64[base+t])
+			bw &= bw - 1
+		}
 	}
 	return out
 }
@@ -468,8 +668,8 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 // for each; fn returning false stops the scan. Rows of cells fully
 // contained in rect are emitted without per-row verification. This is
 // the sequential per-row reference path; Count/RowsIn use the chunked
-// cell scan with the full-cell len() fast path instead (benchmarked
-// against this in bench_test.go).
+// cell-run scan with the zonemap/offset metadata fast paths instead
+// (benchmarked against this in bench_test.go).
 func (v *View) scanRect(rect geom.Rect, fn func(row int) bool) {
 	if !v.validRect(rect) {
 		obsInvalidRects.Inc()
@@ -481,7 +681,7 @@ func (v *View) scanRect(rect geom.Rect, fn func(row int) bool) {
 		v.stats.RowsExamined.Add(examined)
 		obsRowsExamined.Add(examined)
 	}()
-	v.grid.visitCells(rect, func(rows []int32, full bool) bool {
+	v.grid.visitCells(rect, func(_ int32, rows []int32, full bool) bool {
 		examined += int64(len(rows))
 		for _, r := range rows {
 			if full || v.Contains(rect, int(r)) {
@@ -511,185 +711,4 @@ func (v *View) Sampled(fraction float64, seed int64) (*View, error) {
 	rows := rng.Perm(n)[:k]
 	sub := v.tab.Subset(v.tab.Name()+"_sample", rows)
 	return NewView(sub, v.Attrs())
-}
-
-// gridIndex partitions the normalized space into cellsPerDim^d equal
-// cells and stores the row ids of each cell. It answers "which rows can
-// fall inside this rectangle" with work proportional to the boundary
-// shell of the rectangle.
-type gridIndex struct {
-	dims        int
-	cellsPerDim int
-	cellWidth   float64
-	cells       [][]int32 // flat row-major cell -> row ids
-}
-
-// buildGridIndex picks a resolution so the average cell holds a modest
-// number of rows without exploding the cell count in high dimensions.
-// Cell assignment (the per-row coordinate arithmetic) is chunked across
-// the worker pool; the cell lists are then laid out in one flat backing
-// array via a counting pass, so each cell's rows stay in ascending row
-// order regardless of worker count.
-func buildGridIndex(ncols [][]float64, rows, workers int) *gridIndex {
-	d := len(ncols)
-	// Target ~64 rows per cell, capped to keep memory bounded.
-	target := float64(rows) / 64
-	if target < 1 {
-		target = 1
-	}
-	per := int(math.Ceil(math.Pow(target, 1/float64(d))))
-	maxPer := []int{0, 4096, 512, 64, 24, 12, 8, 6, 5}
-	capPer := 5
-	if d < len(maxPer) {
-		capPer = maxPer[d]
-	}
-	if per > capPer {
-		per = capPer
-	}
-	if per < 2 {
-		per = 2
-	}
-	g := &gridIndex{
-		dims:        d,
-		cellsPerDim: per,
-		cellWidth:   (geom.NormMax - geom.NormMin) / float64(per),
-	}
-	total := 1
-	for i := 0; i < d; i++ {
-		total *= per
-	}
-	g.cells = make([][]int32, total)
-	if rows == 0 {
-		return g
-	}
-	// Pass 1 (parallel): flat cell id of every row.
-	ids := make([]int32, rows)
-	par.For(kernelIndex, workers, rows, 1024, func(_, lo, hi int) {
-		for r := lo; r < hi; r++ {
-			ids[r] = int32(g.cellOf(ncols, r))
-		}
-	})
-	// Pass 2 (sequential, cheap integer work): counting sort into one
-	// shared backing array, rows ascending within each cell.
-	counts := make([]int32, total+1)
-	for _, id := range ids {
-		counts[id+1]++
-	}
-	for i := 1; i <= total; i++ {
-		counts[i] += counts[i-1]
-	}
-	backing := make([]int32, rows)
-	next := make([]int32, total)
-	copy(next, counts[:total])
-	for r := 0; r < rows; r++ {
-		id := ids[r]
-		backing[next[id]] = int32(r)
-		next[id]++
-	}
-	for id := 0; id < total; id++ {
-		if lo, hi := counts[id], counts[id+1]; lo < hi {
-			g.cells[id] = backing[lo:hi:hi]
-		}
-	}
-	return g
-}
-
-// cellOf returns the flat cell id of row r.
-func (g *gridIndex) cellOf(ncols [][]float64, r int) int {
-	id := 0
-	for i := 0; i < g.dims; i++ {
-		c := int((ncols[i][r] - geom.NormMin) / g.cellWidth)
-		if c >= g.cellsPerDim {
-			c = g.cellsPerDim - 1
-		}
-		if c < 0 {
-			c = 0
-		}
-		id = id*g.cellsPerDim + c
-	}
-	return id
-}
-
-// cellRange returns the [lo,hi] cell coordinates overlapping interval iv
-// along one dimension, and whether the overlap is non-empty.
-func (g *gridIndex) cellRange(iv geom.Interval) (int, int, bool) {
-	if iv.Hi < geom.NormMin || iv.Lo > geom.NormMax || iv.Lo > iv.Hi {
-		return 0, 0, false
-	}
-	lo := int(math.Floor((math.Max(iv.Lo, geom.NormMin) - geom.NormMin) / g.cellWidth))
-	hi := int(math.Floor((math.Min(iv.Hi, geom.NormMax) - geom.NormMin) / g.cellWidth))
-	if lo >= g.cellsPerDim {
-		lo = g.cellsPerDim - 1
-	}
-	if hi >= g.cellsPerDim {
-		hi = g.cellsPerDim - 1
-	}
-	return lo, hi, true
-}
-
-// cellBlock is one non-empty grid cell overlapping a query rect: its row
-// ids and whether the cell lies entirely inside the rect (no per-row
-// verification needed).
-type cellBlock struct {
-	rows []int32
-	full bool
-}
-
-// collectCells returns the non-empty cells overlapping rect in row-major
-// (odometer) order — the deterministic work list the parallel scans
-// chunk over. buf, when non-nil, is reused as the backing array (its
-// contents are overwritten); pass nil to allocate fresh.
-func (g *gridIndex) collectCells(rect geom.Rect, buf []cellBlock) []cellBlock {
-	out := buf[:0]
-	g.visitCells(rect, func(rows []int32, full bool) bool {
-		out = append(out, cellBlock{rows: rows, full: full})
-		return true
-	})
-	return out
-}
-
-// visitCells invokes fn for every cell overlapping rect. full is true when
-// the cell lies entirely inside rect, so its rows need no verification.
-// fn returning false stops the visit.
-func (g *gridIndex) visitCells(rect geom.Rect, fn func(rows []int32, full bool) bool) {
-	lo := make([]int, g.dims)
-	hi := make([]int, g.dims)
-	for i := 0; i < g.dims; i++ {
-		l, h, ok := g.cellRange(rect[i])
-		if !ok {
-			return
-		}
-		lo[i], hi[i] = l, h
-	}
-	coord := make([]int, g.dims)
-	copy(coord, lo)
-	for {
-		id := 0
-		full := true
-		for i := 0; i < g.dims; i++ {
-			id = id*g.cellsPerDim + coord[i]
-			cellLo := geom.NormMin + float64(coord[i])*g.cellWidth
-			cellHi := cellLo + g.cellWidth
-			if cellLo < rect[i].Lo || cellHi > rect[i].Hi {
-				full = false
-			}
-		}
-		if rows := g.cells[id]; len(rows) > 0 {
-			if !fn(rows, full) {
-				return
-			}
-		}
-		// Advance odometer.
-		i := g.dims - 1
-		for ; i >= 0; i-- {
-			coord[i]++
-			if coord[i] <= hi[i] {
-				break
-			}
-			coord[i] = lo[i]
-		}
-		if i < 0 {
-			return
-		}
-	}
 }

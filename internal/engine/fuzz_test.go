@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"github.com/explore-by-example/aide/internal/geom"
@@ -36,5 +38,46 @@ func FuzzParseQuery(f *testing.F) {
 		if len(again.Areas) != len(q.Areas) {
 			t.Fatalf("round trip changed area count: %d vs %d", len(again.Areas), len(q.Areas))
 		}
+	})
+}
+
+// FuzzRectQuery throws arbitrary rect coordinates and table shapes at the
+// columnar grid engine and checks the pruned/bitmap paths against the
+// naive per-row Contains scan. Invalid rects (NaN edges, Lo > Hi) must
+// yield zero results; valid rects — including degenerate, inverted-ish
+// boundary and out-of-domain ones — must match the reference exactly.
+func FuzzRectQuery(f *testing.F) {
+	f.Add(int64(1), uint8(0), 0.0, 100.0, 0.0, 100.0)    // empty table, full domain
+	f.Add(int64(2), uint8(1), 50.0, 50.0, 50.0, 50.0)    // single row, degenerate rect
+	f.Add(int64(3), uint8(40), 10.0, 90.0, 10.0, 90.0)   // lattice-edge rect
+	f.Add(int64(4), uint8(200), 25.0, 75.0, 0.0, 100.0)  // one tight dim, one open
+	f.Add(int64(5), uint8(120), -5.0, 105.0, 30.0, 30.5) // out-of-domain edges
+	f.Add(int64(6), uint8(90), 60.0, 40.0, 0.0, 100.0)   // inverted: invalid
+	f.Add(int64(7), uint8(90), math.NaN(), 100.0, 0.0, 100.0)
+	f.Fuzz(func(t *testing.T, seed int64, rows uint8, lo0, hi0, lo1, hi1 float64) {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomColumnarTable(2, int(rows), rng, true)
+		v, err := NewViewWorkers(tab, tab.Schema().Names(), 1+int(seed&3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rect := geom.Rect{{Lo: lo0, Hi: hi0}, {Lo: lo1, Hi: hi1}}
+		valid := !math.IsNaN(lo0) && !math.IsNaN(hi0) && lo0 <= hi0 &&
+			!math.IsNaN(lo1) && !math.IsNaN(hi1) && lo1 <= hi1
+		count := v.Count(rect)
+		got := v.RowsIn(rect)
+		if !valid {
+			if count != 0 || len(got) != 0 {
+				t.Fatalf("invalid rect %v: Count=%d rows=%d, want empty", rect, count, len(got))
+			}
+			return
+		}
+		want := naiveRows(v, rect)
+		if count != len(want) {
+			t.Fatalf("rect %v: Count=%d, naive=%d", rect, count, len(want))
+		}
+		equalRowSets(t, "RowsIn", got, want)
+		union := v.RowsInAny([]geom.Rect{rect, rect})
+		equalRowSets(t, "RowsInAny self-union", union, want)
 	})
 }

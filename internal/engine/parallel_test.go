@@ -52,8 +52,17 @@ func TestViewBuildParallelEquivalence(t *testing.T) {
 		if !reflect.DeepEqual(got.sorted, seq.sorted) {
 			t.Fatalf("workers=%d: sorted indexes differ", workers)
 		}
-		if got.grid.cellsPerDim != seq.grid.cellsPerDim || !reflect.DeepEqual(got.grid.cells, seq.grid.cells) {
-			t.Fatalf("workers=%d: grid index differs", workers)
+		if got.grid.cellsPerDim != seq.grid.cellsPerDim ||
+			!reflect.DeepEqual(got.grid.offsets, seq.grid.offsets) ||
+			!reflect.DeepEqual(got.grid.rows, seq.grid.rows) {
+			t.Fatalf("workers=%d: grid cell layout differs", workers)
+		}
+		if !reflect.DeepEqual(got.grid.slabs, seq.grid.slabs) {
+			t.Fatalf("workers=%d: column slabs differ", workers)
+		}
+		if !reflect.DeepEqual(got.grid.zoneMin, seq.grid.zoneMin) ||
+			!reflect.DeepEqual(got.grid.zoneMax, seq.grid.zoneMax) {
+			t.Fatalf("workers=%d: zonemaps differ", workers)
 		}
 	}
 }

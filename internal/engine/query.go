@@ -93,24 +93,16 @@ func (q Query) NormalizedAreas(n *geom.Normalizer) []geom.Rect {
 }
 
 // Execute returns the ids of all rows the query selects when evaluated
-// against the view. The view's attributes must match q.Attrs.
+// against the view, in the engine's deterministic scan order (grid cells
+// row-major, rows ascending within each cell). The view's attributes
+// must match q.Attrs. The disjunction over areas is evaluated as bitmap
+// OR over the engine's cell-major slot space (RowsInAny), so overlapping
+// areas dedup without re-scans or hashing.
 func (q Query) Execute(v *View) ([]int, error) {
 	if err := q.checkView(v); err != nil {
 		return nil, err
 	}
-	rects := q.NormalizedAreas(v.Normalizer())
-	v.stats.Queries.Add(1)
-	var out []int
-	seen := make(map[int]struct{})
-	for _, r := range rects {
-		for _, row := range v.RowsIn(r) {
-			if _, dup := seen[row]; !dup {
-				seen[row] = struct{}{}
-				out = append(out, row)
-			}
-		}
-	}
-	return out, nil
+	return v.RowsInAny(q.NormalizedAreas(v.Normalizer())), nil
 }
 
 // Selectivity returns the fraction of rows the query selects.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math/bits"
 	"math/rand"
 	"slices"
 	"time"
@@ -65,26 +66,52 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 	// Cell chunks are verified in parallel; per-chunk results concatenate
 	// in cell order, so the candidate layout — and therefore the sampled
 	// rows for a given rng state — is identical at every worker count.
+	//
+	// The layout contract is load-bearing: geometrically full cells form
+	// the leading candidate blocks and boundary-cell survivors follow, in
+	// cell order, rows ascending within each cell. Zonemaps never move a
+	// cell between those groups — a zonemap-covered boundary cell emits
+	// all of its rows into the partial group (same rows, same order, just
+	// without touching the slabs), and a zonemap-disjoint one emits
+	// nothing, exactly as per-row verification would.
+	g := v.grid
 	blocks := v.collect(rect)
 	type chunkCand struct {
 		full     [][]int32 // verified-by-construction candidate blocks
 		partial  []int     // verified matching rows from boundary cells
 		examined int64
 	}
-	parts, _ := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(_, lo, hi int) chunkCand {
+	v.ensureArenas(par.ChunkCount(v.workers, len(blocks), minScanBlocks))
+	parts, _ := par.MapCtx(v.scanCtx(), kernelScan, v.workers, len(blocks), minScanBlocks, func(chunk, lo, hi int) chunkCand {
 		var c chunkCand
+		scratch := v.chunkArena(chunk)
 		for _, b := range blocks[lo:hi] {
 			if b.full {
 				c.full = append(c.full, b.rows)
 				continue
 			}
-			c.examined += int64(len(b.rows))
-			for _, r := range b.rows {
-				if v.Contains(rect, int(r)) {
+			switch g.zoneClassify(rect, b.id) {
+			case zoneCovered:
+				for _, r := range b.rows {
 					c.partial = append(c.partial, int(r))
+				}
+			case zoneDisjoint:
+				// No row can match; emitting nothing is what the filter
+				// would do, without the examination.
+			default:
+				c.examined += int64(len(b.rows))
+				end := b.off + int32(len(b.rows))
+				scratch = g.evalCellBits(rect, b.id, b.off, end, scratch[:0])
+				for w, bw := range scratch {
+					for bw != 0 {
+						t := bits.TrailingZeros64(bw)
+						c.partial = append(c.partial, int(b.rows[w<<6+t]))
+						bw &= bw - 1
+					}
 				}
 			}
 		}
+		v.saveChunkArena(chunk, scratch)
 		return c
 	})
 	var full [][]int32
