@@ -94,6 +94,10 @@ func main() {
 
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "shared predicate-result cache budget per view, in bytes (0 disables); cached results are bit-identical to uncached ones")
 
+		shards        = flag.Int("shards", 0, "split each view into this many supervised shards (0 disables); results are bit-identical at any shard count, and a failing shard degrades to named partial results instead of failing queries")
+		shardDeadline = flag.Duration("shard-deadline", 0, "per-shard attempt deadline; a shard past it is retried, then dropped from the op's answer (0 disables)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "launch a hedged duplicate shard attempt after this long without an answer (0 disables)")
+
 		sloLatency    = flag.Duration("slo-latency", 500*time.Millisecond, "latency SLO threshold: a request slower than this is bad")
 		sloLatencyObj = flag.Float64("slo-latency-objective", 0.99, "target fraction of requests under -slo-latency")
 		sloErrorObj   = flag.Float64("slo-error-objective", 0.999, "target fraction of non-5xx requests")
@@ -130,6 +134,9 @@ func main() {
 	// result cache shared by every session over the view.
 	srv := service.NewServer(nil)
 	srv.CacheBytes = *cacheBytes
+	srv.Shards = *shards
+	srv.ShardDeadline = *shardDeadline
+	srv.HedgeAfter = *hedgeAfter
 	defer srv.Close()
 	if *sdssRows > 0 {
 		tab := dataset.GenerateSDSS(*sdssRows, *seed)

@@ -255,6 +255,18 @@ func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
 		measure(cfg.MinTime, benchKernelSeconds.With("grid_scan"), func() { parView.Count(rect); parView.RowsIn(rect) }),
 		scanIdentical))
 
+	// grid_scan_sharded: the same Count + RowsIn scattered over 4
+	// supervised shards, against the unsharded sequential baseline — the
+	// fan-out/gather overhead the robustness machinery costs on a healthy
+	// run, gated on bit-identical results.
+	shardView := seqView.WithShards(engine.ShardOptions{Shards: 4})
+	shardIdentical := seqView.Count(rect) == shardView.Count(rect) &&
+		reflect.DeepEqual(seqView.RowsIn(rect), shardView.RowsIn(rect))
+	rep.Results = append(rep.Results, hotpathResult("grid_scan_sharded",
+		measure(cfg.MinTime, nil, func() { seqView.Count(rect); seqView.RowsIn(rect) }),
+		measure(cfg.MinTime, benchKernelSeconds.With("grid_scan_sharded"), func() { shardView.Count(rect); shardView.RowsIn(rect) }),
+		shardIdentical))
+
 	// index_build: NewView over four attributes — per-attribute
 	// normalization + sorted indexes + grid-cell assignment.
 	attrs := []string{"ra", "dec", "rowc", "field"}

@@ -70,9 +70,9 @@ const (
 )
 
 // cacheKey is the bucket address of one memoized result: the result kind
-// plus the quantized rect hash. Two distinct rects may share a key
-// (quantization or plain hash collision); the entry's exact rect
-// disambiguates at lookup.
+// plus the quantized rect hash (salted by shard partition). Two distinct
+// rects may share a key (quantization or plain hash collision); the
+// entry's exact rect and salt disambiguate at lookup.
 type cacheKey struct {
 	kind cacheKind
 	hash uint64
@@ -80,9 +80,13 @@ type cacheKey struct {
 
 // cacheEntry is one memoized result. rect is a private clone compared
 // bit-for-bit on lookup; rows is a private copy, copied again on every
-// hit, because RowsIn callers may mutate the returned slice.
+// hit, because RowsIn callers may mutate the returned slice. salt is
+// the shard partition the result belongs to (0 = whole view): a shard's
+// entries answer only that shard's lookups, so partitions of one shared
+// Cache never cross-contaminate.
 type cacheEntry struct {
 	key   cacheKey
+	salt  uint64
 	rect  geom.Rect
 	count int
 	rows  []int
@@ -189,9 +193,10 @@ func quantBits(x float64) uint64 {
 	return uint64(int64(math.Round(x / cacheQuantum)))
 }
 
-// rectHash is FNV-1a over the kind, dimensionality and quantized
-// endpoints of rect.
-func rectHash(kind cacheKind, rect geom.Rect) uint64 {
+// rectHash is FNV-1a over the kind, shard salt, dimensionality and
+// quantized endpoints of rect. Distinct salts spread one rect's
+// per-shard results across distinct buckets.
+func rectHash(kind cacheKind, salt uint64, rect geom.Rect) uint64 {
 	h := uint64(14695981039346656037)
 	mix := func(u uint64) {
 		for i := 0; i < 8; i++ {
@@ -201,6 +206,9 @@ func rectHash(kind cacheKind, rect geom.Rect) uint64 {
 		}
 	}
 	mix(uint64(kind)<<32 | uint64(len(rect)))
+	if salt != 0 {
+		mix(salt)
+	}
 	for _, iv := range rect {
 		mix(quantBits(iv.Lo))
 		mix(quantBits(iv.Hi))
@@ -224,15 +232,16 @@ func rectEqual(a, b geom.Rect) bool {
 	return true
 }
 
-// get returns the memoized entry for (kind, rect), if any. The returned
-// entry is immutable; callers must copy rows before handing them out.
-func (c *Cache) get(kind cacheKind, rect geom.Rect) (*cacheEntry, bool) {
-	key := cacheKey{kind: kind, hash: rectHash(kind, rect)}
+// get returns the memoized entry for (kind, salt, rect), if any. The
+// returned entry is immutable; callers must copy rows before handing
+// them out.
+func (c *Cache) get(kind cacheKind, salt uint64, rect geom.Rect) (*cacheEntry, bool) {
+	key := cacheKey{kind: kind, hash: rectHash(kind, salt, rect)}
 	s := &c.shards[key.hash%cacheShardCount]
 	s.mu.Lock()
 	if el, ok := s.table[key]; ok {
 		e := el.Value.(*cacheEntry)
-		if rectEqual(e.rect, rect) {
+		if e.salt == salt && rectEqual(e.rect, rect) {
 			s.lru.MoveToFront(el)
 			s.mu.Unlock()
 			c.hits.Add(1)
@@ -252,9 +261,10 @@ func (c *Cache) get(kind cacheKind, rect geom.Rect) (*cacheEntry, bool) {
 // shares no memory with the caller. Inserting past the shard budget
 // evicts LRU entries (possibly including the new one, when a single
 // result exceeds the whole budget).
-func (c *Cache) put(kind cacheKind, rect geom.Rect, count int, rows []int) {
+func (c *Cache) put(kind cacheKind, salt uint64, rect geom.Rect, count int, rows []int) {
 	e := &cacheEntry{
-		key:   cacheKey{kind: kind, hash: rectHash(kind, rect)},
+		key:   cacheKey{kind: kind, hash: rectHash(kind, salt, rect)},
+		salt:  salt,
 		rect:  rect.Clone(),
 		count: count,
 		size:  entrySize(rect, rows),

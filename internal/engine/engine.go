@@ -67,6 +67,8 @@ type View struct {
 	buf     *scanBuf        // single-owner scan scratch; nil on shared views
 	workers int             // scan worker knob: 0 auto, 1 sequential
 	ctx     context.Context // scan cancellation; nil = never cancelled
+	shards  *shardSet       // sharded scatter-gather execution; nil = unsharded (shard.go)
+	tracker *ShardTracker   // per-session partial-result sink; nil = untracked
 }
 
 // scanBuf is per-owner scratch reused across grid scans. A view carrying
@@ -274,7 +276,9 @@ func (v *View) scanCtx() context.Context {
 
 // sortedIndex returns row ids ordered by ascending value: one column of
 // the covering index. Range lookups on a single attribute binary-search
-// this instead of walking grid cells.
+// this instead of walking grid cells. Equal values order by ascending
+// row id — a total order, so a k-way merge of per-shard subsequences
+// reproduces this exact sequence at any shard count.
 func sortedIndex(vals []float64) []int32 {
 	idx := make([]int32, len(vals))
 	for i := range idx {
@@ -286,6 +290,10 @@ func sortedIndex(vals []float64) []int32 {
 		case va < vb:
 			return -1
 		case va > vb:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
 			return 1
 		default:
 			return 0
@@ -433,8 +441,14 @@ func (v *View) Count(rect geom.Rect) int {
 		obsInvalidRects.Inc()
 		return 0
 	}
+	if v.shards != nil {
+		obsPathGrid.Inc()
+		matched, healthy := v.countShardedCore(rect)
+		v.noteShardOutcome(healthy)
+		return matched
+	}
 	if v.cache != nil {
-		if e, ok := v.cache.get(kindCount, rect); ok {
+		if e, ok := v.cache.get(kindCount, 0, rect); ok {
 			return e.count
 		}
 	}
@@ -464,7 +478,7 @@ func (v *View) Count(rect geom.Rect) int {
 	if v.cache != nil && err == nil {
 		// Never memoize a cancelled scan: its partial result is garbage by
 		// contract, and a poisoned entry would outlive the cancellation.
-		v.cache.put(kindCount, rect, int(total.matched), nil)
+		v.cache.put(kindCount, 0, rect, int(total.matched), nil)
 	}
 	return int(total.matched)
 }
@@ -488,8 +502,14 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 		obsInvalidRects.Inc()
 		return nil
 	}
+	if v.shards != nil {
+		obsPathGrid.Inc()
+		rows, healthy := v.rowsShardedCore(rect)
+		v.noteShardOutcome(healthy)
+		return rows
+	}
 	if v.cache != nil {
-		if e, ok := v.cache.get(kindRows, rect); ok {
+		if e, ok := v.cache.get(kindRows, 0, rect); ok {
 			if e.rows == nil {
 				return nil
 			}
@@ -550,7 +570,7 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 			v.saveChunkSegs(chunk, parts[chunk].segs)
 		}
 		if v.cache != nil {
-			v.cache.put(kindRows, rect, 0, nil)
+			v.cache.put(kindRows, 0, rect, 0, nil)
 		}
 		return nil
 	}
@@ -599,7 +619,7 @@ func (v *View) RowsIn(rect geom.Rect) []int {
 	if v.cache != nil {
 		// The cache stores its own copy (see Cache.put): never a cancelled
 		// scan's garbage, never memory the caller can mutate.
-		v.cache.put(kindRows, rect, len(out), out)
+		v.cache.put(kindRows, 0, rect, len(out), out)
 	}
 	return out
 }
@@ -622,6 +642,20 @@ func (v *View) RowsInAny(rects []geom.Rect) []int {
 	v.stats.Queries.Add(1)
 	if len(rects) == 0 {
 		return nil
+	}
+	if v.shards != nil {
+		valid := make([]geom.Rect, 0, len(rects))
+		for _, rect := range rects {
+			if v.validRect(rect) {
+				valid = append(valid, rect)
+			} else {
+				obsInvalidRects.Inc()
+			}
+		}
+		obsPathGrid.Inc()
+		rows, healthy := v.rowsAnyShardedCore(valid)
+		v.noteShardOutcome(healthy)
+		return rows
 	}
 	g := v.grid
 	bm := newSlotBitmap(len(g.rows))

@@ -17,11 +17,15 @@ var (
 
 // regKey identifies one shareable view: table content (fingerprint, not
 // pointer — two loads of the same dataset share), the ordered
-// exploration attributes, and the index-build worker knob.
+// exploration attributes, the index-build worker knob, and the shard
+// count (0 = unsharded). Shard timing knobs (deadline, hedge) are
+// deliberately not part of the key: they are server-wide policy, and
+// the first Acquire's values win for a shared view.
 type regKey struct {
 	table   uint64
 	attrs   string
 	workers int
+	shards  int
 }
 
 // regEntry is one refcounted registry slot. ready closes when the build
@@ -74,7 +78,20 @@ func (r *Registry) Acquire(tab *dataset.Table, attrs []string) (*View, error) {
 // (0 automatic, 1 sequential). Each successful call takes one reference
 // that must be returned with Release.
 func (r *Registry) AcquireWorkers(tab *dataset.Table, attrs []string, workers int) (*View, error) {
-	key := regKey{table: TableFingerprint(tab), attrs: strings.Join(attrs, "\x00"), workers: workers}
+	return r.AcquireShardedWorkers(tab, attrs, workers, ShardOptions{})
+}
+
+// AcquireShardedWorkers is AcquireWorkers for sharded views: the shared
+// view scatters queries across opts.Shards cell-range shards
+// (opts.Shards <= 0 builds the plain unsharded view). Sharding leaves
+// the view's fingerprint unchanged — shard count is execution policy,
+// not content — so durable logs recover against any shard count.
+func (r *Registry) AcquireShardedWorkers(tab *dataset.Table, attrs []string, workers int, opts ShardOptions) (*View, error) {
+	shards := opts.Shards
+	if shards < 0 {
+		shards = 0
+	}
+	key := regKey{table: TableFingerprint(tab), attrs: strings.Join(attrs, "\x00"), workers: workers, shards: shards}
 	r.mu.Lock()
 	if e, ok := r.entries[key]; ok {
 		e.refs++
@@ -94,6 +111,9 @@ func (r *Registry) AcquireWorkers(tab *dataset.Table, attrs []string, workers in
 	obsRegistryMisses.Inc()
 
 	v, err := NewViewWorkers(tab, attrs, workers)
+	if err == nil && shards > 0 {
+		v = v.WithShards(opts)
+	}
 	r.mu.Lock()
 	e.view, e.err = v, err
 	if err != nil {

@@ -34,6 +34,14 @@ func (v *View) SampleRect(rect geom.Rect, n int, rng *rand.Rand) []int {
 		obsInvalidRects.Inc()
 		return nil
 	}
+	if v.shards != nil {
+		// Both engine paths scatter per shard and reassemble the exact
+		// unsharded candidate layout (shard.go), so the rng draws the
+		// same rows at any shard count.
+		out, healthy := v.sampleShardedCore(rect, n, rng)
+		v.noteShardOutcome(healthy)
+		return out
+	}
 	// Fast path: a rect constrained in exactly one dimension (the shape
 	// of boundary-exploitation slabs with whole-domain sampling) is a
 	// range scan of that attribute's sorted index — no grid walk.

@@ -1,0 +1,923 @@
+package engine
+
+// This file is the sharded scatter-gather execution layer. WithShards
+// splits a view's columnar grid into N contiguous cell-range shards —
+// each owning its own slot slab range, rebased CSR offsets,
+// per-dimension covering indexes and predicate-cache partition — and
+// routes Count/RowsIn/RowsInAny/SampleRect through a supervised
+// fan-out: every shard runs a sequential core, a per-shard supervisor
+// tracks health (supervisor.go) with retries, optional deadlines and
+// hedged second attempts, and the gather step reassembles results in
+// shard order. Because shards cut at cell boundaries and gather in
+// cell order, a fault-free sharded query is bit-identical to the
+// unsharded path at any shard count; when a shard cannot serve, the
+// query returns the healthy shards' rows plus a named degradation
+// ("shard_partial:n/N") through the view's ShardTracker — never a
+// silent wrong answer — and the *Exact variants return
+// ErrPartialResult instead.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/explore-by-example/aide/internal/faultinject"
+	"github.com/explore-by-example/aide/internal/geom"
+	"github.com/explore-by-example/aide/internal/obs"
+	"github.com/explore-by-example/aide/internal/par"
+)
+
+// Per-shard fault points. Chaos tests select them with the base name
+// (every shard) or faultinject.PointAt(name, i) (one shard).
+const (
+	// FaultShardScan fires inside Count/RowsIn/RowsInAny shard attempts.
+	FaultShardScan = "engine.shard.scan"
+	// FaultShardSample fires inside SampleRect shard attempts.
+	FaultShardSample = "engine.shard.sample"
+	// FaultShardBuild fires while a shard's indexes are being split.
+	FaultShardBuild = "engine.shard.build"
+)
+
+// engine_shard_ops{state}: per-shard operation outcomes. Children are
+// resolved once so the scatter hot path pays one atomic per outcome.
+var (
+	obsShardOK      = obs.GetCounterVec("engine_shard_ops", "state").With("ok")
+	obsShardFailed  = obs.GetCounterVec("engine_shard_ops", "state").With("failed")
+	obsShardSkipped = obs.GetCounterVec("engine_shard_ops", "state").With("skipped")
+	obsShardRetried = obs.GetCounterVec("engine_shard_ops", "state").With("retried")
+	obsShardHedged  = obs.GetCounterVec("engine_shard_ops", "state").With("hedged")
+	obsShardPartial = obs.GetCounterVec("engine_shard_ops", "state").With("partial")
+)
+
+// ErrPartialResult is returned by the *Exact query variants when one or
+// more shards could not serve and the result therefore covers only the
+// healthy subset of the data.
+var ErrPartialResult = errors.New("engine: partial result: one or more shards unavailable")
+
+// errShardDeadline is the per-attempt deadline error; it drives the
+// retry/supervision path like any other shard failure.
+var errShardDeadline = errors.New("engine: shard attempt deadline exceeded")
+
+// ShardOptions configures WithShards.
+type ShardOptions struct {
+	// Shards is the shard count. <= 0 leaves the view unsharded; 1 builds
+	// a single-shard set that still exercises the scatter path.
+	Shards int
+	// Deadline bounds each shard attempt; 0 disables. An attempt past
+	// its deadline counts as a failure (and is retried while attempts
+	// remain); the abandoned goroutine finishes in the background and
+	// its result is discarded.
+	Deadline time.Duration
+	// HedgeAfter launches a second, concurrent attempt for a shard whose
+	// first attempt is still running after this long; 0 disables. The
+	// first attempt to finish wins. Hedged attempts do not roll injected
+	// faults, so a shard's fault stream consumption stays deterministic.
+	HedgeAfter time.Duration
+	// MaxAttempts is the sequential attempt budget per shard per
+	// operation (retries use full-jitter backoff); 0 means 2.
+	MaxAttempts int
+	// CooldownOps is how many operations a quarantined shard sits out
+	// before a recovery probe; 0 means 8.
+	CooldownOps int
+}
+
+// shard is one cell-range partition of a view's grid. Its grid shares
+// the parent's zonemaps and subslices the parent's slot arrays; only
+// the rebased offsets and the filtered covering indexes are new memory.
+type shard struct {
+	index  int
+	salt   uint64 // predicate-cache key partition (shard index + 1)
+	grid   *gridIndex
+	sorted [][]int32 // per-dimension covering index, rows in this shard only
+	nrows  int
+}
+
+// shardSet is the sharded execution state hung off a View. It is
+// immutable after construction apart from the supervisor, which is
+// internally synchronized, so view copies share it freely.
+type shardSet struct {
+	n      int
+	opts   ShardOptions
+	shards []*shard
+	sup    *supervisor
+	domain *par.Domain
+}
+
+// WithShards returns a view sharing this view's table, indexes and
+// stats whose queries scatter across opts.Shards cell-range shards (see
+// the package comment at the top of this file). opts.Shards <= 0
+// returns an unsharded copy. The returned view keeps the receiver's
+// fingerprint: shard count is an execution detail, not a content
+// change, so WAL logs written against any shard count recover against
+// any other.
+func (v *View) WithShards(opts ShardOptions) *View {
+	c := *v
+	if opts.Shards <= 0 {
+		c.shards = nil
+		return &c
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 2
+	}
+	c.shards = buildShardSet(v, opts)
+	return &c
+}
+
+// ShardCount returns the view's shard count, 0 when unsharded.
+func (v *View) ShardCount() int {
+	if v.shards == nil {
+		return 0
+	}
+	return v.shards.n
+}
+
+// ShardHealthInfo is one shard's health snapshot, as served by
+// /healthz and /v1/slo.
+type ShardHealthInfo struct {
+	Index            int    `json:"index"`
+	State            string `json:"state"`
+	Rows             int    `json:"rows"`
+	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
+}
+
+// ShardHealth returns a snapshot of every shard's supervised state,
+// nil when the view is unsharded.
+func (v *View) ShardHealth() []ShardHealthInfo {
+	if v.shards == nil {
+		return nil
+	}
+	states, fails := v.shards.sup.snapshot()
+	out := make([]ShardHealthInfo, v.shards.n)
+	for i := range out {
+		out[i] = ShardHealthInfo{
+			Index:            i,
+			State:            states[i].String(),
+			Rows:             v.shards.shards[i].nrows,
+			ConsecutiveFails: fails[i],
+		}
+	}
+	return out
+}
+
+// ShardTransitions returns the supervisor's bounded transition log,
+// nil when the view is unsharded.
+func (v *View) ShardTransitions() []ShardTransition {
+	if v.shards == nil {
+		return nil
+	}
+	return v.shards.sup.transitions()
+}
+
+// ShardTracker accumulates partial-result events between drains. Wire
+// one per session with WithShardTracker; the exploration loop drains it
+// every iteration into IterationResult.Degradations, so a quarantined
+// shard surfaces as a named degradation instead of a silently small
+// answer.
+type ShardTracker struct {
+	mu           sync.Mutex
+	events       int
+	worstHealthy int
+	total        int
+}
+
+// note records one partial operation that was served by healthy of
+// total shards.
+func (t *ShardTracker) note(healthy, total int) {
+	t.mu.Lock()
+	if t.events == 0 || healthy < t.worstHealthy {
+		t.worstHealthy = healthy
+	}
+	t.events++
+	t.total = total
+	t.mu.Unlock()
+}
+
+// Drain returns the named degradation for the partial operations since
+// the last drain — "shard_partial:n/N" where n is the worst healthy
+// shard count observed — and resets. ok is false when every operation
+// was complete.
+func (t *ShardTracker) Drain() (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.events == 0 {
+		return "", false
+	}
+	name := ShardPartialDegradation(t.worstHealthy, t.total)
+	t.events = 0
+	return name, true
+}
+
+// Err returns ErrPartialResult when partial operations are pending
+// (without draining them), nil otherwise.
+func (t *ShardTracker) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.events != 0 {
+		return ErrPartialResult
+	}
+	return nil
+}
+
+// ShardPartialDegradation formats the named degradation for a query
+// served by healthy of total shards.
+func ShardPartialDegradation(healthy, total int) string {
+	return fmt.Sprintf("shard_partial:%d/%d", healthy, total)
+}
+
+// WithShardTracker returns a view copy that records partial-result
+// events into the returned tracker, plus the tracker. On an unsharded
+// view the tracker is inert (returned for uniformity).
+func (v *View) WithShardTracker() (*View, *ShardTracker) {
+	c := *v
+	c.tracker = &ShardTracker{}
+	return &c, c.tracker
+}
+
+// noteShardOutcome publishes a partial-result event: the partial
+// counter always, the session tracker when one is wired.
+func (v *View) noteShardOutcome(healthy int) {
+	if healthy >= v.shards.n {
+		return
+	}
+	obsShardPartial.Inc()
+	if v.tracker != nil {
+		v.tracker.note(healthy, v.shards.n)
+	}
+}
+
+// buildShardSet splits v's grid at cell boundaries into opts.Shards
+// contiguous ranges balanced by row count. Cells never straddle a cut,
+// so every global scan order (cell-major slots, per-dimension sorted
+// indexes) is exactly the shard-order concatenation (or ordered merge)
+// of the per-shard orders — the invariant the bit-identity guarantee
+// rests on.
+func buildShardSet(v *View, opts ShardOptions) *shardSet {
+	g := v.grid
+	n := opts.Shards
+	cells := g.numCells()
+	rows := len(g.rows)
+	cuts := make([]int, n+1)
+	cuts[n] = cells
+	for i := 1; i < n; i++ {
+		target := int32(i * rows / n)
+		c := sort.Search(cells, func(c int) bool { return g.offsets[c] >= target })
+		if c < cuts[i-1] {
+			c = cuts[i-1]
+		}
+		cuts[i] = c
+	}
+	// rowShard maps row id -> owning shard, for filtering the covering
+	// indexes in one pass per dimension.
+	rowShard := make([]int32, rows)
+	ss := &shardSet{
+		n:      n,
+		opts:   opts,
+		shards: make([]*shard, n),
+		sup:    newSupervisor(n, opts.CooldownOps),
+		domain: par.NewDomain("engine.shards", 4*n),
+	}
+	for i := 0; i < n; i++ {
+		pt := faultinject.PointAt(FaultShardBuild, i)
+		faultinject.Latency(pt)
+		faultinject.Panic(pt)
+		slotLo := g.offsets[cuts[i]]
+		slotHi := g.offsets[cuts[i+1]]
+		sg := &gridIndex{
+			dims:        g.dims,
+			cellsPerDim: g.cellsPerDim,
+			cellWidth:   g.cellWidth,
+			offsets:     make([]int32, len(g.offsets)),
+			rows:        g.rows[slotLo:slotHi],
+			rows64:      g.rows64[slotLo:slotHi],
+			slabs:       make([][]float64, g.dims),
+			zoneMin:     g.zoneMin, // shared: cell-id indexed, cells never straddle a cut
+			zoneMax:     g.zoneMax,
+		}
+		// Clamp-and-rebase the CSR offsets: cells outside the shard's
+		// range collapse to empty (off == end), which walkRun skips while
+		// keeping covered-middle spans — clamped — correct.
+		for c, o := range g.offsets {
+			if o < slotLo {
+				o = slotLo
+			} else if o > slotHi {
+				o = slotHi
+			}
+			sg.offsets[c] = o - slotLo
+		}
+		for d := range sg.slabs {
+			sg.slabs[d] = g.slabs[d][slotLo:slotHi]
+		}
+		for s := slotLo; s < slotHi; s++ {
+			rowShard[g.rows[s]] = int32(i)
+		}
+		ss.shards[i] = &shard{
+			index:  i,
+			salt:   uint64(i) + 1,
+			grid:   sg,
+			sorted: make([][]int32, len(v.sorted)),
+			nrows:  int(slotHi - slotLo),
+		}
+	}
+	// Filter each global covering index by shard membership, preserving
+	// (value, row id) order within each shard.
+	for d := range v.sorted {
+		for i := 0; i < n; i++ {
+			ss.shards[i].sorted[d] = make([]int32, 0, ss.shards[i].nrows)
+		}
+		for _, r := range v.sorted[d] {
+			sh := ss.shards[rowShard[r]]
+			sh.sorted[d] = append(sh.sorted[d], r)
+		}
+	}
+	return ss
+}
+
+// scatterShards fans fn across every admitted shard, one goroutine per
+// shard, supervising each: per-attempt fault hooks and panic recovery,
+// full-jitter retries, optional per-attempt deadlines and a hedged
+// second attempt for stragglers. It returns per-shard results with a
+// validity mask and the number of shards that served. A cancelled ctx
+// short-circuits without recording supervisor outcomes or failures:
+// cancelled results are discarded by contract, so they must not move
+// health state or look like degradations.
+func scatterShards[T any](ss *shardSet, ctx context.Context, point string, fn func(sh *shard) T) (res []T, ok []bool, healthy int) {
+	tick := ss.sup.beginOp()
+	res = make([]T, ss.n)
+	ok = make([]bool, ss.n)
+	ss.domain.Scatter(ss.n, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		admitted, _ := ss.sup.admit(i, tick)
+		if !admitted {
+			obsShardSkipped.Inc()
+			return
+		}
+		val, err := runShardAttempts(ss, ctx, point, i, fn)
+		if ctx.Err() != nil {
+			// Cancelled mid-attempt: the result is discarded by contract,
+			// so neither health state nor failure counts may move.
+			return
+		}
+		if err != nil {
+			ss.sup.record(i, tick, false)
+			obsShardFailed.Inc()
+			return
+		}
+		ss.sup.record(i, tick, true)
+		obsShardOK.Inc()
+		res[i] = val
+		ok[i] = true
+	})
+	if ctx.Err() != nil {
+		// ctx errors are sticky: any goroutine that skipped recording saw
+		// the same cancellation. Report full health so the discarded
+		// result records no degradation.
+		return res, make([]bool, ss.n), ss.n
+	}
+	for i := range ok {
+		if ok[i] {
+			healthy++
+		}
+	}
+	return res, ok, healthy
+}
+
+// runShardAttempts runs up to MaxAttempts sequential supervised
+// attempts for one shard, with full-jitter backoff between them.
+func runShardAttempts[T any](ss *shardSet, ctx context.Context, point string, i int, fn func(sh *shard) T) (T, error) {
+	pt := faultinject.PointAt(point, i)
+	var zero T
+	var err error
+	// Jitter timing comes from a per-call rng — it shapes retry timing
+	// only, never results, so it needs no seeding discipline.
+	var jitter *rand.Rand
+	for a := 0; a < ss.opts.MaxAttempts; a++ {
+		if a > 0 {
+			obsShardRetried.Inc()
+			if jitter == nil {
+				jitter = rand.New(rand.NewSource(int64(i) + 1))
+			}
+			backoff := time.Duration(jitter.Int63n(int64((200 * time.Microsecond) << uint(a))))
+			select {
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		var val T
+		val, err = attemptShard(ss, ctx, pt, i, fn)
+		if err == nil {
+			return val, nil
+		}
+		if ctx.Err() != nil {
+			return zero, ctx.Err()
+		}
+	}
+	return zero, err
+}
+
+// attemptShard runs one attempt. With no deadline and no hedging
+// configured — the default — it executes inline on the scatter
+// goroutine: no extra goroutines, no timers, nothing on the fault-free
+// hot path. Otherwise the attempt runs on the shard domain with a
+// deadline timer and an optional hedged duplicate; whichever attempt
+// finishes first (successfully) wins, and abandoned attempts drain
+// into a buffered channel in the background.
+func attemptShard[T any](ss *shardSet, ctx context.Context, pt string, i int, fn func(sh *shard) T) (T, error) {
+	sh := ss.shards[i]
+	if ss.opts.Deadline == 0 && ss.opts.HedgeAfter == 0 {
+		return execShard(sh, pt, true, fn)
+	}
+	type result struct {
+		val T
+		err error
+	}
+	ch := make(chan result, 2) // primary + hedge; buffered so abandoned attempts never block
+	ss.domain.Go(func() {
+		val, err := execShard(sh, pt, true, fn)
+		ch <- result{val, err}
+	})
+	var deadline, hedge <-chan time.Time
+	if ss.opts.Deadline > 0 {
+		dt := time.NewTimer(ss.opts.Deadline)
+		defer dt.Stop()
+		deadline = dt.C
+	}
+	if ss.opts.HedgeAfter > 0 {
+		ht := time.NewTimer(ss.opts.HedgeAfter)
+		defer ht.Stop()
+		hedge = ht.C
+	}
+	outstanding := 1
+	var zero T
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				return r.val, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return zero, firstErr
+			}
+		case <-hedge:
+			hedge = nil
+			obsShardHedged.Inc()
+			outstanding++
+			ss.domain.Go(func() {
+				// Hedged attempts skip the fault hooks: the shard's
+				// injected-fault stream advances once per sequential
+				// attempt regardless of hedging, keeping chaos runs
+				// deterministic.
+				val, err := execShard(sh, pt, false, fn)
+				ch <- result{val, err}
+			})
+		case <-deadline:
+			return zero, errShardDeadline
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// execShard runs the shard core with per-attempt fault hooks and panic
+// isolation: an injected (or real) panic inside one shard's core
+// becomes that shard's attempt error, never the query's.
+func execShard[T any](sh *shard, pt string, rollFaults bool, fn func(sh *shard) T) (val T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: shard %d panic: %v", sh.index, r)
+		}
+	}()
+	if rollFaults {
+		faultinject.Latency(pt)
+		faultinject.Panic(pt)
+		if e := faultinject.Err(pt); e != nil {
+			return val, e
+		}
+	}
+	return fn(sh), nil
+}
+
+// ---------------------------------------------------------------------
+// Sharded query cores and gathers. Every core is sequential and pure
+// over the shard's immutable indexes (local scratch only): attempts may
+// run concurrently with their own hedges, and shardSets are shared
+// across sessions.
+
+// countRes, rowsRes, sampleRes carry per-shard partial results plus the
+// rows-examined accounting, which the gather adds exactly once per
+// winning attempt.
+type countRes struct {
+	matched  int64
+	examined int64
+}
+
+type rowsRes struct {
+	rows     []int
+	examined int64
+}
+
+type sampleRes struct {
+	full     [][]int32
+	partial  []int
+	examined int64
+}
+
+// count is Count restricted to one shard: the same zonemap/offset
+// walk as the unsharded kernel, sequential, with the shard's cache
+// partition consulted first.
+func (sh *shard) count(rect geom.Rect, cache *Cache) countRes {
+	g := sh.grid
+	if cache != nil {
+		if e, hit := cache.get(kindCount, sh.salt, rect); hit {
+			return countRes{matched: int64(e.count)}
+		}
+	}
+	var out countRes
+	for _, run := range g.collectCellRuns(rect, nil) {
+		g.walkRun(run, rect,
+			func(slo, shi int32) { out.matched += int64(shi - slo) },
+			func(id, off, end int32) {
+				out.examined += int64(end - off)
+				out.matched += int64(g.countCell(rect, id, off, end))
+			})
+	}
+	if cache != nil {
+		cache.put(kindCount, sh.salt, rect, int(out.matched), nil)
+	}
+	return out
+}
+
+// rowsIn is RowsIn restricted to one shard, rows in ascending slot
+// (cell-major) order — the shard-order concatenation of these is
+// exactly the unsharded order.
+func (sh *shard) rowsIn(rect geom.Rect, cache *Cache) rowsRes {
+	g := sh.grid
+	if cache != nil {
+		if e, hit := cache.get(kindRows, sh.salt, rect); hit {
+			out := rowsRes{}
+			if e.rows != nil {
+				out.rows = make([]int, len(e.rows))
+				copy(out.rows, e.rows)
+			}
+			return out
+		}
+	}
+	var out rowsRes
+	var scratch []uint64
+	for _, run := range g.collectCellRuns(rect, nil) {
+		g.walkRun(run, rect,
+			func(slo, shi int32) { out.rows = append(out.rows, g.rows64[slo:shi]...) },
+			func(id, off, end int32) {
+				out.examined += int64(end - off)
+				scratch = g.evalCellBits(rect, id, off, end, scratch[:0])
+				emitBits(&out.rows, g, off, scratch)
+			})
+	}
+	if cache != nil {
+		cache.put(kindRows, sh.salt, rect, len(out.rows), out.rows)
+	}
+	return out
+}
+
+// rowsAny is RowsInAny restricted to one shard: a dense bitmap over the
+// shard's slots ORs every rect, then materializes once in slot order.
+func (sh *shard) rowsAny(rects []geom.Rect) rowsRes {
+	g := sh.grid
+	bm := newSlotBitmap(len(g.rows))
+	var out rowsRes
+	var scratch []uint64
+	for _, rect := range rects {
+		for _, run := range g.collectCellRuns(rect, nil) {
+			g.walkRun(run, rect,
+				func(slo, shi int32) { bm.setRange(slo, shi) },
+				func(id, off, end int32) {
+					out.examined += int64(end - off)
+					scratch = g.evalCellBits(rect, id, off, end, scratch[:0])
+					bm.orCellBits(off, scratch)
+				})
+		}
+	}
+	if n := bm.count(); n > 0 {
+		out.rows = make([]int, 0, n)
+		emitBits(&out.rows, g, 0, []uint64(bm))
+	}
+	return out
+}
+
+// sampleGrid is SampleRect's grid path restricted to one shard: full
+// cells contribute their row blocks, boundary cells their verified
+// survivors, both in cell order.
+func (sh *shard) sampleGrid(rect geom.Rect) sampleRes {
+	g := sh.grid
+	var out sampleRes
+	var scratch []uint64
+	for _, b := range g.collectCells(rect, nil) {
+		if b.full {
+			out.full = append(out.full, b.rows)
+			continue
+		}
+		switch g.zoneClassify(rect, b.id) {
+		case zoneCovered:
+			for _, r := range b.rows {
+				out.partial = append(out.partial, int(r))
+			}
+		case zoneDisjoint:
+		default:
+			out.examined += int64(len(b.rows))
+			end := b.off + int32(len(b.rows))
+			scratch = g.evalCellBits(rect, b.id, b.off, end, scratch[:0])
+			for w, bw := range scratch {
+				for bw != 0 {
+					t := bits.TrailingZeros64(bw)
+					out.partial = append(out.partial, int(b.rows[w<<6+t]))
+					bw &= bw - 1
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sortedSlice returns the shard's covering-index candidates for an
+// interval of one dimension, in (value, row id) order.
+func (sh *shard) sortedSlice(dim int, iv geom.Interval, vals []float64) []int32 {
+	lo, hi := sortedRangeIn(sh.sorted[dim], vals, iv)
+	return sh.sorted[dim][lo:hi]
+}
+
+// emitBits appends the row ids of set bits (based at slot off) to dst.
+func emitBits(dst *[]int, g *gridIndex, off int32, words []uint64) {
+	for w, bw := range words {
+		for bw != 0 {
+			t := bits.TrailingZeros64(bw)
+			*dst = append(*dst, g.rows64[int(off)+w<<6+t])
+			bw &= bw - 1
+		}
+	}
+}
+
+// countShardedCore scatters Count and sums the healthy shards.
+func (v *View) countShardedCore(rect geom.Rect) (matched, healthy int) {
+	cache := v.cache
+	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardScan, func(sh *shard) countRes {
+		return sh.count(rect, cache)
+	})
+	var total countRes
+	for i, r := range res {
+		if ok[i] {
+			total.matched += r.matched
+			total.examined += r.examined
+		}
+	}
+	v.stats.RowsExamined.Add(total.examined)
+	obsRowsExamined.Add(total.examined)
+	return int(total.matched), healthy
+}
+
+// rowsShardedCore scatters RowsIn and concatenates in shard order.
+func (v *View) rowsShardedCore(rect geom.Rect) (rows []int, healthy int) {
+	cache := v.cache
+	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardScan, func(sh *shard) rowsRes {
+		return sh.rowsIn(rect, cache)
+	})
+	return gatherRows(v, res, ok), healthy
+}
+
+// rowsAnyShardedCore scatters RowsInAny and concatenates in shard order.
+func (v *View) rowsAnyShardedCore(rects []geom.Rect) (rows []int, healthy int) {
+	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardScan, func(sh *shard) rowsRes {
+		return sh.rowsAny(rects)
+	})
+	return gatherRows(v, res, ok), healthy
+}
+
+func gatherRows(v *View, res []rowsRes, ok []bool) []int {
+	var examined int64
+	n := 0
+	for i := range res {
+		if ok[i] {
+			examined += res[i].examined
+			n += len(res[i].rows)
+		}
+	}
+	v.stats.RowsExamined.Add(examined)
+	obsRowsExamined.Add(examined)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := range res {
+		if ok[i] {
+			out = append(out, res[i].rows...)
+		}
+	}
+	return out
+}
+
+// sampleShardedCore runs SampleRect's scatter for both engine paths and
+// reassembles the exact unsharded candidate layout (full blocks in cell
+// order, then partial survivors in cell order; covering-index
+// candidates merge back into global (value, row id) order), so the same
+// rng state draws the same rows at any shard count.
+func (v *View) sampleShardedCore(rect geom.Rect, n int, rng *rand.Rand) ([]int, int) {
+	if dim := v.singleConstrainedDim(rect); dim >= 0 {
+		obsPathIndex.Inc()
+		vals := v.ncols[dim]
+		iv := rect[dim]
+		res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardSample, func(sh *shard) []int32 {
+			return sh.sortedSlice(dim, iv, vals)
+		})
+		if v.scanCtx().Err() != nil {
+			return nil, healthy
+		}
+		var parts [][]int32
+		matched := 0
+		for i := range res {
+			if ok[i] && len(res[i]) > 0 {
+				parts = append(parts, res[i])
+				matched += len(res[i])
+			}
+		}
+		v.stats.RowsExamined.Add(int64(matched))
+		obsRowsExamined.Add(int64(matched))
+		if matched == 0 {
+			return nil, healthy
+		}
+		merged := mergeSorted(parts, vals, matched)
+		if n >= matched {
+			out := make([]int, 0, matched)
+			for _, r := range merged {
+				out = append(out, int(r))
+			}
+			rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+			return out, healthy
+		}
+		out := make([]int, 0, n)
+		for _, t := range floydSample(matched, n, rng) {
+			out = append(out, int(merged[t]))
+		}
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out, healthy
+	}
+
+	obsPathGrid.Inc()
+	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardSample, func(sh *shard) sampleRes {
+		return sh.sampleGrid(rect)
+	})
+	if v.scanCtx().Err() != nil {
+		return nil, healthy
+	}
+	var full [][]int32
+	fullTotal := 0
+	var partial []int
+	var examined int64
+	for i := range res {
+		if !ok[i] {
+			continue
+		}
+		for _, b := range res[i].full {
+			full = append(full, b)
+			fullTotal += len(b)
+		}
+		partial = append(partial, res[i].partial...)
+		examined += res[i].examined
+	}
+	v.stats.RowsExamined.Add(examined)
+	obsRowsExamined.Add(examined)
+	total := fullTotal + len(partial)
+	if total == 0 {
+		return nil, healthy
+	}
+	if n >= total {
+		out := make([]int, 0, total)
+		for _, b := range full {
+			for _, r := range b {
+				out = append(out, int(r))
+			}
+		}
+		out = append(out, partial...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out, healthy
+	}
+	out := make([]int, 0, n)
+	for _, idx := range floydSample(total, n, rng) {
+		out = append(out, v.rowAt(full, partial, idx))
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, healthy
+}
+
+// mergeSorted k-way merges per-shard covering-index slices back into
+// global (value, row id) order — sortedIndex's exact total order, so
+// the merged sequence is identical to the unsharded index range.
+func mergeSorted(parts [][]int32, vals []float64, total int) []int32 {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	out := make([]int32, 0, total)
+	pos := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		var bestRow int32
+		for p := range parts {
+			if pos[p] >= len(parts[p]) {
+				continue
+			}
+			r := parts[p][pos[p]]
+			if best < 0 || less(vals, r, bestRow) {
+				best, bestRow = p, r
+			}
+		}
+		out = append(out, bestRow)
+		pos[best]++
+	}
+	return out
+}
+
+// less is sortedIndex's comparator: ascending value, row id breaking
+// ties.
+func less(vals []float64, a, b int32) bool {
+	va, vb := vals[a], vals[b]
+	if va != vb {
+		return va < vb
+	}
+	return a < b
+}
+
+// sortedRangeIn returns the half-open [lo, hi) positions in idx whose
+// values fall inside iv — sortedRange generalized to any covering-index
+// slice (the per-shard ones included).
+func sortedRangeIn(idx []int32, vals []float64, iv geom.Interval) (int, int) {
+	lo, _ := slices.BinarySearchFunc(idx, iv.Lo, func(r int32, t float64) int {
+		switch {
+		case vals[r] < t:
+			return -1
+		case vals[r] > t:
+			return 1
+		default:
+			return 0
+		}
+	})
+	hi := lo
+	for hi < len(idx) && vals[idx[hi]] <= iv.Hi {
+		hi++
+	}
+	return lo, hi
+}
+
+// CountExact is Count that refuses to degrade: on a sharded view with
+// one or more shards unavailable it returns ErrPartialResult (the
+// partial count alongside, for diagnostics). Exactness-critical callers
+// — evaluation harnesses, the golden tests — use this instead of
+// tolerating a silently partial answer.
+func (v *View) CountExact(rect geom.Rect) (int, error) {
+	if v.shards == nil {
+		return v.Count(rect), nil
+	}
+	defer observeQuery(time.Now())
+	v.stats.Queries.Add(1)
+	if !v.validRect(rect) {
+		obsInvalidRects.Inc()
+		return 0, nil
+	}
+	obsPathGrid.Inc()
+	matched, healthy := v.countShardedCore(rect)
+	v.noteShardOutcome(healthy)
+	if healthy < v.shards.n {
+		return matched, ErrPartialResult
+	}
+	return matched, nil
+}
+
+// RowsInExact is RowsIn with CountExact's exactness contract.
+func (v *View) RowsInExact(rect geom.Rect) ([]int, error) {
+	if v.shards == nil {
+		return v.RowsIn(rect), nil
+	}
+	defer observeQuery(time.Now())
+	v.stats.Queries.Add(1)
+	if !v.validRect(rect) {
+		obsInvalidRects.Inc()
+		return nil, nil
+	}
+	obsPathGrid.Inc()
+	rows, healthy := v.rowsShardedCore(rect)
+	v.noteShardOutcome(healthy)
+	if healthy < v.shards.n {
+		return rows, ErrPartialResult
+	}
+	return rows, nil
+}

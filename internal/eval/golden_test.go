@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/explore-by-example/aide/internal/dataset"
@@ -79,26 +80,39 @@ func TestGoldenBitIdentity(t *testing.T) {
 			wantSQL: `SELECT * FROM PhotoObjAll WHERE (rowc >= 1109.266226 AND rowc <= 1218.146335 AND colc >= 1067.401043 AND colc <= 1239.421102) OR (rowc >= 0 AND rowc <= 277.633617 AND colc >= 1720.227043 AND colc <= 1854.032457);`,
 		},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			opts := explore.DefaultOptions()
-			opts.Seed = tc.seed
-			opts.Discovery = tc.discovery
-			labeled, sql, s := runGolden(t, tc.view, tc.target, opts, tc.maxIter)
-			if labeled != tc.wantLabeled {
-				t.Errorf("labeled = %d, want %d", labeled, tc.wantLabeled)
+	// shards=0 is the plain unsharded view; the positive counts pin that
+	// the sharded scatter-gather engine reproduces the same historical
+	// bytes at every shard count — fault-free sharding is invisible.
+	for _, shards := range []int{0, 1, 2, 4, 8} {
+		for _, tc := range cases {
+			name := tc.name
+			if shards > 0 {
+				name = fmt.Sprintf("%s/shards=%d", tc.name, shards)
 			}
-			if sql != tc.wantSQL {
-				t.Errorf("predicted query diverged from pre-ledger capture\n got: %s\nwant: %s", sql, tc.wantSQL)
-			}
-			stats := s.Stats()
-			if stats.Conflicts != (explore.ConflictStats{}) {
-				t.Errorf("noise-free session reported conflicts: %+v", stats.Conflicts)
-			}
-			if len(stats.Degradations) != 0 {
-				t.Errorf("unbudgeted session reported degradations: %v", stats.Degradations)
-			}
-		})
+			t.Run(name, func(t *testing.T) {
+				view := tc.view
+				if shards > 0 {
+					view = view.WithShards(engine.ShardOptions{Shards: shards})
+				}
+				opts := explore.DefaultOptions()
+				opts.Seed = tc.seed
+				opts.Discovery = tc.discovery
+				labeled, sql, s := runGolden(t, view, tc.target, opts, tc.maxIter)
+				if labeled != tc.wantLabeled {
+					t.Errorf("labeled = %d, want %d", labeled, tc.wantLabeled)
+				}
+				if sql != tc.wantSQL {
+					t.Errorf("predicted query diverged from pre-ledger capture\n got: %s\nwant: %s", sql, tc.wantSQL)
+				}
+				stats := s.Stats()
+				if stats.Conflicts != (explore.ConflictStats{}) {
+					t.Errorf("noise-free session reported conflicts: %+v", stats.Conflicts)
+				}
+				if len(stats.Degradations) != 0 {
+					t.Errorf("unbudgeted session reported degradations: %v", stats.Degradations)
+				}
+			})
+		}
 	}
 }
 

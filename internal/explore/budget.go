@@ -87,6 +87,13 @@ const (
 	// DegradeIterSamplesCap: Budget.MaxSamplesPerIteration trimmed the
 	// iteration's sample budget below what the phases wanted.
 	DegradeIterSamplesCap = "iteration:samples_cap"
+
+	// DegradeShardPartialPrefix prefixes engine shard degradations of the
+	// form "shard_partial:n/N" (engine.ShardPartialDegradation): n of N
+	// shards answered, the rest were quarantined or failed past their
+	// retry budget. The ratio varies per event, so the trip counter
+	// collapses it to the stable prefix.
+	DegradeShardPartialPrefix = "shard_partial"
 )
 
 // Process-wide robustness metrics. Budget trips get one counter per
@@ -97,6 +104,11 @@ var (
 )
 
 func budgetTripCounter(kind string) *obs.Counter {
+	if strings.HasPrefix(kind, DegradeShardPartialPrefix+":") {
+		// "shard_partial:3/4" and "shard_partial:1/4" are one failure
+		// mode; keep the metric name stable (and '/'-free).
+		kind = DegradeShardPartialPrefix
+	}
 	return obs.GetCounter("aide_budget_trips_total." + strings.ReplaceAll(kind, ":", "_"))
 }
 

@@ -45,6 +45,12 @@ type Session struct {
 	permDegr  []string
 	iterStart time.Time
 
+	// shardTracker collects partial-result events from the session's
+	// sharded view (nil for unsharded views). Drained once per iteration
+	// into the result's Degradations, so a quarantined shard is a named
+	// degradation, never a silent wrong answer.
+	shardTracker *engine.ShardTracker
+
 	tree  *cart.Tree
 	areas []geom.Rect // current relevant areas (normalized, unmerged)
 
@@ -128,6 +134,12 @@ func NewSession(view *engine.View, oracle Oracle, opts Options) (*Session, error
 	// private scan scratch buffer; the underlying shared view (and any
 	// other session's copy) is untouched.
 	view = view.WithScanBuffer()
+	var tracker *engine.ShardTracker
+	if view.ShardCount() > 0 {
+		// Sharded view: attach a session-private tracker so partial
+		// results degrade this session's iterations by name.
+		view, tracker = view.WithShardTracker()
+	}
 	s := &Session{
 		view:    view,
 		oracle:  oracle,
@@ -137,6 +149,7 @@ func NewSession(view *engine.View, oracle Oracle, opts Options) (*Session, error
 		idxOf:   make(map[int]int),
 		ledger:  newLabelLedger(),
 	}
+	s.shardTracker = tracker
 	if opts.RangeHint != nil {
 		s.bounds = opts.RangeHint.Clone()
 	} else {
@@ -371,6 +384,13 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 	res.TotalLabeled = len(s.rows)
 	res.RelevantAreas = len(s.areas)
 	res.Conflicts = s.ledger.events - conflictsBefore
+	if s.shardTracker != nil {
+		// Surface shard-level partial results from this iteration's engine
+		// scans as a named degradation ("shard_partial:n/N").
+		if name, partial := s.shardTracker.Drain(); partial {
+			s.degrade(res, name)
+		}
+	}
 
 	s.iter++
 	s.stats.Iterations++

@@ -1,0 +1,111 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/faultinject"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// TestShardedSessionBitIdentical pins that a steering session over a
+// sharded view labels the same rows and predicts the same areas as one
+// over the plain view — the engine's shard-count bit-identity carried
+// all the way through the exploration loop.
+func TestShardedSessionBitIdentical(t *testing.T) {
+	target := geom.R(30, 60, 30, 60)
+	run := func(shards int) ([]geom.Point, []bool, []geom.Rect) {
+		v := testView(t, 5000, 7)
+		if shards > 0 {
+			v = v.WithShards(engine.ShardOptions{Shards: shards})
+		}
+		s, err := NewSession(v, rectOracle(target), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := s.RunIteration(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pts, labs := s.LabeledPoints()
+		return pts, labs, s.RelevantAreas()
+	}
+	wantPts, wantLabs, wantAreas := run(0)
+	for _, shards := range []int{1, 2, 4, 8} {
+		pts, labs, areas := run(shards)
+		if len(pts) != len(wantPts) {
+			t.Fatalf("shards=%d labeled %d rows, unsharded labeled %d", shards, len(pts), len(wantPts))
+		}
+		for i := range pts {
+			if labs[i] != wantLabs[i] || pts[i].ChebyshevDist(wantPts[i]) != 0 {
+				t.Fatalf("shards=%d sample %d diverged", shards, i)
+			}
+		}
+		if len(areas) != len(wantAreas) {
+			t.Fatalf("shards=%d predicted %d areas, want %d", shards, len(areas), len(wantAreas))
+		}
+		for i := range areas {
+			if !areas[i].Equal(wantAreas[i]) {
+				t.Fatalf("shards=%d area %d = %v, want %v", shards, i, areas[i], wantAreas[i])
+			}
+		}
+	}
+}
+
+// TestShardedSessionDegradesOnShardFailure pins the partial-failure
+// contract end to end: a hard-failing shard shows up as a named
+// "shard_partial:n/N" degradation on the iteration result, and the
+// session keeps running on the surviving shards.
+func TestShardedSessionDegradesOnShardFailure(t *testing.T) {
+	v := testView(t, 5000, 7).WithShards(engine.ShardOptions{Shards: 4})
+	s, err := NewSession(v, rectOracle(geom.R(30, 60, 30, 60)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Activate(faultinject.New(faultinject.Config{
+		Seed: 1, ErrorRate: 1,
+		Points: []string{faultinject.PointAt(engine.FaultShardScan, 1)},
+	}))
+	defer faultinject.Deactivate()
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := ""
+	for _, d := range res.Degradations {
+		if strings.HasPrefix(d, DegradeShardPartialPrefix+":") {
+			found = d
+		}
+	}
+	if found != "shard_partial:3/4" {
+		t.Fatalf("degradations = %v, want shard_partial:3/4", res.Degradations)
+	}
+	if res.NewSamples == 0 {
+		t.Fatal("degraded iteration labeled nothing — healthy shards should still serve")
+	}
+	if s.Stats().Degradations[len(s.Stats().Degradations)-1] != found {
+		t.Fatal("session stats did not carry the shard degradation")
+	}
+
+	// Faults cleared: the supervisor recovers the shard and later
+	// iterations run clean.
+	faultinject.Deactivate()
+	clean := false
+	for i := 0; i < 12 && !clean; i++ {
+		res, err := s.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean = true
+		for _, d := range res.Degradations {
+			if strings.HasPrefix(d, DegradeShardPartialPrefix) {
+				clean = false
+			}
+		}
+	}
+	if !clean {
+		t.Fatal("session never recovered to degradation-free iterations after faults cleared")
+	}
+}

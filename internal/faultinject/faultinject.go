@@ -12,23 +12,32 @@
 //     with probability PartialRate (simulating a torn disk write).
 //
 // Points are dotted path names ("engine.scan", "durable.append",
-// "service.request", "session.iterate"). A non-empty Config.Points set
-// restricts injection to the listed points; an empty set enables every
-// point. Every fired fault increments aide_faults_injected_total plus a
-// per-kind counter (faultinject.<kind>).
+// "service.request", "session.iterate"). Indexed instances of a point —
+// one per shard, say — are named with PointAt ("engine.shard.scan[3]").
+// A non-empty Config.Points set restricts injection to the listed
+// points; an entry matches either the exact name or, for indexed
+// points, the base name before the '[' (so "engine.shard.scan" selects
+// every shard and "engine.shard.scan[1]" exactly one). An empty set
+// enables every point. Every fired fault increments
+// aide_faults_injected_total plus a per-kind counter
+// (faultinject.<kind>).
 //
-// Determinism caveat: decisions are drawn from one seeded PRNG in call
-// order, so a single-goroutine sequence of hook calls is exactly
-// reproducible. When several goroutines hit hooks concurrently the
-// interleaving — and therefore which call receives which fault — may
-// vary between runs; the injected fault *kinds* and totals remain
-// seed-driven, and none of the faults may change computed results (that
-// is what the chaos tests assert).
+// Determinism: each point name owns its own PRNG stream, seeded by
+// Derive(Config.Seed, point), so the sequence of decisions at one point
+// depends only on the seed and how many hook calls that point has made
+// — not on how calls at different points interleave. A fixed
+// per-point call order (the engine's sequential per-shard attempt
+// discipline) is therefore exactly reproducible even under concurrent
+// scatter, and independent shards draw independent streams from one
+// AIDE_FAULT_SEED. None of the injected faults may change computed
+// results (that is what the chaos tests assert).
 package faultinject
 
 import (
 	"errors"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,10 +76,10 @@ type Config struct {
 	Points []string
 }
 
-// Injector draws fault decisions from a seeded PRNG.
+// Injector draws fault decisions from per-point seeded PRNG streams.
 type Injector struct {
 	mu          sync.Mutex
-	rng         *rand.Rand
+	streams     map[string]*rand.Rand // lazily created, seeded Derive(Seed, point)
 	cfg         Config
 	panicsLeft  int
 	points      map[string]bool
@@ -83,7 +92,7 @@ type Injector struct {
 // New builds an injector from cfg. It is inert until Activate.
 func New(cfg Config) *Injector {
 	inj := &Injector{
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		streams:    make(map[string]*rand.Rand),
 		cfg:        cfg,
 		panicsLeft: cfg.PanicBudget,
 	}
@@ -94,6 +103,47 @@ func New(cfg Config) *Injector {
 		}
 	}
 	return inj
+}
+
+// PointAt names the index'th instance of a per-instance fault point:
+// PointAt("engine.shard.scan", 3) == "engine.shard.scan[3]". Each
+// instance owns an independent decision stream (see Derive), and the
+// Points selector matches either the instance or its base name.
+func PointAt(point string, index int) string {
+	return point + "[" + strconv.Itoa(index) + "]"
+}
+
+// Derive mixes a point name into a base seed (FNV-1a over the seed
+// bytes then the name), yielding the independent deterministic stream
+// seed that point's PRNG uses. Exported so tests can pin the derived
+// sequences and so future multi-process shards can reproduce a shard's
+// stream from (AIDE_FAULT_SEED, shard index) alone.
+func Derive(seed int64, point string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(seed >> (8 * i) & 0xff)
+		h *= prime64
+	}
+	for i := 0; i < len(point); i++ {
+		h ^= uint64(point[i])
+		h *= prime64
+	}
+	return int64(h)
+}
+
+// stream returns the point's PRNG, creating it on first use. Callers
+// must hold inj.mu.
+func (inj *Injector) stream(point string) *rand.Rand {
+	r := inj.streams[point]
+	if r == nil {
+		r = rand.New(rand.NewSource(Derive(inj.cfg.Seed, point)))
+		inj.streams[point] = r
+	}
+	return r
 }
 
 // Counts reports how many faults of each kind this injector fired.
@@ -119,16 +169,25 @@ func Deactivate() { active.Store(nil) }
 func Active() bool { return active.Load() != nil }
 
 func (inj *Injector) enabled(point string) bool {
-	return inj.points == nil || inj.points[point]
+	if inj.points == nil || inj.points[point] {
+		return true
+	}
+	// Indexed points ("engine.shard.scan[3]") also match a selector
+	// naming their base ("engine.shard.scan" = every instance).
+	if i := strings.IndexByte(point, '['); i > 0 && inj.points[point[:i]] {
+		return true
+	}
+	return false
 }
 
-// roll returns true with probability rate, drawing from the seeded rng.
-func (inj *Injector) roll(rate float64) bool {
+// roll returns true with probability rate, drawing from the point's
+// seeded stream.
+func (inj *Injector) roll(point string, rate float64) bool {
 	if rate <= 0 {
 		return false
 	}
 	inj.mu.Lock()
-	ok := inj.rng.Float64() < rate
+	ok := inj.stream(point).Float64() < rate
 	inj.mu.Unlock()
 	return ok
 }
@@ -139,7 +198,7 @@ func Err(point string) error {
 	if inj == nil || !inj.enabled(point) {
 		return nil
 	}
-	if !inj.roll(inj.cfg.ErrorRate) {
+	if !inj.roll(point, inj.cfg.ErrorRate) {
 		return nil
 	}
 	inj.errFired.Add(1)
@@ -155,7 +214,7 @@ func Latency(point string) {
 	if inj == nil || !inj.enabled(point) {
 		return
 	}
-	if !inj.roll(inj.cfg.LatencyRate) {
+	if !inj.roll(point, inj.cfg.LatencyRate) {
 		return
 	}
 	inj.latencyHits.Add(1)
@@ -195,11 +254,11 @@ func ShortWrite(point string, n int) (int, bool) {
 	if inj == nil || !inj.enabled(point) || n <= 0 {
 		return n, false
 	}
-	if !inj.roll(inj.cfg.PartialRate) {
+	if !inj.roll(point, inj.cfg.PartialRate) {
 		return n, false
 	}
 	inj.mu.Lock()
-	k := inj.rng.Intn(n)
+	k := inj.stream(point).Intn(n)
 	inj.mu.Unlock()
 	inj.shortHits.Add(1)
 	obsFaults.Inc()

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -101,6 +102,107 @@ func TestShortWriteTruncates(t *testing.T) {
 	}
 	if n < 0 || n >= 50 {
 		t.Fatalf("truncated length %d out of [0, 50)", n)
+	}
+}
+
+func TestPointAtFormat(t *testing.T) {
+	if got := PointAt("engine.shard.scan", 3); got != "engine.shard.scan[3]" {
+		t.Fatalf("PointAt = %q", got)
+	}
+	if got := PointAt("p", 0); got != "p[0]" {
+		t.Fatalf("PointAt = %q", got)
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	// Derive is a pure function of (seed, point): same inputs pin the
+	// same stream seed, different shard indexes pin different ones.
+	const seed = 42
+	points := []string{
+		PointAt("engine.shard.scan", 0),
+		PointAt("engine.shard.scan", 1),
+		PointAt("engine.shard.scan", 2),
+		PointAt("engine.shard.sample", 0),
+	}
+	seen := map[int64]string{}
+	for _, p := range points {
+		d := Derive(seed, p)
+		if d2 := Derive(seed, p); d2 != d {
+			t.Fatalf("Derive(%d, %q) unstable: %d vs %d", seed, p, d, d2)
+		}
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("Derive collision: %q and %q both -> %d", prev, p, d)
+		}
+		seen[d] = p
+	}
+	if Derive(seed, points[0]) == Derive(seed+1, points[0]) {
+		t.Fatal("Derive ignores the seed")
+	}
+}
+
+func TestPerPointStreamsArePinnedToDerivedSeeds(t *testing.T) {
+	// Each point's decision sequence must be exactly the Float64 stream
+	// of rand seeded with Derive(seed, point) — the contract that lets a
+	// future multi-process shard reproduce its own stream from
+	// (AIDE_FAULT_SEED, shard index) alone — and interleaving calls to
+	// other points must not perturb it.
+	const seed, rate = 7, 0.5
+	inj := New(Config{Seed: seed, ErrorRate: rate})
+	Activate(inj)
+	defer Deactivate()
+	pts := []string{PointAt("engine.shard.scan", 0), PointAt("engine.shard.scan", 1)}
+	got := map[string][]bool{}
+	for i := 0; i < 32; i++ {
+		for _, p := range pts { // interleave the two streams
+			got[p] = append(got[p], Err(p) != nil)
+		}
+	}
+	for _, p := range pts {
+		ref := rand.New(rand.NewSource(Derive(seed, p)))
+		for i, fired := range got[p] {
+			if want := ref.Float64() < rate; fired != want {
+				t.Fatalf("point %q decision %d = %v, want %v (stream not pinned to Derive seed)", p, i, fired, want)
+			}
+		}
+	}
+	if slicesEqual(got[pts[0]], got[pts[1]]) {
+		t.Fatal("distinct shard indexes produced identical 32-draw sequences")
+	}
+}
+
+func slicesEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexedPointSelectors(t *testing.T) {
+	// A base-name selector enables every indexed instance; an indexed
+	// selector enables exactly that instance.
+	inj := New(Config{Seed: 1, ErrorRate: 1, Points: []string{"engine.shard.scan"}})
+	Activate(inj)
+	if err := Err(PointAt("engine.shard.scan", 2)); err == nil {
+		t.Fatal("base selector did not enable indexed instance")
+	}
+	if err := Err(PointAt("engine.shard.sample", 0)); err != nil {
+		t.Fatalf("unselected point fired: %v", err)
+	}
+	Deactivate()
+
+	inj = New(Config{Seed: 1, ErrorRate: 1, Points: []string{PointAt("engine.shard.scan", 1)}})
+	Activate(inj)
+	defer Deactivate()
+	if err := Err(PointAt("engine.shard.scan", 1)); err == nil {
+		t.Fatal("indexed selector did not enable its instance")
+	}
+	if err := Err(PointAt("engine.shard.scan", 0)); err != nil {
+		t.Fatalf("other shard index fired under indexed selector: %v", err)
 	}
 }
 

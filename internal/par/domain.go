@@ -1,0 +1,102 @@
+package par
+
+import (
+	"sync"
+
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// Domain is a named goroutine domain for scatter-gather fan-out that
+// must stay off the shared worker pool. The pool's help-draining For
+// loops assume every queued task finishes promptly; shard attempts
+// under injected latency or per-shard deadlines can outlive their
+// caller, so running them on pool workers would starve unrelated
+// scans. A Domain gives that work its own goroutines: Scatter fans a
+// small known width (one goroutine per shard), Go launches bounded
+// detached attempts (hedges, probes) that may outlive the scatter.
+//
+// Observability: par_domain_active{domain} gauges the live goroutine
+// count and par_domain_launched{domain} counts launches.
+type Domain struct {
+	name     string
+	sem      chan struct{}
+	active   *obs.Gauge
+	launched *obs.Counter
+}
+
+// NewDomain creates a domain whose Go calls are bounded to size
+// concurrent goroutines (size < 1 is raised to 1). Scatter width is
+// not bounded by size — its callers fan out a fixed shard count — so
+// a Go issued from inside a Scatter body can never deadlock against
+// the scatter itself.
+func NewDomain(name string, size int) *Domain {
+	if size < 1 {
+		size = 1
+	}
+	return &Domain{
+		name:     name,
+		sem:      make(chan struct{}, size),
+		active:   obs.GetGaugeVec("par_domain_active", "domain").With(name),
+		launched: obs.GetCounterVec("par_domain_launched", "domain").With(name),
+	}
+}
+
+// Name returns the domain's name.
+func (d *Domain) Name() string { return d.name }
+
+// Size returns the Go concurrency bound.
+func (d *Domain) Size() int { return cap(d.sem) }
+
+// Go runs fn on its own goroutine, blocking the caller until a domain
+// slot is free. The goroutine is detached: Go returns as soon as fn is
+// launched, and fn must install its own recover — a panic that escapes
+// fn crashes the process, exactly like any unattended goroutine.
+func (d *Domain) Go(fn func()) {
+	d.sem <- struct{}{}
+	d.launched.Inc()
+	d.active.Add(1)
+	go func() {
+		defer func() {
+			d.active.Add(-1)
+			<-d.sem
+		}()
+		fn()
+	}()
+}
+
+// Scatter runs fn(0) … fn(n-1) concurrently, one goroutine each, and
+// waits for all of them. It is the per-operation shard fan-out: n is a
+// shard count, small and fixed, so the width is not drawn from the Go
+// slot budget. The first panic raised by any fn is re-raised on the
+// caller after every goroutine finishes; n <= 1 runs inline.
+func (d *Domain) Scatter(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	d.launched.Add(int64(n))
+	d.active.Add(float64(n))
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+				d.active.Add(-1)
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,83 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDomainScatterRunsAll(t *testing.T) {
+	d := NewDomain("test.scatter", 2)
+	var hits [17]atomic.Int32
+	d.Scatter(len(hits), func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+	// n == 1 runs inline, n == 0 is a no-op.
+	ran := false
+	d.Scatter(1, func(int) { ran = true })
+	if !ran {
+		t.Fatal("Scatter(1) did not run")
+	}
+	d.Scatter(0, func(int) { t.Error("Scatter(0) ran") })
+}
+
+func TestDomainScatterPropagatesPanic(t *testing.T) {
+	d := NewDomain("test.panic", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	d.Scatter(4, func(i int) {
+		if i == 2 {
+			panic("boom")
+		}
+	})
+}
+
+func TestDomainGoBoundsConcurrency(t *testing.T) {
+	const size = 3
+	d := NewDomain("test.bound", size)
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(20)
+	for i := 0; i < 20; i++ {
+		d.Go(func() {
+			defer wg.Done()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	if p := peak.Load(); p > size {
+		t.Fatalf("peak concurrency %d exceeds domain size %d", p, size)
+	}
+}
+
+func TestDomainGoOutlivesScatter(t *testing.T) {
+	// A Go launched from inside a Scatter body must not deadlock the
+	// scatter (hedged attempts outlive their shard's wait).
+	d := NewDomain("test.detach", 1)
+	done := make(chan struct{})
+	d.Scatter(2, func(i int) {
+		if i == 0 {
+			d.Go(func() { close(done) })
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("detached Go never ran")
+	}
+}

@@ -119,6 +119,20 @@ type Server struct {
 	// sessions (bit-identical results; see engine.Cache). Zero disables.
 	CacheBytes int64
 
+	// Shards, when positive, splits each view registered with
+	// RegisterTable into that many supervised cell-range shards
+	// (engine.View.WithShards). Results are bit-identical to the
+	// unsharded view; a failing shard degrades to partial results with a
+	// named degradation instead of failing the query. Zero disables.
+	Shards int
+	// ShardDeadline bounds one shard's attempt; a shard past it is
+	// retried and, failing that, dropped from the answer for the op
+	// (0: no deadline).
+	ShardDeadline time.Duration
+	// HedgeAfter launches a hedged duplicate attempt when a shard has
+	// not answered after this long (0: no hedging).
+	HedgeAfter time.Duration
+
 	// acquired tracks the base registry views RegisterTable took, so
 	// Close can release them.
 	acquired []*engine.View
@@ -163,7 +177,11 @@ func (s *Server) registry() *engine.Registry {
 // cache memoizing Count/RowsIn across all of its sessions. Call Close to
 // release the acquired views.
 func (s *Server) RegisterTable(name string, tab *dataset.Table, attrs []string, workers int) error {
-	v, err := s.registry().AcquireWorkers(tab, attrs, workers)
+	v, err := s.registry().AcquireShardedWorkers(tab, attrs, workers, engine.ShardOptions{
+		Shards:     s.Shards,
+		Deadline:   s.ShardDeadline,
+		HedgeAfter: s.HedgeAfter,
+	})
 	if err != nil {
 		return err
 	}
@@ -215,6 +233,43 @@ type ViewInfo struct {
 	Name  string   `json:"name"`
 	Rows  int      `json:"rows"`
 	Attrs []string `json:"attrs"`
+}
+
+// ViewShardHealth is one sharded view's supervisor snapshot, served on
+// /healthz and /v1/slo. A quarantined shard means queries over the view
+// degrade to named partial results ("shard_partial:n/N"); it does NOT
+// make the service unhealthy — the view is degraded but serving.
+type ViewShardHealth struct {
+	View    string                   `json:"view"`
+	Shards  int                      `json:"shards"`
+	Healthy int                      `json:"healthy"`
+	States  []engine.ShardHealthInfo `json:"states"`
+}
+
+// Degraded reports whether any shard is off the healthy state.
+func (h ViewShardHealth) Degraded() bool { return h.Healthy < h.Shards }
+
+// ShardHealth returns the supervisor snapshot of every sharded view,
+// sorted by view name (nil when no view is sharded).
+func (s *Server) ShardHealth() []ViewShardHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ViewShardHealth
+	for name, v := range s.views {
+		infos := v.ShardHealth()
+		if infos == nil {
+			continue
+		}
+		h := ViewShardHealth{View: name, Shards: len(infos), States: infos}
+		for _, si := range infos {
+			if si.State == engine.ShardHealthy.String() {
+				h.Healthy++
+			}
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].View < out[j].View })
+	return out
 }
 
 // ViewInfos returns metadata for every registered view, sorted by name.
@@ -557,6 +612,19 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) string {
 			resp["slo_healthy"] = st.Healthy
 			resp["slo"] = st
 		}
+		if sh := s.ShardHealth(); sh != nil {
+			// Shard detail rides along like the SLO detail does: a
+			// quarantined shard marks the response degraded without ever
+			// flipping liveness — the process is alive and serving partial
+			// results by contract.
+			resp["shards"] = sh
+			for _, h := range sh {
+				if h.Degraded() {
+					resp["shards_degraded"] = true
+					break
+				}
+			}
+		}
 		writeJSON(w, http.StatusOK, resp)
 		return "healthz"
 	}
@@ -593,7 +661,13 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) string {
 		reg.Handler().ServeHTTP(w, r)
 		return "metrics"
 	case path == "slo" && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, s.SLO.Status())
+		// Shard health is reported next to — never folded into — the SLO
+		// verdict: quarantined shards degrade answers by contract, they do
+		// not burn the availability budget.
+		writeJSON(w, http.StatusOK, struct {
+			obs.SLOStatus
+			Shards []ViewShardHealth `json:"shards,omitempty"`
+		}{s.SLO.Status(), s.ShardHealth()})
 		return "slo"
 	default:
 		httpError(w, http.StatusNotFound, "no such endpoint")
