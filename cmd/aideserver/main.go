@@ -97,6 +97,7 @@ func main() {
 		shards        = flag.Int("shards", 0, "split each view into this many supervised shards (0 disables); results are bit-identical at any shard count, and a failing shard degrades to named partial results instead of failing queries")
 		shardDeadline = flag.Duration("shard-deadline", 0, "per-shard attempt deadline; a shard past it is retried, then dropped from the op's answer (0 disables)")
 		hedgeAfter    = flag.Duration("hedge-after", 0, "launch a hedged duplicate shard attempt after this long without an answer (0 disables)")
+		shardAddrs    stringList
 
 		sloLatency    = flag.Duration("slo-latency", 500*time.Millisecond, "latency SLO threshold: a request slower than this is bad")
 		sloLatencyObj = flag.Float64("slo-latency-objective", 0.99, "target fraction of requests under -slo-latency")
@@ -114,6 +115,7 @@ func main() {
 		csvs = csvFlags{}
 	)
 	flag.Var(csvs, "csv", "register a CSV view as name=path (repeatable; numeric columns, header row)")
+	flag.Var(&shardAddrs, "shard-addr", "aideshard worker address (repeatable; host:port TCP or a unix-socket path); with -shards, the worker's announced shards are served remotely and the rest stay in-process")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(*logFormat, os.Stderr, slog.LevelInfo)
@@ -137,6 +139,7 @@ func main() {
 	srv.Shards = *shards
 	srv.ShardDeadline = *shardDeadline
 	srv.HedgeAfter = *hedgeAfter
+	srv.ShardAddrs = shardAddrs
 	defer srv.Close()
 	if *sdssRows > 0 {
 		tab := dataset.GenerateSDSS(*sdssRows, *seed)
@@ -272,6 +275,16 @@ func main() {
 		}
 		logger.Info("bye")
 	}
+}
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
 }
 
 func splitAttrs(s string) []string {

@@ -1,0 +1,127 @@
+package engine
+
+// This file is the shard execution boundary. ShardBackend is the
+// complete query surface of ONE shard — everything the scatter-gather
+// layer in shard.go needs from a shard, and nothing else — so the same
+// supervised fan-out drives two implementations: localShard (below),
+// which runs the sequential cores in-process over the shard's slab
+// slices, and internal/shardrpc's remote client, which ships the same
+// operations over a framed wire protocol to a worker process holding a
+// bit-identical copy of the shard. Results are plain data (row ids,
+// counts, candidate blocks); randomness, caching and gather order stay
+// coordinator-side, which is what makes a remote shard bit-identical
+// to a local one.
+
+import (
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// ShardCount is one shard's Count contribution: rows matched plus the
+// rows-examined accounting the gather folds into the view stats.
+type ShardCount struct {
+	Matched  int64
+	Examined int64
+}
+
+// ShardRows is one shard's RowsIn/RowsInAny contribution, rows in the
+// shard's ascending slot (cell-major) order.
+type ShardRows struct {
+	Rows     []int
+	Examined int64
+}
+
+// ShardSample is one shard's SampleRect grid-path contribution: the
+// geometrically-full cells' row blocks and the boundary cells' verified
+// survivors, both in cell order. The coordinator reassembles the exact
+// unsharded candidate layout from these before drawing.
+type ShardSample struct {
+	Full     [][]int32
+	Partial  []int
+	Examined int64
+}
+
+// ShardBackend serves one shard's queries. Implementations must be
+// safe for concurrent calls (attempts may overlap their own hedges) and
+// must return results bit-identical to the in-process shard cores: the
+// scatter layer treats every backend — local or remote — as the same
+// shard, and the bit-identity guarantee rests on it.
+//
+// Errors are the fault-isolation channel: a backend that cannot serve
+// (worker dead, breaker open, torn frame) returns an error and the
+// supervised scatter degrades to the named shard_partial:n/N contract;
+// it must never return a partially wrong answer with a nil error.
+type ShardBackend interface {
+	// ShardIndex is the shard's position in the view's shard set.
+	ShardIndex() int
+	// NumRows is the number of rows the shard owns.
+	NumRows() int
+	// Ping verifies the backend can serve (health probe; the remote
+	// implementation round-trips the wire).
+	Ping() error
+	// Count counts the shard's rows inside rect.
+	Count(rect geom.Rect) (ShardCount, error)
+	// RowsIn returns the shard's row ids inside rect in slot order.
+	RowsIn(rect geom.Rect) (ShardRows, error)
+	// RowsInAny returns the shard's row ids inside at least one rect,
+	// deduplicated, in slot order.
+	RowsInAny(rects []geom.Rect) (ShardRows, error)
+	// SampleGrid returns the shard's SampleRect candidate layout for
+	// rect (full blocks + verified partial rows, cell order).
+	SampleGrid(rect geom.Rect) (ShardSample, error)
+	// SortedSlice returns the shard's covering-index row ids for an
+	// interval of one dimension, in (value, row id) order.
+	SortedSlice(dim int, iv geom.Interval) ([]int32, error)
+	// Close releases backend resources (connections, for the remote
+	// implementation). Local backends are no-ops.
+	Close() error
+}
+
+// localShard is the in-process ShardBackend: the shard's sequential
+// cores over its slab slices, plus the parent view's normalized columns
+// for covering-index lookups. It never errors — local failures surface
+// as panics, which the scatter layer isolates per attempt.
+type localShard struct {
+	sh    *shard
+	ncols [][]float64 // parent view's normalized columns, for SortedSlice
+}
+
+func (l *localShard) ShardIndex() int { return l.sh.index }
+func (l *localShard) NumRows() int    { return l.sh.nrows }
+func (l *localShard) Ping() error     { return nil }
+func (l *localShard) Close() error    { return nil }
+
+func (l *localShard) Count(rect geom.Rect) (ShardCount, error) {
+	return l.sh.count(rect), nil
+}
+
+func (l *localShard) RowsIn(rect geom.Rect) (ShardRows, error) {
+	return l.sh.rowsIn(rect), nil
+}
+
+func (l *localShard) RowsInAny(rects []geom.Rect) (ShardRows, error) {
+	return l.sh.rowsAny(rects), nil
+}
+
+func (l *localShard) SampleGrid(rect geom.Rect) (ShardSample, error) {
+	return l.sh.sampleGrid(rect), nil
+}
+
+func (l *localShard) SortedSlice(dim int, iv geom.Interval) ([]int32, error) {
+	return l.sh.sortedSlice(dim, iv, l.ncols[dim]), nil
+}
+
+// LocalShardBackends returns the in-process backend for every shard of
+// a sharded view, nil when the view is unsharded. This is the worker
+// surface: a shardrpc server (cmd/aideshard) builds the same sharded
+// view from the same dataset and serves a subset of these over the
+// wire.
+func (v *View) LocalShardBackends() []ShardBackend {
+	if v.shards == nil {
+		return nil
+	}
+	out := make([]ShardBackend, v.shards.n)
+	for i, sh := range v.shards.shards {
+		out[i] = &localShard{sh: sh, ncols: v.ncols}
+	}
+	return out
+}

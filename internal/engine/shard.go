@@ -85,6 +85,12 @@ type ShardOptions struct {
 	// CooldownOps is how many operations a quarantined shard sits out
 	// before a recovery probe; 0 means 8.
 	CooldownOps int
+	// CooldownTime, when positive, measures the quarantine cooldown in
+	// wall time instead of scatter operations: a quarantined shard is
+	// probed once this long has elapsed since it entered quarantine.
+	// The supervisor's clock is injectable (tests walk the full state
+	// machine without sleeping). Zero keeps the CooldownOps behavior.
+	CooldownTime time.Duration
 }
 
 // shard is one cell-range partition of a view's grid. Its grid shares
@@ -92,7 +98,6 @@ type ShardOptions struct {
 // the rebased offsets and the filtered covering indexes are new memory.
 type shard struct {
 	index  int
-	salt   uint64 // predicate-cache key partition (shard index + 1)
 	grid   *gridIndex
 	sorted [][]int32 // per-dimension covering index, rows in this shard only
 	nrows  int
@@ -100,14 +105,22 @@ type shard struct {
 
 // shardSet is the sharded execution state hung off a View. It is
 // immutable after construction apart from the supervisor, which is
-// internally synchronized, so view copies share it freely.
+// internally synchronized, so view copies share it freely. backends is
+// the execution route per shard: the in-process localShard by default,
+// a remote (shardrpc) backend where WithShardBackends overrode it.
 type shardSet struct {
-	n      int
-	opts   ShardOptions
-	shards []*shard
-	sup    *supervisor
-	domain *par.Domain
+	n        int
+	opts     ShardOptions
+	shards   []*shard
+	backends []ShardBackend
+	remote   []bool // which backends were overridden by WithShardBackends
+	sup      *supervisor
+	domain   *par.Domain
 }
+
+// shardSalt is the predicate-cache key partition for one shard: index+1
+// so shard 0 never collides with the unsharded salt 0.
+func shardSalt(i int) uint64 { return uint64(i) + 1 }
 
 // WithShards returns a view sharing this view's table, indexes and
 // stats whose queries scatter across opts.Shards cell-range shards (see
@@ -144,6 +157,9 @@ type ShardHealthInfo struct {
 	State            string `json:"state"`
 	Rows             int    `json:"rows"`
 	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
+	// Remote marks shards routed to an out-of-process backend
+	// (WithShardBackends) instead of the in-process cores.
+	Remote bool `json:"remote,omitempty"`
 }
 
 // ShardHealth returns a snapshot of every shard's supervised state,
@@ -158,11 +174,56 @@ func (v *View) ShardHealth() []ShardHealthInfo {
 		out[i] = ShardHealthInfo{
 			Index:            i,
 			State:            states[i].String(),
-			Rows:             v.shards.shards[i].nrows,
+			Rows:             v.shards.backends[i].NumRows(),
 			ConsecutiveFails: fails[i],
+			Remote:           v.shards.remote[i],
 		}
 	}
 	return out
+}
+
+// WithShardBackends returns a view copy whose shard execution routes
+// the listed shard indexes through the given backends — remote shard
+// workers, typically (internal/shardrpc) — while unlisted indexes keep
+// their in-process cores: a mixed local/remote topology. The copy gets
+// its own supervisor (backend health is a property of the topology,
+// not of the shared base view) but shares the immutable shard
+// partitions, so the fingerprint and the bit-identity contract are
+// unchanged. It errors when the view is unsharded or an index is out
+// of range.
+func (v *View) WithShardBackends(backends map[int]ShardBackend) (*View, error) {
+	if len(backends) == 0 {
+		c := *v
+		return &c, nil
+	}
+	if v.shards == nil {
+		return nil, fmt.Errorf("engine: WithShardBackends on an unsharded view")
+	}
+	old := v.shards
+	ns := &shardSet{
+		n:        old.n,
+		opts:     old.opts,
+		shards:   old.shards,
+		backends: make([]ShardBackend, old.n),
+		remote:   make([]bool, old.n),
+		sup:      newSupervisor(old.n, old.opts),
+		domain:   old.domain,
+	}
+	copy(ns.backends, old.backends)
+	copy(ns.remote, old.remote)
+	for i, b := range backends {
+		if i < 0 || i >= old.n {
+			return nil, fmt.Errorf("engine: shard backend index %d out of range [0,%d)", i, old.n)
+		}
+		if b == nil {
+			return nil, fmt.Errorf("engine: nil backend for shard %d", i)
+		}
+		ns.backends[i] = b
+		ns.remote[i] = true
+	}
+	c := *v
+	c.shards = ns
+	return &c, nil
 }
 
 // ShardTransitions returns the supervisor's bounded transition log,
@@ -276,11 +337,13 @@ func buildShardSet(v *View, opts ShardOptions) *shardSet {
 	// indexes in one pass per dimension.
 	rowShard := make([]int32, rows)
 	ss := &shardSet{
-		n:      n,
-		opts:   opts,
-		shards: make([]*shard, n),
-		sup:    newSupervisor(n, opts.CooldownOps),
-		domain: par.NewDomain("engine.shards", 4*n),
+		n:        n,
+		opts:     opts,
+		shards:   make([]*shard, n),
+		backends: make([]ShardBackend, n),
+		remote:   make([]bool, n),
+		sup:      newSupervisor(n, opts),
+		domain:   par.NewDomain("engine.shards", 4*n),
 	}
 	for i := 0; i < n; i++ {
 		pt := faultinject.PointAt(FaultShardBuild, i)
@@ -318,11 +381,11 @@ func buildShardSet(v *View, opts ShardOptions) *shardSet {
 		}
 		ss.shards[i] = &shard{
 			index:  i,
-			salt:   uint64(i) + 1,
 			grid:   sg,
 			sorted: make([][]int32, len(v.sorted)),
 			nrows:  int(slotHi - slotLo),
 		}
+		ss.backends[i] = &localShard{sh: ss.shards[i], ncols: v.ncols}
 	}
 	// Filter each global covering index by shard membership, preserving
 	// (value, row id) order within each shard.
@@ -346,7 +409,7 @@ func buildShardSet(v *View, opts ShardOptions) *shardSet {
 // short-circuits without recording supervisor outcomes or failures:
 // cancelled results are discarded by contract, so they must not move
 // health state or look like degradations.
-func scatterShards[T any](ss *shardSet, ctx context.Context, point string, fn func(sh *shard) T) (res []T, ok []bool, healthy int) {
+func scatterShards[T any](ss *shardSet, ctx context.Context, point string, fn func(b ShardBackend) (T, error)) (res []T, ok []bool, healthy int) {
 	tick := ss.sup.beginOp()
 	res = make([]T, ss.n)
 	ok = make([]bool, ss.n)
@@ -391,7 +454,7 @@ func scatterShards[T any](ss *shardSet, ctx context.Context, point string, fn fu
 
 // runShardAttempts runs up to MaxAttempts sequential supervised
 // attempts for one shard, with full-jitter backoff between them.
-func runShardAttempts[T any](ss *shardSet, ctx context.Context, point string, i int, fn func(sh *shard) T) (T, error) {
+func runShardAttempts[T any](ss *shardSet, ctx context.Context, point string, i int, fn func(b ShardBackend) (T, error)) (T, error) {
 	pt := faultinject.PointAt(point, i)
 	var zero T
 	var err error
@@ -430,10 +493,9 @@ func runShardAttempts[T any](ss *shardSet, ctx context.Context, point string, i 
 // deadline timer and an optional hedged duplicate; whichever attempt
 // finishes first (successfully) wins, and abandoned attempts drain
 // into a buffered channel in the background.
-func attemptShard[T any](ss *shardSet, ctx context.Context, pt string, i int, fn func(sh *shard) T) (T, error) {
-	sh := ss.shards[i]
+func attemptShard[T any](ss *shardSet, ctx context.Context, pt string, i int, fn func(b ShardBackend) (T, error)) (T, error) {
 	if ss.opts.Deadline == 0 && ss.opts.HedgeAfter == 0 {
-		return execShard(sh, pt, true, fn)
+		return execShard(ss, i, pt, true, fn)
 	}
 	type result struct {
 		val T
@@ -441,7 +503,7 @@ func attemptShard[T any](ss *shardSet, ctx context.Context, pt string, i int, fn
 	}
 	ch := make(chan result, 2) // primary + hedge; buffered so abandoned attempts never block
 	ss.domain.Go(func() {
-		val, err := execShard(sh, pt, true, fn)
+		val, err := execShard(ss, i, pt, true, fn)
 		ch <- result{val, err}
 	})
 	var deadline, hedge <-chan time.Time
@@ -480,7 +542,7 @@ func attemptShard[T any](ss *shardSet, ctx context.Context, pt string, i int, fn
 				// injected-fault stream advances once per sequential
 				// attempt regardless of hedging, keeping chaos runs
 				// deterministic.
-				val, err := execShard(sh, pt, false, fn)
+				val, err := execShard(ss, i, pt, false, fn)
 				ch <- result{val, err}
 			})
 		case <-deadline:
@@ -491,13 +553,15 @@ func attemptShard[T any](ss *shardSet, ctx context.Context, pt string, i int, fn
 	}
 }
 
-// execShard runs the shard core with per-attempt fault hooks and panic
-// isolation: an injected (or real) panic inside one shard's core
-// becomes that shard's attempt error, never the query's.
-func execShard[T any](sh *shard, pt string, rollFaults bool, fn func(sh *shard) T) (val T, err error) {
+// execShard runs the shard backend with per-attempt fault hooks and
+// panic isolation: an injected (or real) panic inside one shard's core
+// becomes that shard's attempt error, never the query's. Remote
+// backends additionally surface their own transport errors (breaker
+// open, torn frame) through the same error path.
+func execShard[T any](ss *shardSet, i int, pt string, rollFaults bool, fn func(b ShardBackend) (T, error)) (val T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("engine: shard %d panic: %v", sh.index, r)
+			err = fmt.Errorf("engine: shard %d panic: %v", i, r)
 		}
 	}()
 	if rollFaults {
@@ -507,7 +571,7 @@ func execShard[T any](sh *shard, pt string, rollFaults bool, fn func(sh *shard) 
 			return val, e
 		}
 	}
-	return fn(sh), nil
+	return fn(ss.backends[i])
 }
 
 // ---------------------------------------------------------------------
@@ -516,46 +580,20 @@ func execShard[T any](sh *shard, pt string, rollFaults bool, fn func(sh *shard) 
 // run concurrently with their own hedges, and shardSets are shared
 // across sessions.
 
-// countRes, rowsRes, sampleRes carry per-shard partial results plus the
-// rows-examined accounting, which the gather adds exactly once per
-// winning attempt.
-type countRes struct {
-	matched  int64
-	examined int64
-}
-
-type rowsRes struct {
-	rows     []int
-	examined int64
-}
-
-type sampleRes struct {
-	full     [][]int32
-	partial  []int
-	examined int64
-}
-
 // count is Count restricted to one shard: the same zonemap/offset
-// walk as the unsharded kernel, sequential, with the shard's cache
-// partition consulted first.
-func (sh *shard) count(rect geom.Rect, cache *Cache) countRes {
+// walk as the unsharded kernel, sequential. Caching happens
+// coordinator-side in countShardedCore so local and remote backends
+// share one cache discipline.
+func (sh *shard) count(rect geom.Rect) ShardCount {
 	g := sh.grid
-	if cache != nil {
-		if e, hit := cache.get(kindCount, sh.salt, rect); hit {
-			return countRes{matched: int64(e.count)}
-		}
-	}
-	var out countRes
+	var out ShardCount
 	for _, run := range g.collectCellRuns(rect, nil) {
 		g.walkRun(run, rect,
-			func(slo, shi int32) { out.matched += int64(shi - slo) },
+			func(slo, shi int32) { out.Matched += int64(shi - slo) },
 			func(id, off, end int32) {
-				out.examined += int64(end - off)
-				out.matched += int64(g.countCell(rect, id, off, end))
+				out.Examined += int64(end - off)
+				out.Matched += int64(g.countCell(rect, id, off, end))
 			})
-	}
-	if cache != nil {
-		cache.put(kindCount, sh.salt, rect, int(out.matched), nil)
 	}
 	return out
 }
@@ -563,56 +601,43 @@ func (sh *shard) count(rect geom.Rect, cache *Cache) countRes {
 // rowsIn is RowsIn restricted to one shard, rows in ascending slot
 // (cell-major) order — the shard-order concatenation of these is
 // exactly the unsharded order.
-func (sh *shard) rowsIn(rect geom.Rect, cache *Cache) rowsRes {
+func (sh *shard) rowsIn(rect geom.Rect) ShardRows {
 	g := sh.grid
-	if cache != nil {
-		if e, hit := cache.get(kindRows, sh.salt, rect); hit {
-			out := rowsRes{}
-			if e.rows != nil {
-				out.rows = make([]int, len(e.rows))
-				copy(out.rows, e.rows)
-			}
-			return out
-		}
-	}
-	var out rowsRes
+	var out ShardRows
 	var scratch []uint64
 	for _, run := range g.collectCellRuns(rect, nil) {
 		g.walkRun(run, rect,
-			func(slo, shi int32) { out.rows = append(out.rows, g.rows64[slo:shi]...) },
+			func(slo, shi int32) { out.Rows = append(out.Rows, g.rows64[slo:shi]...) },
 			func(id, off, end int32) {
-				out.examined += int64(end - off)
+				out.Examined += int64(end - off)
 				scratch = g.evalCellBits(rect, id, off, end, scratch[:0])
-				emitBits(&out.rows, g, off, scratch)
+				emitBits(&out.Rows, g, off, scratch)
 			})
-	}
-	if cache != nil {
-		cache.put(kindRows, sh.salt, rect, len(out.rows), out.rows)
 	}
 	return out
 }
 
 // rowsAny is RowsInAny restricted to one shard: a dense bitmap over the
 // shard's slots ORs every rect, then materializes once in slot order.
-func (sh *shard) rowsAny(rects []geom.Rect) rowsRes {
+func (sh *shard) rowsAny(rects []geom.Rect) ShardRows {
 	g := sh.grid
 	bm := newSlotBitmap(len(g.rows))
-	var out rowsRes
+	var out ShardRows
 	var scratch []uint64
 	for _, rect := range rects {
 		for _, run := range g.collectCellRuns(rect, nil) {
 			g.walkRun(run, rect,
 				func(slo, shi int32) { bm.setRange(slo, shi) },
 				func(id, off, end int32) {
-					out.examined += int64(end - off)
+					out.Examined += int64(end - off)
 					scratch = g.evalCellBits(rect, id, off, end, scratch[:0])
 					bm.orCellBits(off, scratch)
 				})
 		}
 	}
 	if n := bm.count(); n > 0 {
-		out.rows = make([]int, 0, n)
-		emitBits(&out.rows, g, 0, []uint64(bm))
+		out.Rows = make([]int, 0, n)
+		emitBits(&out.Rows, g, 0, []uint64(bm))
 	}
 	return out
 }
@@ -620,29 +645,29 @@ func (sh *shard) rowsAny(rects []geom.Rect) rowsRes {
 // sampleGrid is SampleRect's grid path restricted to one shard: full
 // cells contribute their row blocks, boundary cells their verified
 // survivors, both in cell order.
-func (sh *shard) sampleGrid(rect geom.Rect) sampleRes {
+func (sh *shard) sampleGrid(rect geom.Rect) ShardSample {
 	g := sh.grid
-	var out sampleRes
+	var out ShardSample
 	var scratch []uint64
 	for _, b := range g.collectCells(rect, nil) {
 		if b.full {
-			out.full = append(out.full, b.rows)
+			out.Full = append(out.Full, b.rows)
 			continue
 		}
 		switch g.zoneClassify(rect, b.id) {
 		case zoneCovered:
 			for _, r := range b.rows {
-				out.partial = append(out.partial, int(r))
+				out.Partial = append(out.Partial, int(r))
 			}
 		case zoneDisjoint:
 		default:
-			out.examined += int64(len(b.rows))
+			out.Examined += int64(len(b.rows))
 			end := b.off + int32(len(b.rows))
 			scratch = g.evalCellBits(rect, b.id, b.off, end, scratch[:0])
 			for w, bw := range scratch {
 				for bw != 0 {
 					t := bits.TrailingZeros64(bw)
-					out.partial = append(out.partial, int(b.rows[w<<6+t]))
+					out.Partial = append(out.Partial, int(b.rows[w<<6+t]))
 					bw &= bw - 1
 				}
 			}
@@ -669,48 +694,82 @@ func emitBits(dst *[]int, g *gridIndex, off int32, words []uint64) {
 	}
 }
 
-// countShardedCore scatters Count and sums the healthy shards.
+// countShardedCore scatters Count and sums the healthy shards. The
+// per-shard predicate cache is consulted coordinator-side — keyed by
+// shardSalt — so cached answers short-circuit local cores and remote
+// round-trips alike.
 func (v *View) countShardedCore(rect geom.Rect) (matched, healthy int) {
 	cache := v.cache
-	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardScan, func(sh *shard) countRes {
-		return sh.count(rect, cache)
+	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardScan, func(b ShardBackend) (ShardCount, error) {
+		salt := shardSalt(b.ShardIndex())
+		if cache != nil {
+			if e, hit := cache.get(kindCount, salt, rect); hit {
+				return ShardCount{Matched: int64(e.count)}, nil
+			}
+		}
+		out, err := b.Count(rect)
+		if err != nil {
+			return ShardCount{}, err
+		}
+		if cache != nil {
+			cache.put(kindCount, salt, rect, int(out.Matched), nil)
+		}
+		return out, nil
 	})
-	var total countRes
+	var total ShardCount
 	for i, r := range res {
 		if ok[i] {
-			total.matched += r.matched
-			total.examined += r.examined
+			total.Matched += r.Matched
+			total.Examined += r.Examined
 		}
 	}
-	v.stats.RowsExamined.Add(total.examined)
-	obsRowsExamined.Add(total.examined)
-	return int(total.matched), healthy
+	v.stats.RowsExamined.Add(total.Examined)
+	obsRowsExamined.Add(total.Examined)
+	return int(total.Matched), healthy
 }
 
 // rowsShardedCore scatters RowsIn and concatenates in shard order.
 func (v *View) rowsShardedCore(rect geom.Rect) (rows []int, healthy int) {
 	cache := v.cache
-	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardScan, func(sh *shard) rowsRes {
-		return sh.rowsIn(rect, cache)
+	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardScan, func(b ShardBackend) (ShardRows, error) {
+		salt := shardSalt(b.ShardIndex())
+		if cache != nil {
+			if e, hit := cache.get(kindRows, salt, rect); hit {
+				out := ShardRows{}
+				if e.rows != nil {
+					out.Rows = make([]int, len(e.rows))
+					copy(out.Rows, e.rows)
+				}
+				return out, nil
+			}
+		}
+		out, err := b.RowsIn(rect)
+		if err != nil {
+			return ShardRows{}, err
+		}
+		if cache != nil {
+			cache.put(kindRows, salt, rect, len(out.Rows), out.Rows)
+		}
+		return out, nil
 	})
 	return gatherRows(v, res, ok), healthy
 }
 
 // rowsAnyShardedCore scatters RowsInAny and concatenates in shard order.
 func (v *View) rowsAnyShardedCore(rects []geom.Rect) (rows []int, healthy int) {
-	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardScan, func(sh *shard) rowsRes {
-		return sh.rowsAny(rects)
+	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardScan, func(b ShardBackend) (ShardRows, error) {
+		return b.RowsInAny(rects)
 	})
 	return gatherRows(v, res, ok), healthy
 }
 
-func gatherRows(v *View, res []rowsRes, ok []bool) []int {
+func gatherRows(v *View, res []ShardRows, ok []bool) []int {
 	var examined int64
 	n := 0
 	for i := range res {
 		if ok[i] {
-			examined += res[i].examined
-			n += len(res[i].rows)
+			examined += res[i].Examined
+			n += len(res[i].Rows)
 		}
 	}
 	v.stats.RowsExamined.Add(examined)
@@ -721,7 +780,7 @@ func gatherRows(v *View, res []rowsRes, ok []bool) []int {
 	out := make([]int, 0, n)
 	for i := range res {
 		if ok[i] {
-			out = append(out, res[i].rows...)
+			out = append(out, res[i].Rows...)
 		}
 	}
 	return out
@@ -737,8 +796,8 @@ func (v *View) sampleShardedCore(rect geom.Rect, n int, rng *rand.Rand) ([]int, 
 		obsPathIndex.Inc()
 		vals := v.ncols[dim]
 		iv := rect[dim]
-		res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardSample, func(sh *shard) []int32 {
-			return sh.sortedSlice(dim, iv, vals)
+		res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardSample, func(b ShardBackend) ([]int32, error) {
+			return b.SortedSlice(dim, iv)
 		})
 		if v.scanCtx().Err() != nil {
 			return nil, healthy
@@ -774,8 +833,8 @@ func (v *View) sampleShardedCore(rect geom.Rect, n int, rng *rand.Rand) ([]int, 
 	}
 
 	obsPathGrid.Inc()
-	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardSample, func(sh *shard) sampleRes {
-		return sh.sampleGrid(rect)
+	res, ok, healthy := scatterShards(v.shards, v.scanCtx(), FaultShardSample, func(b ShardBackend) (ShardSample, error) {
+		return b.SampleGrid(rect)
 	})
 	if v.scanCtx().Err() != nil {
 		return nil, healthy
@@ -788,12 +847,12 @@ func (v *View) sampleShardedCore(rect geom.Rect, n int, rng *rand.Rand) ([]int, 
 		if !ok[i] {
 			continue
 		}
-		for _, b := range res[i].full {
+		for _, b := range res[i].Full {
 			full = append(full, b)
 			fullTotal += len(b)
 		}
-		partial = append(partial, res[i].partial...)
-		examined += res[i].examined
+		partial = append(partial, res[i].Partial...)
+		examined += res[i].Examined
 	}
 	v.stats.RowsExamined.Add(examined)
 	obsRowsExamined.Add(examined)

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ShardState is one step of a shard's supervised health lifecycle.
@@ -73,26 +74,39 @@ const maxTransitionLog = 256
 // state sits behind one mutex — transitions are rare (failures only)
 // and the per-operation cost for a healthy shard is one short critical
 // section in admit plus one in record.
+//
+// The quarantine cooldown has two modes. The default counts scatter
+// operations (deterministic under test, load-proportional in
+// production). When ShardOptions.CooldownTime is positive the cooldown
+// is wall time instead, read through the injectable now func so tests
+// walk the full state machine against a fake clock without sleeping.
 type supervisor struct {
-	tick     atomic.Uint64 // scatter operations started; the clock cooldowns count in
-	cooldown uint64
+	tick         atomic.Uint64 // scatter operations started; the clock op-cooldowns count in
+	cooldown     uint64
+	cooldownTime time.Duration    // > 0 switches quarantine cooldown to wall time
+	now          func() time.Time // injectable clock; time.Now outside tests
 
-	mu            sync.Mutex
-	states        []ShardState
-	fails         []int    // consecutive failed operations per shard
-	quarantinedAt []uint64 // tick of the most recent quarantine entry
-	log           []ShardTransition
+	mu              sync.Mutex
+	states          []ShardState
+	fails           []int    // consecutive failed operations per shard
+	quarantinedAt   []uint64 // tick of the most recent quarantine entry
+	quarantinedWhen []time.Time
+	log             []ShardTransition
 }
 
-func newSupervisor(n int, cooldownOps int) *supervisor {
+func newSupervisor(n int, opts ShardOptions) *supervisor {
+	cooldownOps := opts.CooldownOps
 	if cooldownOps <= 0 {
 		cooldownOps = defaultCooldownOps
 	}
 	return &supervisor{
-		cooldown:      uint64(cooldownOps),
-		states:        make([]ShardState, n),
-		fails:         make([]int, n),
-		quarantinedAt: make([]uint64, n),
+		cooldown:        uint64(cooldownOps),
+		cooldownTime:    opts.CooldownTime,
+		now:             time.Now,
+		states:          make([]ShardState, n),
+		fails:           make([]int, n),
+		quarantinedAt:   make([]uint64, n),
+		quarantinedWhen: make([]time.Time, n),
 	}
 }
 
@@ -113,12 +127,22 @@ func (s *supervisor) admit(i int, tick uint64) (admitted, probe bool) {
 	case ShardRecovering:
 		return true, true
 	default: // ShardQuarantined
-		if tick-s.quarantinedAt[i] >= s.cooldown {
+		if s.cooldownElapsed(i, tick) {
 			s.transition(i, tick, ShardRecovering)
 			return true, true
 		}
 		return false, false
 	}
+}
+
+// cooldownElapsed reports whether shard i has sat out its quarantine:
+// wall time when CooldownTime is configured, operation ticks otherwise.
+// Callers hold s.mu.
+func (s *supervisor) cooldownElapsed(i int, tick uint64) bool {
+	if s.cooldownTime > 0 {
+		return s.now().Sub(s.quarantinedWhen[i]) >= s.cooldownTime
+	}
+	return tick-s.quarantinedAt[i] >= s.cooldown
 }
 
 // record notes the outcome of shard i's operation (post-retry,
@@ -139,14 +163,22 @@ func (s *supervisor) record(i int, tick uint64, ok bool) {
 		s.transition(i, tick, ShardSuspect)
 	case ShardSuspect:
 		if s.fails[i] >= quarantineFails {
-			s.quarantinedAt[i] = tick
-			s.transition(i, tick, ShardQuarantined)
+			s.quarantine(i, tick)
 		}
 	case ShardRecovering:
 		// Failed probe: back to quarantine for another cooldown.
-		s.quarantinedAt[i] = tick
-		s.transition(i, tick, ShardQuarantined)
+		s.quarantine(i, tick)
 	}
+}
+
+// quarantine stamps both cooldown clocks and enters quarantine; callers
+// hold s.mu.
+func (s *supervisor) quarantine(i int, tick uint64) {
+	s.quarantinedAt[i] = tick
+	if s.cooldownTime > 0 {
+		s.quarantinedWhen[i] = s.now()
+	}
+	s.transition(i, tick, ShardQuarantined)
 }
 
 // transition applies and logs a state change; callers hold s.mu.

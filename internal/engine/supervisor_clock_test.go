@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSupervisorWallClockCooldown walks the full shard health lifecycle
+// — healthy → suspect → quarantined → recovering → healthy, including a
+// failed probe's re-quarantine — against the wall-time cooldown with an
+// injected fake clock, so the whole walk runs without a single real
+// sleep.
+func TestSupervisorWallClockCooldown(t *testing.T) {
+	const cooldown = 5 * time.Second
+	sup := newSupervisor(2, ShardOptions{Shards: 2, CooldownTime: cooldown})
+	clock := time.Unix(1700000000, 0)
+	sup.now = func() time.Time { return clock }
+
+	tick := sup.beginOp()
+	if admitted, probe := sup.admit(0, tick); !admitted || probe {
+		t.Fatalf("healthy shard: admitted=%v probe=%v", admitted, probe)
+	}
+	sup.record(0, tick, false)
+	if got := sup.state(0); got != ShardSuspect {
+		t.Fatalf("after 1 failure: %v, want suspect", got)
+	}
+
+	tick = sup.beginOp()
+	if admitted, _ := sup.admit(0, tick); !admitted {
+		t.Fatal("suspect shard not admitted")
+	}
+	sup.record(0, tick, false)
+	if got := sup.state(0); got != ShardQuarantined {
+		t.Fatalf("after 2 failures: %v, want quarantined", got)
+	}
+
+	// Quarantined: skipped no matter how many operations pass, because
+	// the clock — not the op counter — owns the cooldown now.
+	for i := 0; i < 50; i++ {
+		tick = sup.beginOp()
+		if admitted, _ := sup.admit(0, tick); admitted {
+			t.Fatalf("op %d: quarantined shard admitted before cooldown elapsed", i)
+		}
+	}
+
+	// One nanosecond short: still quarantined.
+	clock = clock.Add(cooldown - time.Nanosecond)
+	tick = sup.beginOp()
+	if admitted, _ := sup.admit(0, tick); admitted {
+		t.Fatal("admitted one nanosecond before cooldown elapsed")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted; it fails, so the
+	// shard re-quarantines with a fresh cooldown stamped at the new now.
+	clock = clock.Add(time.Nanosecond)
+	tick = sup.beginOp()
+	admitted, probe := sup.admit(0, tick)
+	if !admitted || !probe {
+		t.Fatalf("after cooldown: admitted=%v probe=%v, want probe", admitted, probe)
+	}
+	if got := sup.state(0); got != ShardRecovering {
+		t.Fatalf("probe state: %v, want recovering", got)
+	}
+	sup.record(0, tick, false)
+	if got := sup.state(0); got != ShardQuarantined {
+		t.Fatalf("after failed probe: %v, want quarantined", got)
+	}
+	tick = sup.beginOp()
+	if admitted, _ := sup.admit(0, tick); admitted {
+		t.Fatal("re-quarantined shard admitted without a second cooldown")
+	}
+
+	// Second cooldown elapses: the probe succeeds and the shard is
+	// healthy again.
+	clock = clock.Add(cooldown)
+	tick = sup.beginOp()
+	if admitted, probe := sup.admit(0, tick); !admitted || !probe {
+		t.Fatalf("second probe: admitted=%v probe=%v", admitted, probe)
+	}
+	sup.record(0, tick, true)
+	if got := sup.state(0); got != ShardHealthy {
+		t.Fatalf("after successful probe: %v, want healthy", got)
+	}
+
+	// Shard 1 never failed and never moved.
+	if got := sup.state(1); got != ShardHealthy {
+		t.Fatalf("untouched shard: %v, want healthy", got)
+	}
+
+	want := []struct {
+		from, to ShardState
+	}{
+		{ShardHealthy, ShardSuspect},
+		{ShardSuspect, ShardQuarantined},
+		{ShardQuarantined, ShardRecovering},
+		{ShardRecovering, ShardQuarantined},
+		{ShardQuarantined, ShardRecovering},
+		{ShardRecovering, ShardHealthy},
+	}
+	log := sup.transitions()
+	if len(log) != len(want) {
+		t.Fatalf("transition log length = %d, want %d: %+v", len(log), len(want), log)
+	}
+	for i, w := range want {
+		if log[i].Shard != 0 || log[i].From != w.from || log[i].To != w.to {
+			t.Fatalf("transition %d = shard %d %v->%v, want shard 0 %v->%v",
+				i, log[i].Shard, log[i].From, log[i].To, w.from, w.to)
+		}
+	}
+}
+
+// TestSupervisorOpTickCooldownUnchanged pins that leaving CooldownTime
+// unset keeps the original operation-tick cooldown: the wall clock is
+// never consulted.
+func TestSupervisorOpTickCooldownUnchanged(t *testing.T) {
+	sup := newSupervisor(1, ShardOptions{Shards: 1, CooldownOps: 3})
+	sup.now = func() time.Time {
+		t.Fatal("op-tick cooldown consulted the wall clock")
+		return time.Time{}
+	}
+
+	var tick uint64
+	for i := 0; i < 2; i++ {
+		tick = sup.beginOp()
+		sup.admit(0, tick)
+		sup.record(0, tick, false)
+	}
+	if got := sup.state(0); got != ShardQuarantined {
+		t.Fatalf("state = %v, want quarantined", got)
+	}
+	// Ops 3 and 4 are inside the cooldown window; op 5 (tick delta 3)
+	// admits the probe.
+	for i := 0; i < 2; i++ {
+		tick = sup.beginOp()
+		if admitted, _ := sup.admit(0, tick); admitted {
+			t.Fatalf("op %d: admitted inside op-tick cooldown", i)
+		}
+	}
+	tick = sup.beginOp()
+	if admitted, probe := sup.admit(0, tick); !admitted || !probe {
+		t.Fatalf("probe after op cooldown: admitted=%v probe=%v", admitted, probe)
+	}
+	sup.record(0, tick, true)
+	if got := sup.state(0); got != ShardHealthy {
+		t.Fatalf("state = %v, want healthy", got)
+	}
+}

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/dataset"
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/explore"
+	"github.com/explore-by-example/aide/internal/shardrpc"
+)
+
+// TestGoldenBitIdentityRemoteShards re-runs the pinned golden sessions
+// on a mixed local/remote topology: the view is sharded 4 ways and two
+// shards are served by an in-process shardrpc worker over a unix
+// socket, built independently from the same inputs like cmd/aideshard.
+// The historical bytes must survive the network hop — remote shards are
+// indistinguishable from local ones on the fault-free path.
+func TestGoldenBitIdentityRemoteShards(t *testing.T) {
+	const shards = 4
+	sdss := dataset.GenerateSDSS(20000, 7)
+	v1, err := engine.NewView(sdss, []string{"rowc", "colc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := GenerateTarget(v1, TargetSpec{NumAreas: 2, Size: Large}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := dataset.GenerateUniform(10000, 2, 3)
+	v2, err := engine.NewView(uni, []string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := GenerateTarget(v2, TargetSpec{NumAreas: 1, Size: Large}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// mixed shards a view 4 ways, starts a worker for shards 1 and 3 on
+	// a unix socket (a second view built from the same table stands in
+	// for the worker's own build), dials it and splices the remote
+	// backends in.
+	mixed := func(t *testing.T, base *engine.View, tab *dataset.Table, attrs []string) *engine.View {
+		t.Helper()
+		workerBase, err := engine.NewView(tab, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workerView := workerBase.WithShards(engine.ShardOptions{Shards: shards})
+		all := workerView.LocalShardBackends()
+		subset := map[int]engine.ShardBackend{1: all[1], 3: all[3]}
+		srv := shardrpc.NewServer(workerBase.Fingerprint(), shards, subset)
+		addr := filepath.Join(t.TempDir(), "w.sock")
+		ln, err := net.Listen("unix", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(srv.Close)
+		c, err := shardrpc.Dial(addr, base.Fingerprint(), shards, shardrpc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		view, err := base.WithShards(engine.ShardOptions{Shards: shards}).WithShardBackends(c.Backends())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return view
+	}
+
+	cases := []struct {
+		name        string
+		view        *engine.View
+		tab         *dataset.Table
+		attrs       []string
+		target      Target
+		seed        int64
+		discovery   explore.DiscoveryStrategy
+		maxIter     int
+		wantLabeled int
+		wantSQL     string
+	}{
+		{
+			name: "sdss-grid", view: v1, tab: sdss, attrs: []string{"rowc", "colc"},
+			target: t1, seed: 42,
+			discovery: explore.DiscoveryGrid, maxIter: 40, wantLabeled: 400,
+			wantSQL: `SELECT * FROM PhotoObjAll WHERE (rowc >= 155.75593 AND rowc <= 237.073233 AND colc >= 1738.670318 AND colc <= 2048) OR (rowc >= 1112.251242 AND rowc <= 1221.56503 AND colc >= 1065.286244 AND colc <= 1239.969774);`,
+		},
+		{
+			name: "uni-cluster", view: v2, tab: uni, attrs: []string{"a0", "a1"},
+			target: t2, seed: 9,
+			discovery: explore.DiscoveryClustering, maxIter: 40, wantLabeled: 400,
+			wantSQL: `SELECT * FROM uniform WHERE (a0 >= 47.484197 AND a0 <= 55.360533 AND a1 >= 54.483519 AND a1 <= 63.225439);`,
+		},
+		{
+			name: "sdss-hybrid", view: v1, tab: sdss, attrs: []string{"rowc", "colc"},
+			target: t1, seed: 5,
+			discovery: explore.DiscoveryHybrid, maxIter: 30, wantLabeled: 400,
+			wantSQL: `SELECT * FROM PhotoObjAll WHERE (rowc >= 1109.266226 AND rowc <= 1218.146335 AND colc >= 1067.401043 AND colc <= 1239.421102) OR (rowc >= 0 AND rowc <= 277.633617 AND colc >= 1720.227043 AND colc <= 1854.032457);`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			view := mixed(t, tc.view, tc.tab, tc.attrs)
+			opts := explore.DefaultOptions()
+			opts.Seed = tc.seed
+			opts.Discovery = tc.discovery
+			labeled, sql, s := runGolden(t, view, tc.target, opts, tc.maxIter)
+			if labeled != tc.wantLabeled {
+				t.Errorf("labeled = %d, want %d", labeled, tc.wantLabeled)
+			}
+			if sql != tc.wantSQL {
+				t.Errorf("predicted query diverged over the remote transport\n got: %s\nwant: %s", sql, tc.wantSQL)
+			}
+			stats := s.Stats()
+			if stats.Conflicts != (explore.ConflictStats{}) {
+				t.Errorf("noise-free session reported conflicts: %+v", stats.Conflicts)
+			}
+			if len(stats.Degradations) != 0 {
+				t.Errorf("fault-free remote session reported degradations: %v", stats.Degradations)
+			}
+			for i, h := range view.ShardHealth() {
+				wantRemote := i == 1 || i == 3
+				if h.Remote != wantRemote {
+					t.Errorf("shard %d remote = %v, want %v", i, h.Remote, wantRemote)
+				}
+				if h.State != engine.ShardHealthy.String() {
+					t.Errorf("shard %d state = %s after fault-free run", i, h.State)
+				}
+			}
+		})
+	}
+}

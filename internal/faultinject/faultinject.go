@@ -58,6 +58,24 @@ var (
 // from real ones.
 var ErrInjected = errors.New("faultinject: injected error")
 
+// Network-class fault points for the shardrpc remote-shard transport,
+// declared here so chaos harnesses can select them without importing
+// the transport. Like the engine.shard.* points they are indexed per
+// shard with PointAt, so each shard's wire faults draw an independent
+// derived stream from one AIDE_FAULT_SEED:
+//
+//   - FaultShardRPCDial: Err = connection refused (worker down),
+//     Latency = slow connect.
+//   - FaultShardRPCWrite: ShortWrite = torn request frame (the
+//     connection is closed mid-frame), Err = send failure.
+//   - FaultShardRPCRead: Err = mid-stream disconnect while awaiting or
+//     decoding the response, Latency = response latency spike.
+const (
+	FaultShardRPCDial  = "shardrpc.dial"
+	FaultShardRPCRead  = "shardrpc.read"
+	FaultShardRPCWrite = "shardrpc.write"
+)
+
 // Config tunes an Injector. All rates are probabilities in [0, 1].
 type Config struct {
 	// Seed drives every injection decision.

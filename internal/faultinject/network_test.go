@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardRPCNetworkPointsDerivedStreams pins the network fault
+// points' seed-stream contract: every (point, shard index) pair of the
+// shardrpc transport draws from its own Derive-pinned stream, so one
+// shard's connection refusals never perturb another shard's torn
+// frames, and a chaos run replays exactly from AIDE_FAULT_SEED alone.
+func TestShardRPCNetworkPointsDerivedStreams(t *testing.T) {
+	const seed, rate = 11, 0.5
+	base := []string{FaultShardRPCDial, FaultShardRPCRead, FaultShardRPCWrite}
+
+	// Each (point, shard) pair derives a distinct, stable stream seed.
+	seen := map[int64]string{}
+	for _, b := range base {
+		for shard := 0; shard < 4; shard++ {
+			p := PointAt(b, shard)
+			d := Derive(seed, p)
+			if d2 := Derive(seed, p); d2 != d {
+				t.Fatalf("Derive(%d, %q) unstable: %d vs %d", seed, p, d, d2)
+			}
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("Derive collision: %q and %q both -> %d", prev, p, d)
+			}
+			seen[d] = p
+		}
+	}
+
+	// Interleaved decisions across dial/read/write for two shards match
+	// each point's own Derive-seeded Float64 stream exactly.
+	inj := New(Config{Seed: seed, ErrorRate: rate})
+	Activate(inj)
+	defer Deactivate()
+	var pts []string
+	for _, b := range base {
+		pts = append(pts, PointAt(b, 0), PointAt(b, 1))
+	}
+	got := map[string][]bool{}
+	for i := 0; i < 32; i++ {
+		for _, p := range pts {
+			got[p] = append(got[p], Err(p) != nil)
+		}
+	}
+	for _, p := range pts {
+		ref := rand.New(rand.NewSource(Derive(seed, p)))
+		for i, fired := range got[p] {
+			if want := ref.Float64() < rate; fired != want {
+				t.Fatalf("point %q decision %d = %v, want %v", p, i, fired, want)
+			}
+		}
+	}
+}
+
+// TestShardRPCNetworkPointSelectors pins that a base-name selector
+// (what the chaos tests pass in Config.Points) enables every per-shard
+// instance of a network point without enabling the other transports'
+// points.
+func TestShardRPCNetworkPointSelectors(t *testing.T) {
+	inj := New(Config{Seed: 1, ErrorRate: 1, Points: []string{FaultShardRPCDial}})
+	Activate(inj)
+	defer Deactivate()
+	for shard := 0; shard < 3; shard++ {
+		if err := Err(PointAt(FaultShardRPCDial, shard)); err == nil {
+			t.Fatalf("base selector did not enable %q", PointAt(FaultShardRPCDial, shard))
+		}
+	}
+	if err := Err(PointAt(FaultShardRPCRead, 0)); err != nil {
+		t.Fatalf("unselected read point fired: %v", err)
+	}
+	if err := Err(PointAt(FaultShardRPCWrite, 0)); err != nil {
+		t.Fatalf("unselected write point fired: %v", err)
+	}
+}

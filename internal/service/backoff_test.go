@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffSaturation pins the backoff ceiling's edge behavior: the
+// doubling schedule caps at MaxBackoff, and attempts large enough to
+// overflow the shift saturate at the cap instead of going negative (a
+// negative ceiling would panic sleepBackoff's jitter draw).
+func TestBackoffSaturation(t *testing.T) {
+	c := &Client{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second}
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{1, 200 * time.Millisecond},
+		{5, 3200 * time.Millisecond},
+		{6, 5 * time.Second},  // first doubling past the cap
+		{20, 5 * time.Second}, // far past the cap
+		{60, 5 * time.Second}, // 100ms << 60 overflows int64 to <= 0
+		{63, 5 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := c.backoff(tc.attempt); got != tc.want {
+			t.Errorf("backoff(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+	// Attempts beyond the shift width must also saturate, never panic or
+	// go negative.
+	for _, attempt := range []int{64, 100, 1000} {
+		if got := c.backoff(attempt); got != 5*time.Second {
+			t.Errorf("backoff(%d) = %v, want saturation at 5s", attempt, got)
+		}
+	}
+
+	// Zero-valued config falls back to the documented defaults.
+	var zero Client
+	if got := zero.backoff(0); got != 100*time.Millisecond {
+		t.Errorf("zero-config backoff(0) = %v, want 100ms", got)
+	}
+	if got := zero.backoff(63); got != 5*time.Second {
+		t.Errorf("zero-config backoff(63) = %v, want 5s default cap", got)
+	}
+}
+
+// TestSleepBackoffRetryAfterFloor pins that a server Retry-After ask
+// larger than the jitter ceiling raises the whole sleep to the floor:
+// the draw from [0, ceiling] can never undercut the server's ask.
+func TestSleepBackoffRetryAfterFloor(t *testing.T) {
+	const floor = 30 * time.Millisecond
+	start := time.Now()
+	if err := sleepBackoff(context.Background(), time.Millisecond, floor); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < floor {
+		t.Fatalf("slept %v, want at least the %v Retry-After floor", elapsed, floor)
+	}
+}
+
+// TestSleepBackoffContextCancellation pins that cancelling the context
+// interrupts a long backoff sleep promptly with the context's error.
+func TestSleepBackoffContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sleepBackoff(ctx, time.Minute, time.Minute)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+
+	// An already-cancelled context returns immediately, even with a zero
+	// ceiling (the +1 in the jitter draw keeps Int63n legal).
+	if err := sleepBackoff(ctx, 0, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled sleep err = %v, want context.Canceled", err)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"github.com/explore-by-example/aide/internal/explore"
 	"github.com/explore-by-example/aide/internal/faultinject"
 	"github.com/explore-by-example/aide/internal/obs"
+	"github.com/explore-by-example/aide/internal/shardrpc"
 )
 
 // Server routes exploration-session requests over a set of registered
@@ -132,10 +133,25 @@ type Server struct {
 	// HedgeAfter launches a hedged duplicate attempt when a shard has
 	// not answered after this long (0: no hedging).
 	HedgeAfter time.Duration
+	// ShardAddrs lists remote shard-worker addresses (host:port for TCP,
+	// filesystem paths for unix sockets). With Shards > 0, RegisterTable
+	// dials every worker, verifies it built the same view (fingerprint +
+	// shard count pinned in the hello exchange), and routes the shard
+	// indexes the worker announces over the shardrpc transport; shards no
+	// worker claims stay in-process — a mixed local/remote topology,
+	// bit-identical to the all-local one. Workers must serve the view
+	// being registered, so ShardAddrs is typically used with exactly one
+	// registered view. Empty disables.
+	ShardAddrs []string
+	// ShardRPC tunes the remote-shard transport (zero value: shardrpc
+	// defaults).
+	ShardRPC shardrpc.Options
 
 	// acquired tracks the base registry views RegisterTable took, so
 	// Close can release them.
 	acquired []*engine.View
+	// shardClients tracks dialed shard workers, closed with the server.
+	shardClients []*shardrpc.Client
 
 	// inflight counts requests currently being served, for the
 	// MaxInflight shedding gate.
@@ -189,9 +205,27 @@ func (s *Server) RegisterTable(name string, tab *dataset.Table, attrs []string, 
 	if s.CacheBytes > 0 && shared.Cache() == nil {
 		shared = shared.WithCache(engine.NewCache(s.CacheBytes))
 	}
+	var clients []*shardrpc.Client
+	if s.Shards > 0 && len(s.ShardAddrs) > 0 {
+		var remote map[int]engine.ShardBackend
+		remote, clients, err = s.dialShardWorkers(shared)
+		if err == nil {
+			shared, err = shared.WithShardBackends(remote)
+		}
+		if err != nil {
+			for _, c := range clients {
+				c.Close()
+			}
+			s.registry().Release(v)
+			return err
+		}
+	}
 	s.mu.Lock()
 	if _, dup := s.views[name]; dup {
 		s.mu.Unlock()
+		for _, c := range clients {
+			c.Close()
+		}
 		s.registry().Release(v)
 		return fmt.Errorf("service: view %q already registered", name)
 	}
@@ -200,8 +234,37 @@ func (s *Server) RegisterTable(name string, tab *dataset.Table, attrs []string, 
 	}
 	s.views[name] = shared
 	s.acquired = append(s.acquired, v)
+	s.shardClients = append(s.shardClients, clients...)
 	s.mu.Unlock()
 	return nil
+}
+
+// dialShardWorkers connects to every configured shard worker for the
+// view and collects the remote backends they announce. Two workers
+// claiming the same shard is a topology error.
+func (s *Server) dialShardWorkers(v *engine.View) (map[int]engine.ShardBackend, []*shardrpc.Client, error) {
+	remote := make(map[int]engine.ShardBackend)
+	var clients []*shardrpc.Client
+	fail := func(err error) (map[int]engine.ShardBackend, []*shardrpc.Client, error) {
+		for _, c := range clients {
+			c.Close()
+		}
+		return nil, nil, err
+	}
+	for _, addr := range s.ShardAddrs {
+		c, err := shardrpc.Dial(addr, v.Fingerprint(), v.ShardCount(), s.ShardRPC)
+		if err != nil {
+			return fail(fmt.Errorf("service: shard worker %s: %w", addr, err))
+		}
+		clients = append(clients, c)
+		for idx, b := range c.Backends() {
+			if _, dup := remote[idx]; dup {
+				return fail(fmt.Errorf("service: shard %d claimed by two workers (%s)", idx, addr))
+			}
+			remote[idx] = b
+		}
+	}
+	return remote, clients, nil
 }
 
 // Close releases every registry view acquired by RegisterTable. Views
@@ -211,7 +274,12 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	acquired := s.acquired
 	s.acquired = nil
+	clients := s.shardClients
+	s.shardClients = nil
 	s.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
 	for _, v := range acquired {
 		s.registry().Release(v)
 	}

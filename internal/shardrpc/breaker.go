@@ -1,0 +1,213 @@
+package shardrpc
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/explore-by-example/aide/internal/obs"
+)
+
+// BreakerState is one step of a shard connection's circuit-breaker
+// lifecycle.
+//
+//	Closed ──threshold consecutive failures──▶ Open
+//	   ▲                                        │ cooldown calls elapse
+//	   │ probe succeeds                         ▼
+//	   └──────────────────────────────────── HalfOpen ──probe fails──▶ Open
+//
+// Closed passes every call through. Open fails fast — no dial, no
+// write — so a dead worker costs the scatter path an in-memory error
+// instead of a dial timeout, and the engine supervisor sees the
+// failure immediately and quarantines the shard (shard_partial:n/N).
+// The cooldown is measured in Allow calls, like the supervisor's
+// operation ticks, so breaker transitions are deterministic under the
+// seeded chaos matrix; once it elapses, HalfOpen admits exactly one
+// probe call whose outcome decides between Closed and another Open
+// period.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the lowercase state name used in metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// ErrBreakerOpen is the fast-fail error for calls rejected while a
+// shard's breaker is open.
+var ErrBreakerOpen = errors.New("shardrpc: circuit breaker open")
+
+// defaultBreakerThreshold is how many consecutive call failures open
+// the breaker.
+const defaultBreakerThreshold = 3
+
+// defaultBreakerCooldown is how many rejected Allow calls an open
+// breaker sits out before admitting a half-open probe.
+const defaultBreakerCooldown = 8
+
+// maxBreakerLog bounds the transition history, like the engine
+// supervisor's log.
+const maxBreakerLog = 256
+
+// BreakerTransition is one recorded breaker state change at call tick
+// Tick (the breaker's own Allow counter).
+type BreakerTransition struct {
+	Tick  uint64
+	Shard int
+	From  BreakerState
+	To    BreakerState
+}
+
+// shard_breaker{state}: how many shard breakers currently sit in each
+// state, process-wide. Resolved once; transitions move one unit
+// between two gauges.
+var (
+	obsBreakerClosed   = obs.GetGaugeVec("shard_breaker", "state").With("closed")
+	obsBreakerOpen     = obs.GetGaugeVec("shard_breaker", "state").With("open")
+	obsBreakerHalfOpen = obs.GetGaugeVec("shard_breaker", "state").With("half_open")
+)
+
+func breakerGauge(s BreakerState) *obs.Gauge {
+	switch s {
+	case BreakerOpen:
+		return obsBreakerOpen
+	case BreakerHalfOpen:
+		return obsBreakerHalfOpen
+	default:
+		return obsBreakerClosed
+	}
+}
+
+// breaker is one shard's circuit breaker. All state sits behind one
+// mutex; the happy path is a counter bump and a state read.
+type breaker struct {
+	shard     int
+	threshold int
+	cooldown  uint64
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int    // consecutive failures while closed
+	tick     uint64 // Allow calls seen; the clock cooldowns count in
+	openedAt uint64 // tick of the most recent open
+	probing  bool   // a half-open probe is in flight
+	log      []BreakerTransition
+}
+
+func newBreaker(shard, threshold int, cooldown uint64) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown == 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	obsBreakerClosed.Add(1)
+	return &breaker{shard: shard, threshold: threshold, cooldown: cooldown}
+}
+
+// Allow decides whether a call may proceed. It returns ErrBreakerOpen
+// for fast-fail rejections; a nil return means the caller must report
+// the call's outcome with Record.
+func (b *breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick++
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerHalfOpen:
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	default: // BreakerOpen
+		if b.tick-b.openedAt >= b.cooldown {
+			b.transition(BreakerHalfOpen)
+			b.probing = true
+			return nil
+		}
+		return ErrBreakerOpen
+	}
+}
+
+// Record reports an admitted call's outcome and applies the state
+// machine.
+func (b *breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.fails = 0
+			b.transition(BreakerClosed)
+		} else {
+			b.openedAt = b.tick
+			b.transition(BreakerOpen)
+		}
+	case BreakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openedAt = b.tick
+			b.transition(BreakerOpen)
+		}
+	}
+}
+
+// transition applies and logs a state change, keeping the per-state
+// gauges in step; callers hold b.mu.
+func (b *breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	breakerGauge(from).Add(-1)
+	breakerGauge(to).Add(1)
+	if len(b.log) >= maxBreakerLog {
+		copy(b.log, b.log[1:])
+		b.log = b.log[:maxBreakerLog-1]
+	}
+	b.log = append(b.log, BreakerTransition{Tick: b.tick, Shard: b.shard, From: from, To: to})
+}
+
+// State returns the breaker's current state.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Transitions returns a copy of the bounded transition log.
+func (b *breaker) Transitions() []BreakerTransition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BreakerTransition, len(b.log))
+	copy(out, b.log)
+	return out
+}
+
+// release retires the breaker's gauge contribution when its client is
+// closed.
+func (b *breaker) release() {
+	b.mu.Lock()
+	breakerGauge(b.state).Add(-1)
+	b.mu.Unlock()
+}

@@ -1,0 +1,266 @@
+package shardrpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Server serves a subset of one sharded view's shards over the framed
+// protocol. A worker process (cmd/aideshard) builds the same sharded
+// view the coordinator does — same dataset, same attrs, same shard
+// count, so the same fingerprint — and hands the shards it owns here.
+//
+// The hello exchange pins the contract: the client sends its view
+// fingerprint and total shard count, the server rejects a mismatch
+// (serving a shard of a different view would be silently wrong, the
+// one failure mode the whole design exists to exclude) and answers
+// with the shard indexes it serves plus their row counts.
+type Server struct {
+	fp       string
+	total    int
+	backends map[int]engine.ShardBackend
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  bool
+	wg    sync.WaitGroup
+}
+
+// NewServer creates a server for the given shards of the view
+// identified by fingerprint fp, sharded totalShards ways.
+func NewServer(fp string, totalShards int, backends map[int]engine.ShardBackend) *Server {
+	bs := make(map[int]engine.ShardBackend, len(backends))
+	for i, b := range backends {
+		bs[i] = b
+	}
+	return &Server{
+		fp:       fp,
+		total:    totalShards,
+		backends: bs,
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Shards returns the sorted-free list of shard indexes this server
+// serves (map iteration order; callers sort if they care).
+func (s *Server) Shards() []int {
+	out := make([]int, 0, len(s.backends))
+	for i := range s.backends {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Serve accepts connections on ln until Close, one goroutine per
+// connection, each looping request frame -> response frame. It returns
+// nil after Close, or the accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return errors.New("shardrpc: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.done
+			s.mu.Unlock()
+			if done {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// the per-connection goroutines.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// serveConn loops one connection: any frame-level error (torn frame,
+// bad CRC, closed peer) poisons the connection and ends the loop —
+// the protocol never resyncs inside a stream.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp, err := s.handle(op, payload)
+		if err != nil {
+			e := &enc{}
+			e.str(err.Error())
+			if writeFrame(conn, opErr, e.b) != nil {
+				return
+			}
+			continue
+		}
+		if writeFrame(conn, opOK, resp) != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request. A returned error becomes an opErr
+// response; the connection stays usable (the request was well-framed,
+// merely unserviceable).
+func (s *Server) handle(op byte, payload []byte) ([]byte, error) {
+	d := &dec{b: payload}
+	if op == opHello {
+		return s.handleHello(d)
+	}
+	shard := int(d.u32())
+	b, okShard := s.backends[shard]
+	if d.err != nil {
+		return nil, d.err
+	}
+	if !okShard {
+		return nil, fmt.Errorf("shardrpc: shard %d not served here", shard)
+	}
+	e := &enc{}
+	switch op {
+	case opPing:
+		if err := b.Ping(); err != nil {
+			return nil, err
+		}
+		return e.b, nil
+	case opCount:
+		rect := d.rect()
+		if d.err != nil {
+			return nil, d.err
+		}
+		out, err := b.Count(rect)
+		if err != nil {
+			return nil, err
+		}
+		e.i64(out.Matched)
+		e.i64(out.Examined)
+		return e.b, nil
+	case opRowsIn:
+		rect := d.rect()
+		if d.err != nil {
+			return nil, d.err
+		}
+		out, err := b.RowsIn(rect)
+		if err != nil {
+			return nil, err
+		}
+		e.i64(out.Examined)
+		e.rows32(out.Rows)
+		return e.b, nil
+	case opRowsInAny:
+		n := d.count(4)
+		rects := make([]geom.Rect, 0, n)
+		for i := 0; i < n; i++ {
+			rects = append(rects, d.rect())
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		out, err := b.RowsInAny(rects)
+		if err != nil {
+			return nil, err
+		}
+		e.i64(out.Examined)
+		e.rows32(out.Rows)
+		return e.b, nil
+	case opSampleGrid:
+		rect := d.rect()
+		if d.err != nil {
+			return nil, d.err
+		}
+		out, err := b.SampleGrid(rect)
+		if err != nil {
+			return nil, err
+		}
+		e.i64(out.Examined)
+		e.u32(uint32(len(out.Full)))
+		for _, blk := range out.Full {
+			e.block32(blk)
+		}
+		e.rows32(out.Partial)
+		return e.b, nil
+	case opSortedSlice:
+		dim := int(d.u32())
+		iv := geom.Interval{Lo: d.f64(), Hi: d.f64()}
+		if d.err != nil {
+			return nil, d.err
+		}
+		rows, err := b.SortedSlice(dim, iv)
+		if err != nil {
+			return nil, err
+		}
+		e.block32(rows)
+		return e.b, nil
+	}
+	return nil, fmt.Errorf("shardrpc: unknown op %d", op)
+}
+
+// handleHello validates the client's (version, fingerprint, total
+// shards) tuple and announces the served shards.
+func (s *Server) handleHello(d *dec) ([]byte, error) {
+	version := d.u32()
+	fp := d.str()
+	total := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if version != protocolVersion {
+		return nil, fmt.Errorf("shardrpc: protocol version %d, want %d", version, protocolVersion)
+	}
+	if fp != s.fp {
+		return nil, fmt.Errorf("shardrpc: view fingerprint %s, worker serves %s", fp, s.fp)
+	}
+	if total != s.total {
+		return nil, fmt.Errorf("shardrpc: %d total shards, worker built %d", total, s.total)
+	}
+	e := &enc{}
+	e.u32(uint32(len(s.backends)))
+	for i, b := range s.backends {
+		e.u32(uint32(i))
+		e.u64(uint64(b.NumRows()))
+	}
+	return e.b, nil
+}

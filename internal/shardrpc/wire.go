@@ -1,0 +1,229 @@
+// Package shardrpc is the remote-shard transport: it ships the
+// engine.ShardBackend surface — one shard's Count/RowsIn/RowsInAny/
+// SampleGrid/SortedSlice plus a health ping — over a length-prefixed,
+// CRC-framed binary protocol on TCP or unix sockets, so shards can run
+// in separate worker processes (cmd/aideshard) with real fault
+// isolation.
+//
+// The frame layout reuses the durable WAL's framing discipline:
+//
+//	[u32 length][u32 crc32-IEEE][u8 op][payload]
+//
+// little-endian, length = 1 + len(payload), CRC over op byte plus
+// payload. A torn or corrupted frame fails the CRC (or the length
+// bound) and poisons the connection — it is closed, never resynced —
+// which the client turns into a retriable attempt error.
+//
+// Results are plain data and the coordinator keeps randomness, caching
+// and gather order, so a remote shard is bit-identical to a local one;
+// the engine's scatter layer cannot tell them apart except by failure
+// mode. Failures flow through a per-shard three-state circuit breaker
+// (breaker.go) into the engine's shard supervisor, degrading to the
+// named shard_partial:n/N contract instead of wrong answers.
+package shardrpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// Protocol ops. Requests carry the shard index first (except hello);
+// every exchange is one request frame, one response frame.
+const (
+	opHello       = byte(1) // fingerprint + total shard count -> served shard list
+	opPing        = byte(2)
+	opCount       = byte(3)
+	opRowsIn      = byte(4)
+	opRowsInAny   = byte(5)
+	opSampleGrid  = byte(6)
+	opSortedSlice = byte(7)
+
+	opOK  = byte(128) // success; payload is op-specific
+	opErr = byte(129) // failure; payload is the error string
+)
+
+// headerSize is the fixed frame prefix: u32 length + u32 crc.
+const headerSize = 8
+
+// maxFrameSize bounds a frame's length field — same ceiling as the
+// durable WAL; anything larger is corruption, not data.
+const maxFrameSize = 64 << 20
+
+// protocolVersion is pinned inside the hello exchange; a mismatch is a
+// deploy error and fails the handshake.
+const protocolVersion = 1
+
+// crcOf is the frame checksum: crc32-IEEE over op byte + payload.
+func crcOf(body []byte) uint32 { return crc32.ChecksumIEEE(body) }
+
+// writeFrame writes one [len][crc][op][payload] frame.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	buf := make([]byte, headerSize+1+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(payload)))
+	buf[8] = op
+	copy(buf[9:], payload)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, verifying the length bound and CRC. Any
+// error poisons the connection: the caller must close it.
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxFrameSize {
+		return 0, nil, fmt.Errorf("shardrpc: frame length %d out of range", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return 0, nil, fmt.Errorf("shardrpc: frame CRC mismatch (corrupt or torn frame)")
+	}
+	return body[0], body[1:], nil
+}
+
+// enc is a little append-based encoder for frame payloads.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) rect(r geom.Rect) {
+	e.u32(uint32(len(r)))
+	for _, iv := range r {
+		e.f64(iv.Lo)
+		e.f64(iv.Hi)
+	}
+}
+
+// rows32 encodes row ids as int32: the engine's grid stores rows as
+// int32, so every id a shard can produce fits.
+func (e *enc) rows32(rows []int) {
+	e.u32(uint32(len(rows)))
+	for _, r := range rows {
+		e.u32(uint32(int32(r)))
+	}
+}
+
+func (e *enc) block32(rows []int32) {
+	e.u32(uint32(len(rows)))
+	for _, r := range rows {
+		e.u32(uint32(r))
+	}
+}
+
+// dec is the matching consuming decoder; the first decode error sticks
+// and every later read returns zero values.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("shardrpc: truncated payload")
+	}
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || len(d.b) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// count bounds a declared element count by the bytes actually left
+// (elemSize each), so a corrupt length cannot drive a huge allocation.
+func (d *dec) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > len(d.b) {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func (d *dec) rect() geom.Rect {
+	n := d.count(16)
+	if n == 0 {
+		return nil
+	}
+	r := make(geom.Rect, n)
+	for i := range r {
+		r[i].Lo = d.f64()
+		r[i].Hi = d.f64()
+	}
+	return r
+}
+
+func (d *dec) rows32() []int {
+	n := d.count(4)
+	if n == 0 {
+		return nil
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = int(int32(d.u32()))
+	}
+	return rows
+}
+
+func (d *dec) block32() []int32 {
+	n := d.count(4)
+	if n == 0 {
+		return nil
+	}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(d.u32())
+	}
+	return rows
+}
