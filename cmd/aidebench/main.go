@@ -19,11 +19,14 @@
 // Benchmarks run under GOMAXPROCS = runtime.NumCPU() by default (override
 // with -gomaxprocs); when GOMAXPROCS < workers the report carries a
 // warning field, because time-sliced "parallel" timings say nothing
-// about multicore scaling. The -baseline flag turns aidebench into a
-// regression gate: it reruns the hot-path suite at a committed
-// BENCH_hotpaths.json's scale and exits nonzero when grid_scan
-// single-thread ns/op regresses more than 20% or any kernel loses its
-// bit-identity gate:
+// about multicore scaling — and -json exits nonzero after writing the
+// report, so a CI-regenerated BENCH_hotpaths.json can never quietly
+// carry a warning. The -baseline flag turns aidebench into a regression
+// gate: it reruns the hot-path suite at a committed BENCH_hotpaths.json's
+// scale and exits nonzero when grid_scan or grid_scan_batched
+// single-thread ns/op regresses more than 20%, the batched path's
+// speedup over the sequential per-rect loop drops below 3x, or any
+// kernel loses its bit-identity gate:
 //
 //	aidebench -baseline BENCH_hotpaths.json
 //
@@ -74,7 +77,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "run the hot-path worker-pool benchmark and write its JSON report to this file ('-' for stdout)")
 		workers  = flag.Int("workers", 0, "worker count for the -json benchmark's parallel side (0: AIDE_WORKERS or GOMAXPROCS)")
 		procs    = flag.Int("gomaxprocs", 0, "GOMAXPROCS while benchmarking (0: runtime.NumCPU(); honest speedups need gomaxprocs >= workers)")
-		baseline = flag.String("baseline", "", "regression-gate mode: rerun the hot-path suite at this committed BENCH_hotpaths.json's scale and exit nonzero if grid_scan single-thread ns/op regresses >20% or any identical gate fails")
+		baseline = flag.String("baseline", "", "regression-gate mode: rerun the hot-path suite at this committed BENCH_hotpaths.json's scale and exit nonzero if grid_scan or grid_scan_batched single-thread ns/op regresses >20%, the batched speedup drops below 3x, or any identical gate fails")
 
 		tracePath = flag.String("trace", "", "replay a flight-recorder JSONL journal into a per-phase latency/convergence report")
 		traceJSON = flag.String("trace-json", "", "also write the -trace report as JSON to this file ('-' for stdout)")
@@ -212,26 +215,47 @@ func runHotpaths(path string, workers, rows int, seed int64, quick bool) error {
 	}
 	fmt.Fprint(os.Stderr, rep.String())
 	if path == "-" {
-		return rep.WriteJSON(os.Stdout)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	// A warned report is written (so the numbers can still be inspected)
+	// but never accepted: exiting nonzero keeps CI from committing a
+	// BENCH_hotpaths.json whose speedups are time-slicing artifacts.
+	if rep.Warning != "" {
+		return fmt.Errorf("report carries a warning: %s", rep.Warning)
 	}
-	if err := rep.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
-// maxGridScanRegress is the gate threshold: a fresh grid_scan
-// single-thread ns/op more than 20% above the committed baseline fails.
+// maxGridScanRegress is the gate threshold: a fresh grid_scan (or
+// grid_scan_batched) single-thread ns/op more than 20% above the
+// committed baseline fails.
 const maxGridScanRegress = 1.20
 
+// minBatchedSpeedup is the floor the batched execution path must hold:
+// a 16-rect mixed-kind ExecuteBatch at least 3x faster, single-thread,
+// than the equivalent sequential per-rect Count/RowsIn/SampleRect loop.
+// Unlike the relative regression check this is an absolute contract —
+// the whole point of one-scatter-per-iteration batching.
+const minBatchedSpeedup = 3.0
+
 // runBaselineGate reruns the hot-path suite at the committed baseline's
-// scale and fails when grid_scan's single-thread ns/op regresses beyond
-// the threshold or any kernel loses bit-identity. Absolute ns/op
+// scale and fails when grid_scan's or grid_scan_batched's single-thread
+// ns/op regresses beyond the threshold, the batched speedup drops below
+// its floor, or any kernel loses bit-identity. Absolute ns/op
 // comparisons across different machines are inherently noisy; the 20%
 // margin plus the committed baseline being refreshed on the same class
 // of hardware keeps the gate a tripwire for real regressions rather
@@ -269,28 +293,57 @@ func runBaselineGate(path string, workers int, seed int64) error {
 			return fmt.Errorf("gate: kernel %s lost its bit-identity gate", r.Name)
 		}
 	}
-	find := func(rep *bench.HotpathReport) *bench.HotpathResult {
+	find := func(rep *bench.HotpathReport, name string) *bench.HotpathResult {
 		for i := range rep.Results {
-			if rep.Results[i].Name == "grid_scan" {
+			if rep.Results[i].Name == name {
 				return &rep.Results[i]
 			}
 		}
 		return nil
 	}
-	want, got := find(&base), find(rep)
-	if want == nil {
-		return fmt.Errorf("gate: baseline %s has no grid_scan result", path)
+	// Regression-gated kernels. grid_scan pins the per-rect scan via its
+	// workers_1 column; grid_scan_batched pins the batched one-pass
+	// execution, which lives in its workers_n column (workers_1 there is
+	// the sequential per-rect loop the batch replaces).
+	type gated struct {
+		name  string
+		nsOf  func(*bench.HotpathResult) int64
+		label string
 	}
-	if got == nil {
-		return fmt.Errorf("gate: fresh run produced no grid_scan result")
+	for _, gk := range []gated{
+		{"grid_scan", func(r *bench.HotpathResult) int64 { return r.NsPerOpWorkers1 }, "w=1"},
+		{"grid_scan_batched", func(r *bench.HotpathResult) int64 { return r.NsPerOpWorkersN }, "batch"},
+	} {
+		want, got := find(&base, gk.name), find(rep, gk.name)
+		if want == nil {
+			// A freshly added kernel missing from an older committed
+			// baseline is not a regression; it gets gated once the
+			// baseline is regenerated.
+			if gk.name != "grid_scan" {
+				fmt.Fprintf(os.Stderr, "gate: baseline %s has no %s result, skipping\n", path, gk.name)
+				continue
+			}
+			return fmt.Errorf("gate: baseline %s has no %s result", path, gk.name)
+		}
+		if got == nil {
+			return fmt.Errorf("gate: fresh run produced no %s result", gk.name)
+		}
+		ratio := float64(gk.nsOf(got)) / float64(gk.nsOf(want))
+		if ratio > maxGridScanRegress {
+			return fmt.Errorf("gate: %s %s regressed %.2fx vs baseline (%d ns/op vs %d ns/op, threshold %.2fx)",
+				gk.name, gk.label, ratio, gk.nsOf(got), gk.nsOf(want), maxGridScanRegress)
+		}
+		fmt.Fprintf(os.Stderr, "gate: %s %s %d ns/op vs baseline %d ns/op (%.2fx, threshold %.2fx): ok\n",
+			gk.name, gk.label, gk.nsOf(got), gk.nsOf(want), ratio, maxGridScanRegress)
 	}
-	ratio := float64(got.NsPerOpWorkers1) / float64(want.NsPerOpWorkers1)
-	if ratio > maxGridScanRegress {
-		return fmt.Errorf("gate: grid_scan w=1 regressed %.2fx vs baseline (%d ns/op vs %d ns/op, threshold %.2fx)",
-			ratio, got.NsPerOpWorkers1, want.NsPerOpWorkers1, maxGridScanRegress)
+	if batched := find(rep, "grid_scan_batched"); batched != nil {
+		if batched.Speedup < minBatchedSpeedup {
+			return fmt.Errorf("gate: grid_scan_batched speedup %.2fx below the %.1fx batched-execution floor (batch %d ns/op vs sequential loop %d ns/op)",
+				batched.Speedup, minBatchedSpeedup, batched.NsPerOpWorkersN, batched.NsPerOpWorkers1)
+		}
+		fmt.Fprintf(os.Stderr, "gate: grid_scan_batched speedup %.2fx (floor %.1fx): ok\n",
+			batched.Speedup, minBatchedSpeedup)
 	}
-	fmt.Fprintf(os.Stderr, "gate: grid_scan w=1 %d ns/op vs baseline %d ns/op (%.2fx, threshold %.2fx): ok\n",
-		got.NsPerOpWorkers1, want.NsPerOpWorkers1, ratio, maxGridScanRegress)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/explore-by-example/aide/internal/cart"
 	"github.com/explore-by-example/aide/internal/dataset"
 	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/explore"
 	"github.com/explore-by-example/aide/internal/geom"
 	"github.com/explore-by-example/aide/internal/kmeans"
 	"github.com/explore-by-example/aide/internal/obs"
@@ -103,6 +104,12 @@ type HotpathReport struct {
 	// reported without this field explaining the caveat.
 	Warning string          `json:"warning,omitempty"`
 	Results []HotpathResult `json:"results"`
+	// ShardRoundtripsPerIteration is the measured scatter-round count per
+	// steering iteration over a 4-shard session once discovery has
+	// drained its frontier. The batched execution path's contract is 1.0:
+	// one ExecuteBatch — one scatter, one backend round per healthy
+	// shard — per iteration.
+	ShardRoundtripsPerIteration float64 `json:"shard_roundtrips_per_iteration"`
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -125,6 +132,8 @@ func (r *HotpathReport) String() string {
 			b.Name, b.NsPerOpWorkers1, b.NsPerOpWorkersN, b.P50NsWorkersN, b.P99NsWorkersN,
 			b.Speedup, b.BytesPerOpWorkersN, b.AllocsPerOpWorkersN, b.Identical)
 	}
+	s += fmt.Sprintf("shard roundtrips per iteration: %.2f (batched session loop; 1.0 = one scatter per iteration)\n",
+		r.ShardRoundtripsPerIteration)
 	return s
 }
 
@@ -267,6 +276,95 @@ func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
 		measure(cfg.MinTime, benchKernelSeconds.With("grid_scan_sharded"), func() { shardView.Count(rect); shardView.RowsIn(rect) }),
 		shardIdentical))
 
+	// grid_scan_batched: 16 small probes marching across the clustered
+	// sky view's sparse dec tail, cycling Count / RowsIn / SampleRect —
+	// the shape of one session iteration's query set (discovery density
+	// probes plus exploitation samples), where per-query fixed cost
+	// dominates the shared row work. The w=1 column is the sequential
+	// per-rect loop, the wN column is ONE ExecuteBatch (sample draws
+	// included on both sides, same rng stream). Both run on the same
+	// single-threaded view, so the speedup is pure batching: shared
+	// planning and cell walks, pooled scratch, one observation per pass
+	// instead of sixteen. Gated on bit-identical counts, rows, and
+	// sample draws.
+	skyView, err := engine.NewViewWorkers(tab, []string{"ra", "dec"}, 1)
+	if err != nil {
+		return nil, err
+	}
+	batchRects := make([]geom.Rect, 16)
+	batchQueries := make([]engine.BatchQuery, len(batchRects))
+	for i := range batchRects {
+		lo, dlo := 8+float64(i)*5.5, 82+float64(i)*0.5
+		batchRects[i] = geom.R(lo, lo+2, dlo, dlo+2)
+		switch i % 3 {
+		case 0:
+			batchQueries[i] = engine.BatchQuery{Kind: engine.BatchCount, Rect: batchRects[i]}
+		case 1:
+			batchQueries[i] = engine.BatchQuery{Kind: engine.BatchRows, Rect: batchRects[i]}
+		default:
+			batchQueries[i] = engine.BatchQuery{Kind: engine.BatchSample, Rect: batchRects[i], N: 2}
+		}
+	}
+	runSequential := func(rng *rand.Rand) {
+		for i, r := range batchRects {
+			switch i % 3 {
+			case 0:
+				skyView.Count(r)
+			case 1:
+				skyView.RowsIn(r)
+			default:
+				skyView.SampleRect(r, 2, rng)
+			}
+		}
+	}
+	runBatched := func(rng *rand.Rand) {
+		br := skyView.ExecuteBatch(batchQueries)
+		for i := range batchQueries {
+			if batchQueries[i].Kind == engine.BatchSample {
+				br.Sample(i, rng)
+			}
+		}
+	}
+	sameRows := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	batchIdentical := func() bool {
+		rngSeq := rand.New(rand.NewSource(cfg.Seed))
+		rngBat := rand.New(rand.NewSource(cfg.Seed))
+		br := skyView.ExecuteBatch(batchQueries)
+		for i, r := range batchRects {
+			switch i % 3 {
+			case 0:
+				if br.Count(i) != skyView.Count(r) {
+					return false
+				}
+			case 1:
+				if !sameRows(br.Rows(i), skyView.RowsIn(r)) {
+					return false
+				}
+			default:
+				if !sameRows(br.Sample(i, rngBat), skyView.SampleRect(r, 2, rngSeq)) {
+					return false
+				}
+			}
+		}
+		return true
+	}()
+	seqRng := rand.New(rand.NewSource(cfg.Seed))
+	batRng := rand.New(rand.NewSource(cfg.Seed))
+	rep.Results = append(rep.Results, hotpathResult("grid_scan_batched",
+		measure(cfg.MinTime, nil, func() { runSequential(seqRng) }),
+		measure(cfg.MinTime, benchKernelSeconds.With("grid_scan_batched"), func() { runBatched(batRng) }),
+		batchIdentical))
+
 	// index_build: NewView over four attributes — per-attribute
 	// normalization + sorted indexes + grid-cell assignment.
 	attrs := []string{"ra", "dec", "rowc", "field"}
@@ -301,7 +399,54 @@ func RunHotpaths(cfg HotpathConfig) (*HotpathReport, error) {
 		measure(cfg.MinTime, benchKernelSeconds.With("kmeans_cluster"), func() { clusterAt(workers) }),
 		reflect.DeepEqual(cSeq.Assign, cPar.Assign) && cSeq.Inertia == cPar.Inertia))
 
+	rt, err := measureShardRoundtrips(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.ShardRoundtripsPerIteration = rt
+
 	return rep, nil
+}
+
+// measureShardRoundtrips runs a short steering session over a 4-shard
+// view and reports scatter rounds per iteration once discovery has
+// drained its frontier — the round-trip economy the batched session loop
+// is built for. 1.0 means each iteration's whole exploitation sample set
+// traveled as one batch.
+func measureShardRoundtrips(cfg HotpathConfig) (float64, error) {
+	rows := cfg.Rows
+	if rows > 30_000 {
+		rows = 30_000 // the metric counts rounds, not rows; keep it cheap
+	}
+	tab := dataset.GenerateSDSS(rows, cfg.Seed)
+	v, err := engine.NewViewWorkers(tab, []string{"rowc", "colc"}, 1)
+	if err != nil {
+		return 0, err
+	}
+	sv := v.WithShards(engine.ShardOptions{Shards: 4})
+	target := geom.R(5, 45, 5, 45)
+	opts := explore.DefaultOptions()
+	// No zooming: discovery drains all 16 level-0 cells in the first
+	// iteration, so every measured iteration is pure exploitation.
+	opts.MaxZoomLevels = 0
+	s, err := explore.NewSession(sv, explore.OracleFunc(func(view *engine.View, row int) bool {
+		return target.Contains(view.NormPoint(row))
+	}), opts)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.RunIteration(); err != nil { // discovery iteration
+		return 0, err
+	}
+	scatters := obs.GetCounter("engine.shard_scatter_rounds")
+	before := scatters.Value()
+	const iters = 5
+	for i := 0; i < iters; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(scatters.Value()-before) / iters, nil
 }
 
 func hotpathResult(name string, seq, parl measurement, identical bool) HotpathResult {

@@ -13,6 +13,8 @@ package engine
 // to a local one.
 
 import (
+	"context"
+
 	"github.com/explore-by-example/aide/internal/geom"
 )
 
@@ -38,6 +40,27 @@ type ShardSample struct {
 	Full     [][]int32
 	Partial  []int
 	Examined int64
+}
+
+// ShardBatchItem is one sub-query of a batched scatter, as shipped to a
+// ShardBackend (and, for remote shards, over shardrpc's opBatch frame
+// in one round-trip). Kind selects the grid primitive; Sorted items are
+// covering-index slices instead (Dim/Iv used, Rect ignored).
+type ShardBatchItem struct {
+	Kind   BatchKind
+	Sorted bool
+	Rect   geom.Rect
+	Dim    int
+	Iv     geom.Interval
+}
+
+// ShardBatchResult is one shard's answer to one ShardBatchItem; exactly
+// one field group is populated, matching the item's kind.
+type ShardBatchResult struct {
+	Count  ShardCount
+	Rows   ShardRows
+	Sample ShardSample
+	Sorted []int32
 }
 
 // ShardBackend serves one shard's queries. Implementations must be
@@ -71,6 +94,11 @@ type ShardBackend interface {
 	// SortedSlice returns the shard's covering-index row ids for an
 	// interval of one dimension, in (value, row id) order.
 	SortedSlice(dim int, iv geom.Interval) ([]int32, error)
+	// ExecuteBatch answers every item of a batch in one call — one
+	// round-trip for remote backends — with results positionally
+	// aligned to items and each bit-identical to the corresponding
+	// single-item method.
+	ExecuteBatch(items []ShardBatchItem) ([]ShardBatchResult, error)
 	// Close releases backend resources (connections, for the remote
 	// implementation). Local backends are no-ops.
 	Close() error
@@ -108,6 +136,32 @@ func (l *localShard) SampleGrid(rect geom.Rect) (ShardSample, error) {
 
 func (l *localShard) SortedSlice(dim int, iv geom.Interval) ([]int32, error) {
 	return l.sh.sortedSlice(dim, iv, l.ncols[dim]), nil
+}
+
+func (l *localShard) ExecuteBatch(items []ShardBatchItem) ([]ShardBatchResult, error) {
+	out := make([]ShardBatchResult, len(items))
+	var grid []ShardBatchItem
+	var gridAt []int
+	for k, it := range items {
+		if it.Sorted {
+			out[k].Sorted = l.sh.sortedSlice(it.Dim, it.Iv, l.ncols[it.Dim])
+			continue
+		}
+		grid = append(grid, it)
+		gridAt = append(gridAt, k)
+	}
+	if len(grid) > 0 {
+		// Cancellation is coordinator-side: the scatter discards results
+		// it no longer wants, so the shard pass runs to completion.
+		gout := make([]ShardBatchResult, len(grid))
+		if err := batchGridEval(l.sh.grid, context.Background(), grid, gout); err != nil {
+			return nil, err
+		}
+		for j, k := range gridAt {
+			out[k] = gout[j]
+		}
+	}
+	return out, nil
 }
 
 // LocalShardBackends returns the in-process backend for every shard of

@@ -50,9 +50,15 @@ var (
 	obsShardOK      = obs.GetCounterVec("engine_shard_ops", "state").With("ok")
 	obsShardFailed  = obs.GetCounterVec("engine_shard_ops", "state").With("failed")
 	obsShardSkipped = obs.GetCounterVec("engine_shard_ops", "state").With("skipped")
-	obsShardRetried = obs.GetCounterVec("engine_shard_ops", "state").With("retried")
-	obsShardHedged  = obs.GetCounterVec("engine_shard_ops", "state").With("hedged")
-	obsShardPartial = obs.GetCounterVec("engine_shard_ops", "state").With("partial")
+	// obsScatterRounds counts scatter fan-outs (one per sharded engine
+	// operation; each round costs one backend call per healthy shard).
+	// Sessions should spend O(1) rounds per iteration via ExecuteBatch —
+	// aidebench records the measured ratio as
+	// shard_roundtrips_per_iteration.
+	obsScatterRounds = obs.GetCounter("engine.shard_scatter_rounds")
+	obsShardRetried  = obs.GetCounterVec("engine_shard_ops", "state").With("retried")
+	obsShardHedged   = obs.GetCounterVec("engine_shard_ops", "state").With("hedged")
+	obsShardPartial  = obs.GetCounterVec("engine_shard_ops", "state").With("partial")
 )
 
 // ErrPartialResult is returned by the *Exact query variants when one or
@@ -411,6 +417,7 @@ func buildShardSet(v *View, opts ShardOptions) *shardSet {
 // health state or look like degradations.
 func scatterShards[T any](ss *shardSet, ctx context.Context, point string, fn func(b ShardBackend) (T, error)) (res []T, ok []bool, healthy int) {
 	tick := ss.sup.beginOp()
+	obsScatterRounds.Inc()
 	res = make([]T, ss.n)
 	ok = make([]bool, ss.n)
 	ss.domain.Scatter(ss.n, func(i int) {
@@ -587,7 +594,9 @@ func execShard[T any](ss *shardSet, i int, pt string, rollFaults bool, fn func(b
 func (sh *shard) count(rect geom.Rect) ShardCount {
 	g := sh.grid
 	var out ShardCount
-	for _, run := range g.collectCellRuns(rect, nil) {
+	sc := getShardScratch()
+	runs := g.collectCellRuns(rect, sc.runs)
+	for _, run := range runs {
 		g.walkRun(run, rect,
 			func(slo, shi int32) { out.Matched += int64(shi - slo) },
 			func(id, off, end int32) {
@@ -595,6 +604,8 @@ func (sh *shard) count(rect geom.Rect) ShardCount {
 				out.Matched += int64(g.countCell(rect, id, off, end))
 			})
 	}
+	sc.runs = runs
+	putShardScratch(sc)
 	return out
 }
 
@@ -602,18 +613,59 @@ func (sh *shard) count(rect geom.Rect) ShardCount {
 // (cell-major) order — the shard-order concatenation of these is
 // exactly the unsharded order.
 func (sh *shard) rowsIn(rect geom.Rect) ShardRows {
+	// Two passes, mirroring the unsharded RowsIn: pass 1 sizes the
+	// result exactly (match spans + boundary-cell bitmaps recorded in
+	// pooled scratch), pass 2 fills a pooled right-sized buffer. No
+	// append growth, no garbage — the gather recycles the buffer after
+	// copying it out.
 	g := sh.grid
 	var out ShardRows
-	var scratch []uint64
-	for _, run := range g.collectCellRuns(rect, nil) {
+	sc := getShardScratch()
+	runs := g.collectCellRuns(rect, sc.runs)
+	arena := sc.arena[:0]
+	segs := sc.segs[:0]
+	var matched int64
+	for _, run := range runs {
 		g.walkRun(run, rect,
-			func(slo, shi int32) { out.Rows = append(out.Rows, g.rows64[slo:shi]...) },
+			func(slo, shi int32) {
+				matched += int64(shi - slo)
+				segs = append(segs, scanSeg{lo: slo, hi: shi})
+			},
 			func(id, off, end int32) {
 				out.Examined += int64(end - off)
-				scratch = g.evalCellBits(rect, id, off, end, scratch[:0])
-				emitBits(&out.Rows, g, off, scratch)
+				base := len(arena)
+				arena = g.evalCellBits(rect, id, off, end, arena)
+				for _, w := range arena[base:] {
+					matched += int64(bits.OnesCount64(w))
+				}
+				segs = append(segs, scanSeg{lo: off, hi: end, partial: true})
 			})
 	}
+	if matched > 0 {
+		rows := getRowBuf(int(matched))
+		k, aw := 0, 0
+		for _, sg := range segs {
+			if !sg.partial {
+				k += copy(rows[k:], g.rows64[sg.lo:sg.hi])
+				continue
+			}
+			nw := int(sg.hi-sg.lo+63) >> 6
+			for w := 0; w < nw; w++ {
+				bw := arena[aw+w]
+				s := int(sg.lo) + w<<6
+				for bw != 0 {
+					t := bits.TrailingZeros64(bw)
+					rows[k] = g.rows64[s+t]
+					k++
+					bw &= bw - 1
+				}
+			}
+			aw += nw
+		}
+		out.Rows = rows
+	}
+	sc.runs, sc.arena, sc.segs = runs, arena, segs
+	putShardScratch(sc)
 	return out
 }
 
@@ -648,8 +700,10 @@ func (sh *shard) rowsAny(rects []geom.Rect) ShardRows {
 func (sh *shard) sampleGrid(rect geom.Rect) ShardSample {
 	g := sh.grid
 	var out ShardSample
-	var scratch []uint64
-	for _, b := range g.collectCells(rect, nil) {
+	sc := getShardScratch()
+	blocks := g.collectCells(rect, sc.blocks)
+	scratch := sc.arena
+	for _, b := range blocks {
 		if b.full {
 			out.Full = append(out.Full, b.rows)
 			continue
@@ -673,6 +727,8 @@ func (sh *shard) sampleGrid(rect geom.Rect) ShardSample {
 			}
 		}
 	}
+	sc.blocks, sc.arena = blocks, scratch
+	putShardScratch(sc)
 	return out
 }
 
@@ -737,7 +793,7 @@ func (v *View) rowsShardedCore(rect geom.Rect) (rows []int, healthy int) {
 			if e, hit := cache.get(kindRows, salt, rect); hit {
 				out := ShardRows{}
 				if e.rows != nil {
-					out.Rows = make([]int, len(e.rows))
+					out.Rows = getRowBuf(len(e.rows))
 					copy(out.Rows, e.rows)
 				}
 				return out, nil
@@ -781,6 +837,9 @@ func gatherRows(v *View, res []ShardRows, ok []bool) []int {
 	for i := range res {
 		if ok[i] {
 			out = append(out, res[i].Rows...)
+			// The per-shard buffer's rows now live in out; recycle it.
+			releaseRowBuf(res[i].Rows)
+			res[i].Rows = nil
 		}
 	}
 	return out

@@ -1,0 +1,56 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// TestDiagnosticsMemoized pins the selectivity memo: the view is
+// immutable, so a second Diagnostics call over the same prediction must
+// answer entirely from the memo — zero engine queries — and return the
+// same evidence.
+func TestDiagnosticsMemoized(t *testing.T) {
+	v := testView(t, 5000, 7)
+	s, err := NewSession(v, rectOracle(geom.R(30, 60, 30, 60)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6 && s.Tree() == nil; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Tree() == nil {
+		t.Fatal("session never trained a classifier")
+	}
+	stats := s.View().Stats()
+	before := stats.Queries.Load()
+	first := s.Diagnostics()
+	if len(first) == 0 {
+		t.Fatal("no diagnostics for a session with a prediction")
+	}
+	if stats.Queries.Load() == before {
+		t.Fatal("first Diagnostics call issued no engine queries — memo test is vacuous")
+	}
+	mid := stats.Queries.Load()
+	second := s.Diagnostics()
+	if d := stats.Queries.Load() - mid; d != 0 {
+		t.Fatalf("repeat Diagnostics issued %d engine queries, want 0 (memoized)", d)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("memoized Diagnostics diverged from the freshly computed call")
+	}
+
+	// The memo keys by exact area: a new prediction after another
+	// iteration may add areas, and only the genuinely new rects are
+	// recounted (no assertion on the count here — just that the call
+	// still answers correctly after the memo warmed up).
+	if _, err := s.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Diagnostics(); len(got) == 0 {
+		t.Fatal("diagnostics vanished after an iteration")
+	}
+}

@@ -1,9 +1,12 @@
 package explore
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strings"
 
+	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/geom"
 )
 
@@ -26,8 +29,22 @@ type AreaInfo struct {
 	Selectivity float64
 }
 
+// rectMemoKey is an exact (bit-level) map key for a rect: selectivity
+// memoization must never conflate two areas that merely format alike.
+func rectMemoKey(r geom.Rect) string {
+	b := make([]byte, 0, 16*len(r))
+	for _, iv := range r {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(iv.Lo))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(iv.Hi))
+	}
+	return string(b)
+}
+
 // Diagnostics returns per-area evidence for the current prediction,
-// ordered as RelevantAreas. It issues one count query per area.
+// ordered as RelevantAreas. The view is immutable, so each area's row
+// count is memoized on the session: repeated calls (a UI panel polling
+// between iterations) cost no engine scans, and the counts a call does
+// need run as one batch.
 func (s *Session) Diagnostics() []AreaInfo {
 	areas := s.RelevantAreas()
 	if len(areas) == 0 {
@@ -35,6 +52,32 @@ func (s *Session) Diagnostics() []AreaInfo {
 	}
 	norm := s.view.Normalizer()
 	total := float64(s.view.NumRows())
+	keys := make([]string, len(areas))
+	for i, a := range areas {
+		keys[i] = rectMemoKey(a)
+	}
+	if total > 0 {
+		if s.selCounts == nil {
+			s.selCounts = make(map[string]int)
+		}
+		var missQ []engine.BatchQuery
+		var missKeys []string
+		seen := make(map[string]bool)
+		for i, a := range areas {
+			if _, ok := s.selCounts[keys[i]]; ok || seen[keys[i]] {
+				continue
+			}
+			seen[keys[i]] = true
+			missKeys = append(missKeys, keys[i])
+			missQ = append(missQ, engine.BatchQuery{Kind: engine.BatchCount, Rect: a})
+		}
+		if len(missQ) > 0 {
+			br := s.view.ExecuteBatch(missQ)
+			for i, k := range missKeys {
+				s.selCounts[k] = br.Count(i)
+			}
+		}
+	}
 	out := make([]AreaInfo, len(areas))
 	for i, a := range areas {
 		info := AreaInfo{Area: a, RawArea: norm.ToRawRect(a)}
@@ -49,7 +92,7 @@ func (s *Session) Diagnostics() []AreaInfo {
 			}
 		}
 		if total > 0 {
-			info.Selectivity = float64(s.view.Count(a)) / total
+			info.Selectivity = float64(s.selCounts[keys[i]]) / total
 		}
 		out[i] = info
 	}

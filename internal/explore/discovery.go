@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/geom"
 	"github.com/explore-by-example/aide/internal/grid"
 	"github.com/explore-by-example/aide/internal/kmeans"
@@ -113,41 +114,89 @@ func (d *gridDiscovery) step(s *Session, budget int, res *IterationResult) {
 				d.frontier[i], d.frontier[j] = d.frontier[j], d.frontier[i]
 			})
 		}
-		cell := d.frontier[0]
-		d.frontier = d.frontier[1:]
-
-		rect := d.g.Rect(cell)
-		count := s.view.Count(rect)
-		if count == 0 {
-			continue // empty cell: nothing to retrieve, nothing to zoom for
+		// Work a window of frontier cells per engine pass: wide enough
+		// that one round usually fills the budget even when some cells
+		// are empty or re-hit already-labeled rows.
+		w := 2*budget + 8
+		if w > len(d.frontier) {
+			w = len(d.frontier)
 		}
-		// Density-adaptive sampling radius: sparse cells search a larger
+		window := d.frontier[:w]
+
+		// Stage 1: one rng-free Count batch decides which cells hold rows
+		// and their density-adaptive radius. Sparse cells search a larger
 		// area around the center to improve the chance of a hit
 		// (Section 3).
-		frac := s.opts.GammaFrac
-		if float64(count) < s.opts.SparseDensityFrac*d.avgCount {
-			frac = s.opts.SparseGammaFrac
+		counts := make([]engine.BatchQuery, w)
+		for i, cell := range window {
+			counts[i] = engine.BatchQuery{Kind: engine.BatchCount, Rect: d.g.Rect(cell)}
 		}
-		gamma := frac * d.g.Width(cell.Level) / 2
+		cb := s.view.ExecuteBatch(counts)
 
-		s.stats.PhaseQueries[PhaseDiscovery]++
-		row := s.sampleOneNearCenter(d.g.Center(cell), gamma)
-		relevant := false
-		if row >= 0 {
-			var isNew bool
-			relevant, isNew = s.labelRow(row, PhaseDiscovery, res)
-			if isNew {
-				budget--
+		// Stage 2: one sample batch over the non-empty cells. Planning is
+		// rng-free; rows are drawn lazily in cell order below, so the rng
+		// stream matches the old one-query-per-cell loop exactly.
+		full := geom.NewRect(s.view.Dims())
+		sampleAt := make([]int, w) // window index -> sample batch index
+		var sampleQ []engine.BatchQuery
+		var gammas []float64
+		for i, cell := range window {
+			sampleAt[i] = -1
+			count := cb.Count(i)
+			if count == 0 {
+				continue // empty cell: nothing to retrieve, nothing to zoom for
 			}
-			if relevant {
-				s.discoveryHits++
+			frac := s.opts.GammaFrac
+			if float64(count) < s.opts.SparseDensityFrac*d.avgCount {
+				frac = s.opts.SparseGammaFrac
+			}
+			gamma := frac * d.g.Width(cell.Level) / 2
+			sampleAt[i] = len(sampleQ)
+			gammas = append(gammas, gamma)
+			sampleQ = append(sampleQ, engine.BatchQuery{
+				Kind: engine.BatchSample,
+				N:    1,
+				Rect: geom.RectAround(d.g.Center(cell), gamma, full),
+			})
+		}
+		var sb *engine.BatchResults
+		if len(sampleQ) > 0 {
+			sb = s.view.ExecuteBatch(sampleQ)
+		}
+
+		// Stage 3: draw, label and zoom cell by cell. Cells the budget (or
+		// a halt) never reaches stay on the frontier, their draws never
+		// planned into the rng stream.
+		consumed := 0
+		for i, cell := range window {
+			if budget <= 0 || s.stepHalted(res) {
+				break
+			}
+			consumed = i + 1
+			si := sampleAt[i]
+			if si < 0 {
+				continue
+			}
+			s.stats.PhaseQueries[PhaseDiscovery]++
+			row := s.drawOneNear(sb, si, gammas[si])
+			relevant := false
+			if row >= 0 {
+				var isNew bool
+				relevant, isNew = s.labelRow(row, PhaseDiscovery, res)
+				if isNew {
+					budget--
+				}
+				if relevant {
+					s.discoveryHits++
+				}
+			}
+			if !relevant && cell.Level < d.maxLevel {
+				// No relevant object from this cell: sub-areas may still
+				// overlap a relevant area, so zoom in (Section 3).
+				d.next = append(d.next, d.g.Children(cell)...)
 			}
 		}
-		if !relevant && cell.Level < d.maxLevel {
-			// No relevant object from this cell: sub-areas may still
-			// overlap a relevant area, so zoom in (Section 3).
-			d.next = append(d.next, d.g.Children(cell)...)
-		}
+		d.frontier = d.frontier[consumed:]
 	}
 }
 
@@ -272,34 +321,58 @@ func (d *clusterDiscovery) step(s *Session, budget int, res *IterationResult) {
 				d.frontier[i], d.frontier[j] = d.frontier[j], d.frontier[i]
 			})
 		}
-		node := d.frontier[0]
-		d.frontier = d.frontier[1:]
-
-		// "One object per cluster within distance gamma < delta along
-		// each dimension from the cluster's centroid, where delta is the
-		// radius of the cluster" (Section 3.1).
-		gamma := s.opts.GammaFrac * node.radius
-		if gamma <= 0 {
-			gamma = 0.5 // degenerate single-point cluster
+		// Work a window of clusters per engine pass. "One object per
+		// cluster within distance gamma < delta along each dimension from
+		// the cluster's centroid, where delta is the radius of the
+		// cluster" (Section 3.1) — every cluster's retrieval query goes
+		// into one batch, rows drawn lazily in cluster order.
+		w := 2*budget + 8
+		if w > len(d.frontier) {
+			w = len(d.frontier)
 		}
-		s.stats.PhaseQueries[PhaseDiscovery]++
-		row := s.sampleOneNearCenter(node.center, gamma)
-		relevant := false
-		if row >= 0 {
-			var isNew bool
-			relevant, isNew = s.labelRow(row, PhaseDiscovery, res)
-			if isNew {
-				budget--
+		window := d.frontier[:w]
+		full := geom.NewRect(s.view.Dims())
+		queries := make([]engine.BatchQuery, w)
+		gammas := make([]float64, w)
+		for i, node := range window {
+			gamma := s.opts.GammaFrac * node.radius
+			if gamma <= 0 {
+				gamma = 0.5 // degenerate single-point cluster
 			}
-			if relevant {
-				s.discoveryHits++
-			}
-		}
-		if !relevant && node.level+1 < len(d.levels) {
-			for _, ci := range node.children {
-				d.next = append(d.next, &d.levels[node.level+1][ci])
+			gammas[i] = gamma
+			queries[i] = engine.BatchQuery{
+				Kind: engine.BatchSample,
+				N:    1,
+				Rect: geom.RectAround(node.center, gamma, full),
 			}
 		}
+		br := s.view.ExecuteBatch(queries)
+		consumed := 0
+		for i, node := range window {
+			if budget <= 0 || s.stepHalted(res) {
+				break
+			}
+			consumed = i + 1
+			s.stats.PhaseQueries[PhaseDiscovery]++
+			row := s.drawOneNear(br, i, gammas[i])
+			relevant := false
+			if row >= 0 {
+				var isNew bool
+				relevant, isNew = s.labelRow(row, PhaseDiscovery, res)
+				if isNew {
+					budget--
+				}
+				if relevant {
+					s.discoveryHits++
+				}
+			}
+			if !relevant && node.level+1 < len(d.levels) {
+				for _, ci := range node.children {
+					d.next = append(d.next, &d.levels[node.level+1][ci])
+				}
+			}
+		}
+		d.frontier = d.frontier[consumed:]
 	}
 }
 

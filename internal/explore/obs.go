@@ -139,3 +139,19 @@ func (s *Session) sampleOneNearCenter(center geom.Point, gamma float64) int {
 	qs.End()
 	return row
 }
+
+// drawOneNear is sampleOneNearCenter's batched twin: the retrieval query
+// already ran inside an ExecuteBatch, so this only draws the row (the
+// rng-consuming step) and emits the same per-query span the sequential
+// helper did.
+func (s *Session) drawOneNear(br *engine.BatchResults, idx int, gamma float64) int {
+	qs := s.phaseSpan.Child("engine.sample_near")
+	rows := br.Sample(idx, s.rng)
+	qs.SetAttr("gamma", gamma)
+	qs.SetAttr("hit", len(rows) > 0)
+	qs.End()
+	if len(rows) == 0 {
+		return -1
+	}
+	return rows[0]
+}

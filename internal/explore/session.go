@@ -60,6 +60,10 @@ type Session struct {
 	disc          discoverer
 	discoveryHits int // relevant objects found by discovery: the paper's k indicator
 
+	// selCounts memoizes Diagnostics' per-area row counts (the view is
+	// immutable, so a rect's count never changes within a session).
+	selCounts map[string]int
+
 	rec       *obs.Recorder       // per-iteration trace sink (nil: tracing off)
 	phaseSpan *obs.Span           // active phase span while a phase executes
 	flight    *obs.FlightRecorder // per-iteration wide events (nil: off)
@@ -291,41 +295,74 @@ func (s *Session) RunIterationCtx(ctx context.Context) (*IterationResult, error)
 			reqs = append(reqs, breqs...)
 		}
 		reqs = trimRequests(reqs, budget)
-		// Requests arrive grouped by phase (misclassified before
-		// boundary); one child span covers each contiguous phase run.
-		curPhase := Phase(-1)
-		segStart := time.Now()
-		for _, rq := range reqs {
+		if len(reqs) > 0 {
+			// The whole exploitation sample set runs as ONE engine batch —
+			// one scatter per shard per iteration instead of one per
+			// request. Rows are drawn lazily per request below, so the rng
+			// stream (and therefore every label and golden) is bit-identical
+			// to the old sequential loop, including when a budget or
+			// conflict stop abandons the tail mid-batch.
+			queries := make([]engine.BatchQuery, len(reqs))
+			for i, rq := range reqs {
+				queries[i] = engine.BatchQuery{Kind: engine.BatchSample, Rect: rq.rect, N: rq.n}
+			}
+			bs := root.Child("engine.execute_batch")
+			batchStart := time.Now()
+			br := s.view.ExecuteBatch(queries)
+			batchTime := time.Since(batchStart)
+			bs.SetAttr("queries", len(queries))
+			bs.End()
 			if s.cancelled() {
 				return s.abort(root, ctx)
 			}
-			if s.stepHalted(res) {
-				break // budget or conflict stop: keep what we have
+			// The batch wall time is shared effort; attribute it to phases
+			// in proportion to their request counts so per-phase durations
+			// keep summing to roughly the iteration's engine time.
+			var perPhase [3]int
+			for _, rq := range reqs {
+				perPhase[rq.phase]++
 			}
-			if rq.phase != curPhase {
-				if curPhase >= 0 {
-					res.PhaseDurations[curPhase] += time.Since(segStart)
+			for p, n := range perPhase {
+				if n > 0 {
+					res.PhaseDurations[p] += batchTime * time.Duration(n) / time.Duration(len(reqs))
 				}
-				segStart = time.Now()
-				s.phaseSpan.End()
-				s.phaseSpan = root.Child(rq.phase.String())
-				curPhase = rq.phase
 			}
-			s.stats.PhaseQueries[rq.phase]++
-			qs := s.phaseSpan.Child("engine.sample_rect")
-			rows := s.view.SampleRect(rq.rect, rq.n, s.rng)
-			qs.SetAttr("requested", rq.n)
-			qs.SetAttr("returned", len(rows))
-			qs.End()
-			for _, row := range rows {
-				s.labelRow(row, rq.phase, res)
+			// Requests arrive grouped by phase (misclassified before
+			// boundary); one child span covers each contiguous phase run.
+			curPhase := Phase(-1)
+			segStart := time.Now()
+			for i, rq := range reqs {
+				if s.cancelled() {
+					return s.abort(root, ctx)
+				}
+				if s.stepHalted(res) {
+					break // budget or conflict stop: keep what we have
+				}
+				if rq.phase != curPhase {
+					if curPhase >= 0 {
+						res.PhaseDurations[curPhase] += time.Since(segStart)
+					}
+					segStart = time.Now()
+					s.phaseSpan.End()
+					s.phaseSpan = root.Child(rq.phase.String())
+					curPhase = rq.phase
+				}
+				s.stats.PhaseQueries[rq.phase]++
+				qs := s.phaseSpan.Child("engine.sample_rect")
+				rows := br.Sample(i, s.rng)
+				qs.SetAttr("requested", rq.n)
+				qs.SetAttr("returned", len(rows))
+				qs.End()
+				for _, row := range rows {
+					s.labelRow(row, rq.phase, res)
+				}
 			}
+			if curPhase >= 0 {
+				res.PhaseDurations[curPhase] += time.Since(segStart)
+			}
+			s.phaseSpan.End()
+			s.phaseSpan = nil
 		}
-		if curPhase >= 0 {
-			res.PhaseDurations[curPhase] += time.Since(segStart)
-		}
-		s.phaseSpan.End()
-		s.phaseSpan = nil
 		s.lastSlabs = slabs
 	}
 

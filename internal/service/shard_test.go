@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -115,6 +116,48 @@ func TestShardHealthEndpoints(t *testing.T) {
 	}
 	if st := slo.Shards[0].States[1].State; st != "quarantined" {
 		t.Fatalf("shard 1 state = %q, want quarantined", st)
+	}
+}
+
+// TestShardScatterRoundsExposed pins the batched execution path's
+// round-trip observable at the service surface: every sharded engine
+// pass — a single query or a whole ExecuteBatch — costs exactly one
+// scatter round, counted in engine.shard_scatter_rounds, and the
+// counter is scrapeable from /metrics so operators can divide it by
+// aide_iterations_total and alert when the one-scatter-per-iteration
+// contract drifts.
+func TestShardScatterRoundsExposed(t *testing.T) {
+	srv, view := shardedServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rounds := obs.GetCounter("engine.shard_scatter_rounds")
+	before := rounds.Value()
+	full := geom.R(0, 100, 0, 100)
+	view.Count(full)
+	batch := view.ExecuteBatch([]engine.BatchQuery{
+		{Kind: engine.BatchCount, Rect: geom.R(10, 40, 10, 40)},
+		{Kind: engine.BatchCount, Rect: geom.R(50, 90, 50, 90)},
+		{Kind: engine.BatchRows, Rect: geom.R(20, 30, 20, 30)},
+	})
+	if batch.Count(0) <= 0 {
+		t.Fatal("batched count over a 4-shard view returned nothing")
+	}
+	if got := rounds.Value() - before; got != 2 {
+		t.Fatalf("one Count + one 3-query ExecuteBatch cost %d scatter rounds, want 2", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "engine_shard_scatter_rounds") {
+		t.Fatal("/metrics exposition is missing engine_shard_scatter_rounds")
 	}
 }
 

@@ -1,0 +1,165 @@
+package shardrpc
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/explore-by-example/aide/internal/engine"
+	"github.com/explore-by-example/aide/internal/geom"
+)
+
+// remoteBatchQueries builds a mixed batch exercising every wire kind:
+// grid counts/rows/samples plus covering-index samples.
+func remoteBatchQueries(rng *rand.Rand) []engine.BatchQuery {
+	rects := randomRects(12, 2, rng)
+	out := make([]engine.BatchQuery, 0, len(rects)+2)
+	for i, rect := range rects {
+		q := engine.BatchQuery{Rect: rect}
+		switch i % 3 {
+		case 0:
+			q.Kind = engine.BatchCount
+		case 1:
+			q.Kind = engine.BatchRows
+		default:
+			q.Kind = engine.BatchSample
+			q.N = 5 + rng.Intn(20)
+		}
+		out = append(out, q)
+	}
+	out = append(out,
+		engine.BatchQuery{Kind: engine.BatchSample, N: 15, Rect: singleDimRect(2, 0, 20, 45)},
+		engine.BatchQuery{Kind: engine.BatchSample, N: 15, Rect: singleDimRect(2, 1, 33, 66)},
+	)
+	return out
+}
+
+// TestRemoteBitIdentityBatch pins the batched path across the wire: a
+// mixed local/remote topology drains whole batches bit-identically to
+// the unsharded sequential loop, and every batch costs exactly ONE
+// opBatch round-trip per remote shard.
+func TestRemoteBitIdentityBatch(t *testing.T) {
+	base, sharded := testViews(t, 8000, 4)
+	addr, _ := startWorker(t, 8000, 4, []int{1, 3})
+	mixed, _ := dialWorker(t, sharded, addr, Options{})
+
+	gen := rand.New(rand.NewSource(17))
+	for round := 0; round < 6; round++ {
+		queries := remoteBatchQueries(gen)
+		seed := int64(round + 1)
+
+		seqRng := rand.New(rand.NewSource(seed))
+		wantCounts := make([]int, len(queries))
+		wantRows := make([][]int, len(queries))
+		wantSamples := make([][]int, len(queries))
+		for i, q := range queries {
+			switch q.Kind {
+			case engine.BatchCount:
+				wantCounts[i] = base.Count(q.Rect)
+			case engine.BatchRows:
+				wantRows[i] = base.RowsIn(q.Rect)
+			case engine.BatchSample:
+				wantSamples[i] = base.SampleRect(q.Rect, q.N, seqRng)
+			}
+		}
+
+		before := obsRPCBatch.Value()
+		br := mixed.ExecuteBatch(queries)
+		// 2 of 4 shards are remote, and a batch is one round-trip each.
+		if rounds := obsRPCBatch.Value() - before; rounds != 2 {
+			t.Fatalf("round %d: batch cost %d opBatch round-trips, want 2 (one per remote shard)", round, rounds)
+		}
+		batchRng := rand.New(rand.NewSource(seed))
+		for i, q := range queries {
+			switch q.Kind {
+			case engine.BatchCount:
+				if got := br.Count(i); got != wantCounts[i] {
+					t.Fatalf("round %d query %d: Count = %d, want %d", round, i, got, wantCounts[i])
+				}
+			case engine.BatchRows:
+				if got := br.Rows(i); !reflect.DeepEqual(got, wantRows[i]) {
+					t.Fatalf("round %d query %d: Rows diverged (%d vs %d)", round, i, len(got), len(wantRows[i]))
+				}
+			case engine.BatchSample:
+				if got := br.Sample(i, batchRng); !reflect.DeepEqual(got, wantSamples[i]) {
+					t.Fatalf("round %d query %d: Sample diverged\n got %v\nwant %v", round, i, got, wantSamples[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRejectsOversizedItemCounts pins the allocation bound on both
+// ends of the opBatch exchange.
+func TestBatchRejectsOversizedItemCounts(t *testing.T) {
+	r := &remoteShard{index: 0}
+	if _, err := r.ExecuteBatch(make([]engine.ShardBatchItem, maxBatchItems+1)); err == nil {
+		t.Fatal("client accepted a batch past maxBatchItems")
+	}
+	// A forged count well past the limit (but with a plausible payload
+	// tail) must be rejected before any allocation proportional to it.
+	e := &enc{}
+	e.u32(uint32(maxBatchItems + 1))
+	if _, err := decodeBatchItems(&dec{b: e.b}); err == nil {
+		t.Fatal("decoder accepted an oversized item count")
+	}
+}
+
+// FuzzBatchCodec throws arbitrary bytes at the opBatch decoders (items
+// and results) and round-trips whatever valid batches the fuzzer
+// reaches: decoding must never panic, must respect the item-count
+// bound, and a re-encoded decode must be stable.
+func FuzzBatchCodec(f *testing.F) {
+	// Seed corpus: a valid mixed batch, its matching results, and the
+	// torn/oversized shapes the decoder must reject gracefully.
+	items := []engine.ShardBatchItem{
+		{Kind: engine.BatchCount, Rect: geom.R(10, 20, 30, 40)},
+		{Kind: engine.BatchRows, Rect: geom.R(0, 100, 0, 100)},
+		{Kind: engine.BatchSample, Rect: geom.R(5, 6, 7, 8)},
+		{Kind: engine.BatchSample, Sorted: true, Dim: 1, Iv: geom.Interval{Lo: 25, Hi: 75}},
+	}
+	eItems := &enc{}
+	encodeBatchItems(eItems, items)
+	f.Add(eItems.b)
+	results := []engine.ShardBatchResult{
+		{Count: engine.ShardCount{Matched: 7, Examined: 21}},
+		{Rows: engine.ShardRows{Rows: []int{1, 2, 3}, Examined: 3}},
+		{Sample: engine.ShardSample{Full: [][]int32{{4, 5}}, Partial: []int{6}, Examined: 9}},
+		{Sorted: []int32{8, 9, 10}},
+	}
+	eResults := &enc{}
+	encodeBatchResults(eResults, items, results)
+	f.Add(eResults.b)
+	f.Add(eItems.b[:len(eItems.b)/2]) // torn mid-item
+	huge := &enc{}
+	huge.u32(1 << 30) // oversized declared count
+	f.Add(huge.b)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		decoded, err := decodeBatchItems(&dec{b: payload})
+		if err == nil {
+			if len(decoded) > maxBatchItems {
+				t.Fatalf("decoder exceeded maxBatchItems: %d", len(decoded))
+			}
+			// Round-trip: encode the decode, decode again, re-encode, and
+			// compare bytes (byte comparison, not struct equality, so NaN
+			// rect endpoints — which the fuzzer will find — stay comparable).
+			re := &enc{}
+			encodeBatchItems(re, decoded)
+			again, err := decodeBatchItems(&dec{b: re.b})
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded items failed: %v", err)
+			}
+			re2 := &enc{}
+			encodeBatchItems(re2, again)
+			if !bytes.Equal(re.b, re2.b) {
+				t.Fatal("items round-trip unstable")
+			}
+			// Interpret the remaining bytes as results for these items;
+			// must not panic regardless of content.
+			_, _ = decodeBatchResults(&dec{b: payload}, decoded)
+		}
+	})
+}

@@ -23,6 +23,7 @@ var (
 	obsRPCRowsInAny   = obs.GetCounterVec("engine_shard_rpc", "op").With("rows_in_any")
 	obsRPCSampleGrid  = obs.GetCounterVec("engine_shard_rpc", "op").With("sample_grid")
 	obsRPCSortedSlice = obs.GetCounterVec("engine_shard_rpc", "op").With("sorted_slice")
+	obsRPCBatch       = obs.GetCounterVec("engine_shard_rpc", "op").With("batch")
 	obsRPCRetried     = obs.GetCounterVec("engine_shard_rpc", "op").With("retried")
 	obsRPCErrors      = obs.GetCounterVec("engine_shard_rpc", "op").With("error")
 )
@@ -41,6 +42,8 @@ func opCounter(op byte) *obs.Counter {
 		return obsRPCRowsInAny
 	case opSampleGrid:
 		return obsRPCSampleGrid
+	case opBatch:
+		return obsRPCBatch
 	default:
 		return obsRPCSortedSlice
 	}
@@ -497,6 +500,25 @@ func (r *remoteShard) SampleGrid(rect geom.Rect) (engine.ShardSample, error) {
 		return engine.ShardSample{}, d.err
 	}
 	return out, nil
+}
+
+// ExecuteBatch ships a whole batch of sub-queries in ONE framed
+// exchange — one round-trip, one breaker admission, one
+// engine_shard_rpc{op="batch"} tick — however many sub-queries ride in
+// it. This is the per-iteration round-trip amortization the batched
+// execution path exists for.
+func (r *remoteShard) ExecuteBatch(items []engine.ShardBatchItem) ([]engine.ShardBatchResult, error) {
+	if len(items) > maxBatchItems {
+		return nil, fmt.Errorf("shardrpc: batch of %d items exceeds %d", len(items), maxBatchItems)
+	}
+	e := &enc{}
+	e.u32(uint32(r.index))
+	encodeBatchItems(e, items)
+	resp, err := r.c.call(r.index, opBatch, e.b)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBatchResults(&dec{b: resp}, items)
 }
 
 func (r *remoteShard) SortedSlice(dim int, iv geom.Interval) ([]int32, error) {

@@ -234,6 +234,20 @@ func (s *Server) handle(op byte, payload []byte) ([]byte, error) {
 		}
 		e.block32(rows)
 		return e.b, nil
+	case opBatch:
+		items, err := decodeBatchItems(d)
+		if err != nil {
+			return nil, err
+		}
+		results, err := b.ExecuteBatch(items)
+		if err != nil {
+			return nil, err
+		}
+		if len(results) != len(items) {
+			return nil, fmt.Errorf("shardrpc: backend answered %d results for %d items", len(results), len(items))
+		}
+		encodeBatchResults(e, items, results)
+		return e.b, nil
 	}
 	return nil, fmt.Errorf("shardrpc: unknown op %d", op)
 }

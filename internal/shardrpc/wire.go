@@ -29,6 +29,7 @@ import (
 	"io"
 	"math"
 
+	"github.com/explore-by-example/aide/internal/engine"
 	"github.com/explore-by-example/aide/internal/geom"
 )
 
@@ -42,6 +43,7 @@ const (
 	opRowsInAny   = byte(5)
 	opSampleGrid  = byte(6)
 	opSortedSlice = byte(7)
+	opBatch       = byte(8) // N length-prefixed sub-queries -> N results, one round-trip
 
 	opOK  = byte(128) // success; payload is op-specific
 	opErr = byte(129) // failure; payload is the error string
@@ -143,6 +145,16 @@ func (d *dec) fail() {
 	}
 }
 
+func (d *dec) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
 func (d *dec) u32() uint32 {
 	if d.err != nil || len(d.b) < 4 {
 		d.fail()
@@ -226,4 +238,147 @@ func (d *dec) block32() []int32 {
 		rows[i] = int32(d.u32())
 	}
 	return rows
+}
+
+// ---- opBatch codec -------------------------------------------------
+//
+// A batch request is the shard index followed by N length-prefixed
+// sub-queries; the response is N results in the same order. The item
+// count is bounded by maxBatchItems on both ends — independent of the
+// frame-size ceiling — so a corrupt or hostile count can neither drive
+// a huge allocation nor smuggle an unbounded work list to a worker.
+
+// maxBatchItems bounds the sub-queries of one opBatch exchange. A
+// session iteration batches at most a few dozen requests; 4096 leaves
+// room for far coarser callers while keeping the decode allocation
+// proportional to real payloads.
+const maxBatchItems = 4096
+
+// Wire kinds of one batch sub-query. Grid kinds mirror engine.BatchKind
+// values; sorted is the covering-index slice, which has no BatchKind
+// because the engine plans it from a sample rect.
+const (
+	batchWireCount  = byte(0)
+	batchWireRows   = byte(1)
+	batchWireSample = byte(2)
+	batchWireSorted = byte(3)
+)
+
+func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+
+// encodeBatchItems appends N sub-queries: u32 count, then per item a
+// kind byte followed by the rect (grid kinds) or u32 dim + interval
+// endpoints (sorted).
+func encodeBatchItems(e *enc, items []engine.ShardBatchItem) {
+	e.u32(uint32(len(items)))
+	for _, it := range items {
+		if it.Sorted {
+			e.u8(batchWireSorted)
+			e.u32(uint32(it.Dim))
+			e.f64(it.Iv.Lo)
+			e.f64(it.Iv.Hi)
+			continue
+		}
+		switch it.Kind {
+		case engine.BatchCount:
+			e.u8(batchWireCount)
+		case engine.BatchRows:
+			e.u8(batchWireRows)
+		default:
+			e.u8(batchWireSample)
+		}
+		e.rect(it.Rect)
+	}
+}
+
+// decodeBatchItems is the bounded inverse of encodeBatchItems.
+func decodeBatchItems(d *dec) ([]engine.ShardBatchItem, error) {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n < 0 || n > maxBatchItems {
+		return nil, fmt.Errorf("shardrpc: batch item count %d out of range [0,%d]", n, maxBatchItems)
+	}
+	items := make([]engine.ShardBatchItem, 0, n)
+	for i := 0; i < n; i++ {
+		switch kind := d.u8(); kind {
+		case batchWireSorted:
+			items = append(items, engine.ShardBatchItem{
+				Kind:   engine.BatchSample,
+				Sorted: true,
+				Dim:    int(d.u32()),
+				Iv:     geom.Interval{Lo: d.f64(), Hi: d.f64()},
+			})
+		case batchWireCount, batchWireRows, batchWireSample:
+			items = append(items, engine.ShardBatchItem{Kind: engine.BatchKind(kind), Rect: d.rect()})
+		default:
+			if d.err == nil {
+				d.err = fmt.Errorf("shardrpc: batch item kind %d unknown", kind)
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	return items, nil
+}
+
+// encodeBatchResults appends N results, each shaped by its item's kind
+// exactly like the corresponding single-op response payload.
+func encodeBatchResults(e *enc, items []engine.ShardBatchItem, results []engine.ShardBatchResult) {
+	e.u32(uint32(len(results)))
+	for k, r := range results {
+		switch {
+		case items[k].Sorted:
+			e.block32(r.Sorted)
+		case items[k].Kind == engine.BatchCount:
+			e.i64(r.Count.Matched)
+			e.i64(r.Count.Examined)
+		case items[k].Kind == engine.BatchRows:
+			e.i64(r.Rows.Examined)
+			e.rows32(r.Rows.Rows)
+		default:
+			e.i64(r.Sample.Examined)
+			e.u32(uint32(len(r.Sample.Full)))
+			for _, blk := range r.Sample.Full {
+				e.block32(blk)
+			}
+			e.rows32(r.Sample.Partial)
+		}
+	}
+}
+
+// decodeBatchResults is the bounded inverse of encodeBatchResults; the
+// request's items supply the per-result shapes.
+func decodeBatchResults(d *dec, items []engine.ShardBatchItem) ([]engine.ShardBatchResult, error) {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n != len(items) {
+		return nil, fmt.Errorf("shardrpc: batch response carries %d results for %d items", n, len(items))
+	}
+	out := make([]engine.ShardBatchResult, n)
+	for k := range out {
+		switch {
+		case items[k].Sorted:
+			out[k].Sorted = d.block32()
+		case items[k].Kind == engine.BatchCount:
+			out[k].Count = engine.ShardCount{Matched: d.i64(), Examined: d.i64()}
+		case items[k].Kind == engine.BatchRows:
+			out[k].Rows = engine.ShardRows{Examined: d.i64(), Rows: d.rows32()}
+		default:
+			out[k].Sample.Examined = d.i64()
+			nf := d.count(4)
+			for i := 0; i < nf; i++ {
+				out[k].Sample.Full = append(out[k].Sample.Full, d.block32())
+			}
+			out[k].Sample.Partial = d.rows32()
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	return out, nil
 }
